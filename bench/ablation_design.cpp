@@ -1,0 +1,194 @@
+// Ablations of the design choices the paper calls out:
+//
+// 1. Data-channel multiplexing (paper section 5.3.2: "We support
+//    multiplexing data transfer over multiple RTCDataChannels; however, the
+//    single-threaded asyncio model is unable to benefit from multiplexing
+//    over more than a couple").
+// 2. Globus proxy_batch vs per-object transfers (section 4.2.1: "For
+//    efficient movement of many objects, the Store provides a proxy_batch
+//    method").
+// 3. The Store's deserialized-object cache (section 3.5: "caching performed
+//    after deserialization to avoid duplicate deserializations"), the
+//    effect behind the molecular-design inference dataset reuse.
+// 4. Async vs sync proxy resolution overlap (section 3.5 resolve_async).
+#include <filesystem>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "connectors/endpoint.hpp"
+#include "connectors/globus.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "endpoint/datachannel.hpp"
+#include "endpoint/endpoint.hpp"
+#include "globus/transfer.hpp"
+#include "kv/server.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+using namespace ps;
+namespace fs = std::filesystem;
+}  // namespace
+
+int main() {
+  testbed::Testbed tb = testbed::build();
+  proc::Process& client = tb.world->spawn("client", tb.midway_login);
+  proc::Process& remote = tb.world->spawn("remote", tb.theta_login);
+
+  // ------------------------------------------------ 1. multiplexing -------
+  ps::bench::print_header(
+      "Ablation 1: data-channel multiplexing (100 MB, Midway2 -> Theta "
+      "one-way)");
+  ps::bench::print_row({"channels", "transfer time", "speedup vs 1"});
+  const double single = endpoint::data_channel_time(
+      tb.world->fabric(), tb.midway_login, tb.theta_login, 100'000'000, {});
+  for (const int channels : {1, 2, 4, 8, 16}) {
+    endpoint::DataChannelOptions options;
+    options.channels = channels;
+    const double t = endpoint::data_channel_time(
+        tb.world->fabric(), tb.midway_login, tb.theta_login, 100'000'000,
+        options);
+    char speedup[16];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", single / t);
+    ps::bench::print_row({std::to_string(channels),
+                          ps::bench::fmt_seconds(t), speedup});
+  }
+
+  // ------------------------------------------------ 2. globus batching ----
+  {
+    auto transfer = globus::TransferService::start(*tb.world);
+    const fs::path base = fs::temp_directory_path() / "ps_ablation_globus";
+    fs::remove_all(base);
+    const Uuid ep_a = transfer->register_endpoint(tb.midway_login,
+                                                  base / "midway");
+    const Uuid ep_b = transfer->register_endpoint(tb.theta_login,
+                                                  base / "theta");
+    proc::ProcessScope scope(client);
+    auto store = std::make_shared<core::Store>(
+        "ablation-globus",
+        std::make_shared<connectors::GlobusConnector>(
+            std::vector<connectors::GlobusEndpointSpec>{
+                {"^midway2", ep_a}, {"^theta", ep_b}}));
+    core::register_store(store);
+
+    ps::bench::print_header(
+        "Ablation 2: Globus proxy_batch vs per-object proxies (1 MB "
+        "objects, consumer on Theta)");
+    ps::bench::print_row({"objects", "per-object", "proxy_batch", "speedup"});
+    for (const std::size_t n : {1u, 4u, 16u, 64u}) {
+      std::vector<Bytes> objects;
+      for (std::size_t i = 0; i < n; ++i) {
+        objects.push_back(pattern_bytes(1'000'000, i));
+      }
+      double individual;
+      {
+        sim::VtimeScope vt;
+        std::vector<core::Proxy<Bytes>> proxies;
+        for (const Bytes& object : objects) {
+          proxies.push_back(store->proxy(object));
+        }
+        proc::ProcessScope consumer(remote);
+        for (auto& proxy : proxies) proxy.resolve();
+        individual = vt.elapsed();
+      }
+      double batched;
+      {
+        sim::VtimeScope vt;
+        auto proxies = store->proxy_batch(objects);
+        proc::ProcessScope consumer(remote);
+        for (auto& proxy : proxies) proxy.resolve();
+        batched = vt.elapsed();
+      }
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.1fx", individual / batched);
+      ps::bench::print_row({std::to_string(n),
+                            ps::bench::fmt_seconds(individual),
+                            ps::bench::fmt_seconds(batched), speedup});
+    }
+    fs::remove_all(base);
+  }
+
+  // ------------------------------------------------ 3. store cache --------
+  {
+    kv::KvServer::start(*tb.world, tb.theta_login, "ablation");
+    proc::ProcessScope scope(remote);
+    ps::bench::print_header(
+        "Ablation 3: deserialized-object cache (10 MB static dataset "
+        "resolved repeatedly, as in the molecular-design inference rounds)");
+    ps::bench::print_row({"round", "cache off", "cache on"});
+    core::Store::Options no_cache;
+    no_cache.cache_size = 0;
+    auto cold_store = std::make_shared<core::Store>(
+        "ablation-nocache",
+        std::make_shared<connectors::RedisConnector>(
+            kv::kv_address(tb.theta_login, "ablation")),
+        no_cache);
+    auto warm_store = std::make_shared<core::Store>(
+        "ablation-cache", std::make_shared<connectors::RedisConnector>(
+                              kv::kv_address(tb.theta_login, "ablation")));
+    const Bytes dataset = pattern_bytes(10'000'000, 3);
+    const core::Key cold_key = cold_store->put(dataset);
+    const core::Key warm_key = warm_store->put(dataset);
+    for (int round = 1; round <= 3; ++round) {
+      sim::VtimeScope cold;
+      cold_store->get<Bytes>(cold_key);
+      sim::VtimeScope warm;
+      warm_store->get<Bytes>(warm_key);
+      ps::bench::print_row({std::to_string(round),
+                            ps::bench::fmt_seconds(cold.elapsed()),
+                            ps::bench::fmt_seconds(warm.elapsed())});
+    }
+  }
+
+  // ------------------------------------------------ 4. async resolve ------
+  {
+    relay::RelayServer::start(*tb.world, tb.relay_host, "ablation-relay");
+    endpoint::Endpoint::start(*tb.world, tb.midway_login, "abl-midway",
+                              "relay://" + tb.relay_host + "/ablation-relay");
+    endpoint::Endpoint::start(*tb.world, tb.theta_login, "abl-theta",
+                              "relay://" + tb.relay_host + "/ablation-relay");
+    std::shared_ptr<core::Store> store;
+    {
+      proc::ProcessScope scope(client);
+      store = std::make_shared<core::Store>(
+          "ablation-ep",
+          std::make_shared<connectors::EndpointConnector>(
+              std::vector<std::string>{
+                  endpoint::endpoint_address(tb.midway_login, "abl-midway"),
+                  endpoint::endpoint_address(tb.theta_login, "abl-theta")}));
+      core::register_store(store);
+    }
+    ps::bench::print_header(
+        "Ablation 4: overlapping resolution with compute (resolve_async, "
+        "1 s of task compute, consumer on Theta)");
+    ps::bench::print_row({"payload", "sync resolve", "async overlap"});
+    for (const std::size_t size : {100'000u, 1'000'000u, 5'000'000u}) {
+      double sync_time, async_time;
+      {
+        proc::ProcessScope producer(client);
+        auto proxy = store->proxy(pattern_bytes(size, 4));
+        proc::ProcessScope consumer(remote);
+        sim::VtimeScope vt;
+        sim::vadvance(1.0);  // compute first, then fetch
+        proxy.resolve();
+        sync_time = vt.elapsed();
+      }
+      {
+        proc::ProcessScope producer(client);
+        auto proxy = store->proxy(pattern_bytes(size, 5));
+        proc::ProcessScope consumer(remote);
+        sim::VtimeScope vt;
+        proxy.resolve_async();
+        sim::vadvance(1.0);  // communication hides behind the compute
+        proxy.await_async();
+        async_time = vt.elapsed();
+      }
+      ps::bench::print_row({ps::bench::fmt_size(size),
+                            ps::bench::fmt_seconds(sync_time),
+                            ps::bench::fmt_seconds(async_time)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary prints the same rows/series its paper figure reports,
+// using deterministic virtual time. Keep the output plain and columnar so
+// EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+
+namespace ps::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s < 0) return "-";
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+inline std::string fmt_mean_stdev(const Stats& stats) {
+  char buf[64];
+  const double m = stats.mean();
+  if (m < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f±%.1f ms", m * 1e3,
+                  stats.stdev() * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f±%.2f s", m, stats.stdev());
+  }
+  return buf;
+}
+
+inline std::string fmt_size(std::size_t bytes) {
+  char buf[32];
+  if (bytes < 1000) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else if (bytes < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%zu KB", bytes / 1000);
+  } else if (bytes < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%zu MB", bytes / 1000000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f GB",
+                  static_cast<double>(bytes) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace ps::bench

@@ -1,0 +1,98 @@
+// Figure 10: average model transfer times for the federated learning use
+// case vs model size (number of hidden blocks), with Globus Compute alone
+// and with Globus Compute + ProxyStore (PS-endpoints on the edge devices).
+// Beyond ~40 hidden blocks the serialized model exceeds the 5 MB cloud
+// payload limit, so the baseline cannot transfer it at all — with
+// ProxyStore the models move peer-to-peer and keep working.
+#include <memory>
+
+#include "apps/fl.hpp"
+#include "bench_util.hpp"
+#include "connectors/endpoint.hpp"
+#include "endpoint/endpoint.hpp"
+#include "faas/cloud.hpp"
+#include "relay/relay.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+using namespace ps;
+}  // namespace
+
+int main() {
+  testbed::Testbed tb = testbed::build();
+  proc::Process& aggregator = tb.world->spawn("aggregator", tb.theta_login);
+  auto cloud = faas::CloudService::start(*tb.world, tb.cloud);
+  relay::RelayServer::start(*tb.world, tb.relay_host, "fig10-relay");
+
+  std::vector<apps::FlDevice> devices;
+  std::vector<std::string> ep_addresses;
+  endpoint::Endpoint::start(*tb.world, tb.theta_login, "fig10-agg",
+                            "relay://" + tb.relay_host + "/fig10-relay");
+  ep_addresses.push_back(
+      endpoint::endpoint_address(tb.theta_login, "fig10-agg"));
+  for (std::size_t d = 0; d < tb.edge_devices.size(); ++d) {
+    apps::FlDevice device;
+    device.process = &tb.world->spawn("edge-proc-" + std::to_string(d),
+                                      tb.edge_devices[d]);
+    device.endpoint =
+        std::make_unique<faas::ComputeEndpoint>(cloud, *device.process);
+    devices.push_back(std::move(device));
+    const std::string name = "fig10-edge-" + std::to_string(d);
+    endpoint::Endpoint::start(*tb.world, tb.edge_devices[d], name,
+                              "relay://" + tb.relay_host + "/fig10-relay");
+    ep_addresses.push_back(
+        endpoint::endpoint_address(tb.edge_devices[d], name));
+  }
+
+  std::shared_ptr<core::Store> store;
+  {
+    proc::ProcessScope scope(aggregator);
+    store = std::make_shared<core::Store>(
+        "fl-store",
+        std::make_shared<connectors::EndpointConnector>(ep_addresses));
+  }
+
+  ps::bench::print_header(
+      "Fig 10: federated learning per-device model transfer time vs model "
+      "size (4 edge devices, 1 round)");
+  ps::bench::print_row({"hidden blocks", "model size", "GlobusCompute",
+                        "GC + ProxyStore", "reduction"});
+
+  for (const std::size_t blocks : {1u, 5u, 10u, 20u, 30u, 40u, 50u, 60u}) {
+    apps::FlConfig config;
+    config.hidden_blocks = blocks;
+    config.devices = devices.size();
+    config.rounds = 1;
+    config.local_steps = 1;  // transfer time excludes compute anyway
+    config.samples_per_device = 16;
+    config.batch_size = 8;
+
+    config.use_proxystore = false;
+    const apps::FlReport baseline =
+        apps::run_federated_learning(aggregator, devices, nullptr, config);
+    config.use_proxystore = true;
+    const apps::FlReport proxied =
+        apps::run_federated_learning(aggregator, devices, store, config);
+
+    std::string baseline_cell;
+    std::string reduction_cell = "-";
+    if (baseline.failed_rounds > 0) {
+      baseline_cell = "fails (>5 MB)";
+    } else {
+      baseline_cell = ps::bench::fmt_seconds(baseline.transfer_time.mean());
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f%%",
+                    100.0 * (baseline.transfer_time.mean() -
+                             proxied.transfer_time.mean()) /
+                        baseline.transfer_time.mean());
+      reduction_cell = buf;
+    }
+    ps::bench::print_row({std::to_string(blocks),
+                          ps::bench::fmt_size(baseline.model_bytes),
+                          baseline_cell,
+                          ps::bench::fmt_seconds(proxied.transfer_time.mean()),
+                          reduction_cell});
+  }
+  for (auto& device : devices) device.endpoint->stop();
+  return 0;
+}

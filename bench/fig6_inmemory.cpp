@@ -1,0 +1,183 @@
+// Figure 6: round-trip no-op Globus Compute tasks on Polaris (Slingshot 11)
+// and Chameleon Cloud (40GbE), comparing the cloud-transfer baseline,
+// ProxyStore's centralized RedisStore, its distributed in-memory stores
+// (MargoStore, UCXStore, ZMQStore), and DataSpaces.
+//
+// Expected shape (paper section 5.1): everything is comparable below ~1 GB
+// where latency dominates; beyond that bandwidth dominates — Margo/UCX
+// (RDMA) win on Polaris, UCX measurably degrades on Chameleon's commodity
+// fabric, MargoStore beats DataSpaces everywhere, and DataSpaces shows
+// prominent startup overheads on Chameleon.
+#include <memory>
+#include <variant>
+
+#include "bench_util.hpp"
+#include "connectors/distributed.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "dataspaces/dataspaces.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "kv/server.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+
+struct BenchTaskRequest {
+  std::variant<Bytes, core::Proxy<Bytes>> data;
+
+  auto serde_members() { return std::tie(data); }
+  auto serde_members() const { return std::tie(data); }
+};
+
+struct DsTaskRequest {
+  std::string object_name;
+  std::uint64_t version = 0;
+  std::string server_host;
+  std::uint64_t expect_bytes = 0;
+
+  auto serde_members() {
+    return std::tie(object_name, version, server_host, expect_bytes);
+  }
+  auto serde_members() const {
+    return std::tie(object_name, version, server_host, expect_bytes);
+  }
+};
+
+void register_tasks() {
+  faas::FunctionRegistry::instance().register_function(
+      "fig6-task", [](BytesView request_bytes) {
+        auto request = serde::from_bytes<BenchTaskRequest>(request_bytes);
+        std::size_t size = 0;
+        if (auto* raw = std::get_if<Bytes>(&request.data)) {
+          size = raw->size();
+        } else {
+          size = std::get<core::Proxy<Bytes>>(request.data)->size();
+        }
+        return serde::to_bytes(size);
+      });
+  faas::FunctionRegistry::instance().register_function(
+      "fig6-ds-task", [](BytesView request_bytes) {
+        auto request = serde::from_bytes<DsTaskRequest>(request_bytes);
+        // Each worker keeps one DataSpaces client (startup charged once).
+        thread_local std::unique_ptr<dataspaces::DataSpacesClient> client;
+        if (!client) {
+          client = std::make_unique<dataspaces::DataSpacesClient>(
+              request.server_host, "fig6");
+        }
+        const auto data = client->get(request.object_name, request.version);
+        if (!data || data->size() != request.expect_bytes) {
+          throw Error("fig6: DataSpaces object mismatch");
+        }
+        return serde::to_bytes(data->size());
+      });
+}
+
+void run_machine(const std::string& title, const std::string& client_host,
+                 const std::string& task_host) {
+  testbed::Testbed tb = testbed::build();
+  proc::Process& client = tb.world->spawn("client", client_host);
+  proc::Process& endpoint_proc = tb.world->spawn("gc-endpoint", task_host);
+  auto cloud = faas::CloudService::start(*tb.world, tb.cloud);
+  faas::ComputeEndpoint endpoint(cloud, endpoint_proc);
+
+  kv::KvServer::start(*tb.world, client_host, "fig6");
+  dataspaces::DataSpacesServer::start(*tb.world, client_host, "fig6");
+
+  struct StoreMethod {
+    std::string name;
+    std::shared_ptr<core::Store> store;
+  };
+  std::vector<StoreMethod> stores;
+  {
+    proc::ProcessScope scope(client);
+    stores.push_back(
+        {"RedisStore",
+         std::make_shared<core::Store>(
+             "fig6-redis", std::make_shared<connectors::RedisConnector>(
+                               kv::kv_address(client_host, "fig6")))});
+    stores.push_back({"MargoStore",
+                      std::make_shared<core::Store>(
+                          "fig6-margo",
+                          std::make_shared<connectors::MargoConnector>(
+                              "fig6-margo"))});
+    stores.push_back(
+        {"UCXStore", std::make_shared<core::Store>(
+                         "fig6-ucx",
+                         std::make_shared<connectors::UCXConnector>(
+                             "fig6-ucx"))});
+    stores.push_back(
+        {"ZMQStore", std::make_shared<core::Store>(
+                         "fig6-zmq",
+                         std::make_shared<connectors::ZMQConnector>(
+                             "fig6-zmq"))});
+  }
+
+  const std::vector<std::size_t> sizes = {
+      1'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000};
+
+  ps::bench::print_header("Fig 6 [" + title + "] no-op task round trips");
+  ps::bench::print_row({"payload", "GlobusCompute", "RedisStore", "MargoStore",
+                        "UCXStore", "ZMQStore", "DataSpaces"});
+
+  std::uint64_t seed = 7;
+  std::uint64_t ds_version = 0;
+  for (const std::size_t size : sizes) {
+    std::vector<std::string> row = {ps::bench::fmt_size(size)};
+    proc::ProcessScope scope(client);
+    faas::Executor executor(cloud, endpoint.uuid());
+    const Bytes payload = pattern_bytes(size, seed++);
+
+    // Baseline.
+    {
+      BenchTaskRequest request;
+      request.data = payload;
+      try {
+        sim::VtimeScope rtt;
+        executor.submit("fig6-task", serde::to_bytes(request)).get();
+        row.push_back(ps::bench::fmt_seconds(rtt.elapsed()));
+      } catch (const PayloadTooLargeError&) {
+        row.push_back("limit");
+      }
+    }
+    // ProxyStore stores.
+    for (const StoreMethod& method : stores) {
+      core::register_store(method.store, /*overwrite=*/true);
+      BenchTaskRequest request;
+      sim::VtimeScope rtt;
+      request.data = method.store->proxy(payload, /*evict=*/true);
+      executor.submit("fig6-task", serde::to_bytes(request)).get();
+      row.push_back(ps::bench::fmt_seconds(rtt.elapsed()));
+    }
+    // DataSpaces.
+    {
+      dataspaces::DataSpacesClient producer(client_host, "fig6");
+      DsTaskRequest request;
+      request.object_name = "obj";
+      request.version = ds_version++;
+      request.server_host = client_host;
+      request.expect_bytes = size;
+      sim::VtimeScope rtt;
+      producer.put(request.object_name, request.version, payload);
+      executor.submit("fig6-ds-task", serde::to_bytes(request)).get();
+      row.push_back(ps::bench::fmt_seconds(rtt.elapsed()));
+    }
+    ps::bench::print_row(row);
+  }
+  endpoint.stop();
+}
+
+}  // namespace
+
+int main() {
+  register_tasks();
+  testbed::Testbed names;
+  run_machine("Polaris (Slingshot 11)", names.polaris_compute0,
+              names.polaris_compute1);
+  run_machine("Chameleon (40GbE)", names.chameleon0, names.chameleon1);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 7: percent improvement in Colmena task round-trip time when moving
+// task data with ProxyStore (RedisStore, library-level integration) vs
+// Colmena's default method with Parsl, for a grid of input/output sizes.
+// Each configuration repeats 100 times; the median round trip computes the
+// improvement, exactly as the paper does. Thinker, Task Server, and worker
+// are co-located on one Theta node; caching and async resolution disabled
+// (cache_size = 0, synchronous resolves).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "kv/server.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+#include "workflow/colmena.hpp"
+
+namespace {
+
+using namespace ps;
+
+/// Median round trip of `reps` no-op tasks with the given payload sizes.
+/// The round trip covers submit -> result bytes available to the thinker.
+double median_round_trip(proc::Process& thinker, proc::Process& worker,
+                         std::shared_ptr<core::Store> store,
+                         std::size_t input_bytes, std::size_t output_bytes,
+                         int reps) {
+  workflow::ColmenaApp app(worker);
+  app.register_function("noop", [output_bytes](const std::vector<Bytes>&) {
+    return pattern_bytes(output_bytes, 2);
+  });
+  if (store) {
+    app.register_store("t", store, /*threshold=*/0);
+  }
+  proc::ProcessScope scope(thinker);
+  Stats stats;
+  const Bytes input = pattern_bytes(input_bytes, 1);
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::VtimeScope rtt;
+    app.submit("t", "noop", {input});
+    const workflow::TaskResult result = app.get_result();
+    result.bytes();  // resolve proxied results before declaring done
+    stats.add(rtt.elapsed());
+  }
+  return stats.median();
+}
+
+}  // namespace
+
+int main() {
+  testbed::Testbed tb = testbed::build();
+  proc::Process& thinker = tb.world->spawn("thinker", tb.theta_compute0);
+  proc::Process& worker = tb.world->spawn("worker", tb.theta_compute0);
+  kv::KvServer::start(*tb.world, tb.theta_compute0, "fig7");
+
+  const std::vector<std::size_t> sizes = {1'000,     10'000,     100'000,
+                                          1'000'000, 10'000'000, 100'000'000};
+  // The paper repeats each configuration 100 times. Virtual timing is
+  // deterministic here, so large payloads use fewer repetitions to bound
+  // real memcpy work without changing the median.
+  const auto reps_for = [](std::size_t input, std::size_t output) {
+    const std::size_t bytes = input + output;
+    if (bytes >= 100'000'000) return 5;
+    if (bytes >= 10'000'000) return 20;
+    return 100;
+  };
+
+  ps::bench::print_header(
+      "Fig 7: % improvement in Colmena task round-trip time with ProxyStore "
+      "(RedisStore), median of 100 repeats");
+  std::vector<std::string> header = {"input\\output"};
+  for (const std::size_t out : sizes) header.push_back(ps::bench::fmt_size(out));
+  ps::bench::print_row(header);
+
+  for (const std::size_t input : sizes) {
+    std::vector<std::string> row = {ps::bench::fmt_size(input)};
+    for (const std::size_t output : sizes) {
+      const int kReps = reps_for(input, output);
+      const double baseline =
+          median_round_trip(thinker, worker, nullptr, input, output, kReps);
+      std::shared_ptr<core::Store> store;
+      {
+        proc::ProcessScope scope(thinker);
+        core::Store::Options options;
+        options.cache_size = 0;  // paper: caching disabled for this figure
+        store = std::make_shared<core::Store>(
+            "fig7-redis-" + std::to_string(input) + "-" +
+                std::to_string(output),
+            std::make_shared<connectors::RedisConnector>(
+                kv::kv_address(tb.theta_compute0, "fig7")),
+            options);
+        core::register_store(store, /*overwrite=*/true);
+      }
+      const double proxied =
+          median_round_trip(thinker, worker, store, input, output, kReps);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%+.1f%%",
+                    100.0 * (baseline - proxied) / baseline);
+      row.push_back(cell);
+    }
+    ps::bench::print_row(row);
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 8: average client get/set request time to a single PS-endpoint vs
+// payload size and number of concurrent clients issuing the same request.
+// Each client makes 1000 requests. The proof-of-concept endpoint is
+// single-threaded, so response times scale linearly beyond two concurrent
+// clients — the effect the paper attributes to the asyncio model.
+#include <memory>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "endpoint/endpoint.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+
+/// Mean per-request time with `clients` concurrent clients (each a thread
+/// with its own virtual timeline starting at the same instant).
+double mean_request_time(testbed::Testbed& tb,
+                         std::shared_ptr<endpoint::Endpoint> ep,
+                         const std::string& op, std::size_t payload_bytes,
+                         int clients, int requests_per_client, int round) {
+  std::vector<std::thread> threads;
+  std::vector<double> totals(static_cast<std::size_t>(clients), 0.0);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      proc::Process& process = tb.world->process(
+          "fig8-client-" + std::to_string(c));
+      proc::ProcessScope scope(process);
+      // All clients start this round at the same virtual instant.
+      sim::vset(1000.0 * round);
+      const Bytes payload = pattern_bytes(payload_bytes, 8);
+      double total = 0.0;
+      for (int r = 0; r < requests_per_client; ++r) {
+        // Every client issues "the same request" (paper): one object per
+        // client, overwritten/fetched repeatedly.
+        const std::string object_id = "obj-" + std::to_string(c);
+        endpoint::EndpointRequest request;
+        request.object_id = object_id;
+        request.endpoint_id = ep->uuid();
+        if (op == "set") {
+          request.op = "set";
+          request.data = payload;
+        } else {
+          request.op = "get";
+        }
+        sim::VtimeScope rtt;
+        ep->handle(request);
+        total += rtt.elapsed();
+      }
+      totals[static_cast<std::size_t>(c)] = total / requests_per_client;
+    });
+  }
+  for (auto& t : threads) t.join();
+  double sum = 0.0;
+  for (const double t : totals) sum += t;
+  return sum / clients;
+}
+
+}  // namespace
+
+int main() {
+  testbed::Testbed tb = testbed::build();
+  relay::RelayServer::start(*tb.world, tb.relay_host, "fig8-relay");
+  constexpr int kMaxClients = 16;
+  for (int c = 0; c < kMaxClients; ++c) {
+    tb.world->spawn("fig8-client-" + std::to_string(c),
+                    tb.perlmutter_compute);
+  }
+
+  const std::vector<std::size_t> sizes = {1'000, 10'000, 100'000, 1'000'000};
+  const std::vector<int> client_counts = {1, 2, 4, 8, 16};
+  constexpr int kRequests = 1000;
+
+  int round = 1;
+  for (const std::string op : {"set", "get"}) {
+    ps::bench::print_header("Fig 8: client " + op +
+                            " request time vs concurrent clients "
+                            "(single PS-endpoint, 1000 requests/client)");
+    std::vector<std::string> header = {"payload"};
+    for (const int c : client_counts) {
+      header.push_back(std::to_string(c) + " clients");
+    }
+    ps::bench::print_row(header);
+    for (const std::size_t size : sizes) {
+      std::vector<std::string> row = {ps::bench::fmt_size(size)};
+      for (const int clients : client_counts) {
+        // Fresh endpoint per cell so queue backlog does not leak.
+        auto ep = endpoint::Endpoint::start(
+            *tb.world, tb.perlmutter_compute,
+            "fig8-ep-" + std::to_string(round),
+            "relay://" + tb.relay_host + "/fig8-relay");
+        if (op == "get") {
+          // Pre-populate the objects the clients will fetch.
+          proc::Process& seeder = tb.world->process("fig8-client-0");
+          proc::ProcessScope scope(seeder);
+          sim::vset(0.0);
+          const Bytes payload = pattern_bytes(size, 8);
+          for (int c = 0; c < clients; ++c) {
+            ep->handle(endpoint::EndpointRequest{
+                .op = "set",
+                .object_id = "obj-" + std::to_string(c),
+                .endpoint_id = ep->uuid(),
+                .data = payload});
+          }
+        }
+        const double mean = mean_request_time(tb, ep, op, size, clients,
+                                              kRequests, round);
+        row.push_back(ps::bench::fmt_seconds(mean));
+        ep->stop();
+        ++round;
+      }
+      ps::bench::print_row(row);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Figure 9: average get/set times between two PS-endpoints (client ->
+// local endpoint -> remote endpoint) vs payload size, compared to a Redis
+// server hosted at the target site reached through a manually created SSH
+// tunnel (client -> remote Redis, one hop fewer).
+//
+// Scenarios: Theta <-> Theta (minimal latency; the extra endpoint hop
+// dominates), Midway2 <-> Theta, and Frontera <-> Theta (1500 km). The
+// paper's two findings reproduce: Redis+SSH is generally faster, and the
+// gap grows with payload because the aiortc data channel cannot exceed
+// ~80 Mbps across throttled WAN paths.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "endpoint/endpoint.hpp"
+#include "kv/server.hpp"
+#include "net/fabric.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+
+struct Scenario {
+  std::string name;
+  std::string client_host;  // client + its local PS-endpoint
+  std::string target_host;  // remote PS-endpoint / Redis server
+};
+
+void run_scenario(const Scenario& spec, int index) {
+  testbed::Testbed tb = testbed::build();
+  proc::Process& client = tb.world->spawn("client", spec.client_host);
+  relay::RelayServer::start(*tb.world, tb.relay_host, "fig9-relay");
+  auto local_ep = endpoint::Endpoint::start(
+      *tb.world, spec.client_host, "fig9-local",
+      "relay://" + tb.relay_host + "/fig9-relay");
+  auto remote_ep = endpoint::Endpoint::start(
+      *tb.world, spec.target_host, "fig9-remote",
+      "relay://" + tb.relay_host + "/fig9-relay");
+  kv::KvServer::start(*tb.world, spec.target_host, "fig9");
+  auto redis = tb.world->services().resolve<kv::KvServer>(
+      kv::kv_address(spec.target_host, "fig9"));
+  const net::SshTunnel tunnel;
+  // An SSH tunnel is only needed "when the two sites are different".
+  const bool same_host =
+      tb.world->fabric().host(spec.client_host).site ==
+      tb.world->fabric().host(spec.target_host).site;
+
+  const std::vector<std::size_t> sizes = {1'000, 10'000, 100'000, 1'000'000,
+                                          10'000'000};
+  constexpr int kRequests = 1000;
+
+  ps::bench::print_header("Fig 9 [" + spec.name + "] (" +
+                          std::to_string(kRequests) + " requests per cell)");
+  ps::bench::print_row({"payload", "PS-ep set", "PS-ep get", "Redis+SSH set",
+                        "Redis+SSH get"});
+
+  proc::ProcessScope scope(client);
+  std::uint64_t key_counter = 0;
+  for (const std::size_t size : sizes) {
+    const Bytes payload = pattern_bytes(size, 9);
+    Stats ep_set, ep_get, redis_set, redis_get;
+
+    // PS-endpoint path: client -> local endpoint -> remote endpoint.
+    const std::string object_id = "fig9-" + std::to_string(index) + "-" +
+                                  std::to_string(key_counter++);
+    for (int r = 0; r < kRequests; ++r) {
+      {
+        sim::VtimeScope rtt;
+        // The client talks to its local endpoint, which forwards to the
+        // owner (one more hop than the Redis configuration).
+        local_ep->handle(endpoint::EndpointRequest{
+            .op = "set", .object_id = object_id,
+            .endpoint_id = remote_ep->uuid(), .data = payload});
+        ep_set.add(rtt.elapsed());
+      }
+      {
+        sim::VtimeScope rtt;
+        local_ep->handle(endpoint::EndpointRequest{
+            .op = "get", .object_id = object_id,
+            .endpoint_id = remote_ep->uuid(), .data = {}});
+        ep_get.add(rtt.elapsed());
+      }
+    }
+
+    // Redis + SSH tunnel: client -> remote Redis directly. The tunnel
+    // cost model wraps each request/response leg.
+    for (int r = 0; r < kRequests; ++r) {
+      {
+        sim::VtimeScope rtt;
+        double arrival;
+        if (same_host) {
+          arrival = sim::vnow() + tb.world->fabric().transfer_time(
+                                      spec.client_host, spec.target_host,
+                                      payload.size());
+        } else {
+          arrival = sim::vnow() + tunnel.transfer_time(
+                                      tb.world->fabric(), spec.client_host,
+                                      spec.target_host, payload.size());
+        }
+        const double done =
+            redis->queue().schedule(arrival, redis->service_time(size));
+        redis->set(object_id, payload, std::nullopt, arrival);
+        const double back =
+            same_host
+                ? tb.world->fabric().transfer_time(spec.target_host,
+                                                   spec.client_host, 8)
+                : tunnel.transfer_time(tb.world->fabric(), spec.target_host,
+                                       spec.client_host, 8);
+        sim::vset(done + back);
+        redis_set.add(rtt.elapsed());
+      }
+      {
+        sim::VtimeScope rtt;
+        double arrival;
+        if (same_host) {
+          arrival = sim::vnow() + tb.world->fabric().transfer_time(
+                                      spec.client_host, spec.target_host, 64);
+        } else {
+          arrival = sim::vnow() + tunnel.transfer_time(tb.world->fabric(),
+                                                       spec.client_host,
+                                                       spec.target_host, 64);
+        }
+        const auto value = redis->get(object_id, arrival);
+        const double done =
+            redis->queue().schedule(arrival, redis->service_time(size));
+        const double back =
+            same_host
+                ? tb.world->fabric().transfer_time(
+                      spec.target_host, spec.client_host, value->size())
+                : tunnel.transfer_time(tb.world->fabric(), spec.target_host,
+                                       spec.client_host, value->size());
+        sim::vset(done + back);
+        redis_get.add(rtt.elapsed());
+      }
+    }
+
+    ps::bench::print_row({ps::bench::fmt_size(size),
+                          ps::bench::fmt_seconds(ep_set.mean()),
+                          ps::bench::fmt_seconds(ep_get.mean()),
+                          ps::bench::fmt_seconds(redis_set.mean()),
+                          ps::bench::fmt_seconds(redis_get.mean())});
+  }
+  local_ep->stop();
+  remote_ep->stop();
+}
+
+}  // namespace
+
+int main() {
+  testbed::Testbed names;
+  const std::vector<Scenario> scenarios = {
+      {"Theta <-> Theta", names.theta_compute0, names.theta_compute1},
+      {"Midway2 <-> Theta", names.midway_login, names.theta_login},
+      {"Frontera <-> Theta", names.frontera_login, names.theta_login},
+  };
+  int index = 0;
+  for (const Scenario& scenario : scenarios) {
+    run_scenario(scenario, index++);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 1: summary of provided Connector implementations.
+//
+// Regenerated from the connectors' own trait declarations, so the table
+// cannot drift from the code.
+#include <filesystem>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "connectors/distributed.hpp"
+#include "connectors/endpoint.hpp"
+#include "connectors/file.hpp"
+#include "connectors/globus.hpp"
+#include "connectors/redis.hpp"
+#include "endpoint/endpoint.hpp"
+#include "globus/transfer.hpp"
+#include "kv/server.hpp"
+#include "proc/world.hpp"
+#include "relay/relay.hpp"
+
+namespace {
+
+using namespace ps;
+
+std::string yes(bool b) { return b ? "yes" : ""; }
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  auto world = std::make_unique<proc::World>();
+  world->fabric().add_site("site", net::hpc_interconnect(10e-6, 10e9));
+  world->fabric().add_host("host", "site");
+  proc::Process& process = world->spawn("bench", "host");
+  proc::ProcessScope scope(process);
+
+  // Stand up the substrates the connectors need.
+  kv::KvServer::start(*world, "host", "t1");
+  auto globus_service = globus::TransferService::start(*world);
+  const fs::path base = fs::temp_directory_path() / "ps_table1";
+  const Uuid ep_a = globus_service->register_endpoint("host", base / "ga");
+  const Uuid ep_b = globus_service->register_endpoint("host", base / "gb");
+  relay::RelayServer::start(*world, "host", "t1-relay");
+  endpoint::Endpoint::start(*world, "host", "t1-ep", "relay://host/t1-relay");
+
+  std::vector<std::shared_ptr<core::Connector>> connectors = {
+      std::make_shared<connectors::FileConnector>(base / "file"),
+      std::make_shared<connectors::RedisConnector>(
+          kv::kv_address("host", "t1")),
+      std::make_shared<connectors::MargoConnector>("t1-margo"),
+      std::make_shared<connectors::UCXConnector>("t1-ucx"),
+      std::make_shared<connectors::ZMQConnector>("t1-zmq"),
+      std::make_shared<connectors::GlobusConnector>(
+          std::vector<connectors::GlobusEndpointSpec>{{"^host$", ep_a},
+                                                      {"^other$", ep_b}}),
+      std::make_shared<connectors::EndpointConnector>(
+          std::vector<std::string>{endpoint::endpoint_address("host",
+                                                              "t1-ep")}),
+  };
+
+  ps::bench::print_header(
+      "Table 1: Summary of provided Connector implementations");
+  ps::bench::print_row({"Connector", "Storage", "Intra-Site", "Inter-Site",
+                        "Persistence"});
+  ps::bench::print_row({"---------", "-------", "----------", "----------",
+                        "-----------"});
+  for (const auto& connector : connectors) {
+    const core::ConnectorTraits t = connector->traits();
+    ps::bench::print_row({connector->type(), t.storage, yes(t.intra_site),
+                          yes(t.inter_site), yes(t.persistent)});
+  }
+  fs::remove_all(base);
+  return 0;
+}

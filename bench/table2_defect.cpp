@@ -1,0 +1,128 @@
+// Table 2: round-trip task times for the real-time defect analysis
+// application. The Globus Compute endpoint is hosted on a Polaris login
+// node and tasks execute on a Polaris compute node. Baseline + FileStore
+// configurations place the client (the simulated beam facility) on Theta;
+// the EndpointStore configuration places it on Midway2 with PS-endpoints on
+// both Midway2 and a Polaris login node.
+#include <filesystem>
+#include <memory>
+
+#include "apps/defect.hpp"
+#include "bench_util.hpp"
+#include "connectors/endpoint.hpp"
+#include "connectors/file.hpp"
+#include "endpoint/endpoint.hpp"
+#include "faas/cloud.hpp"
+#include "relay/relay.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+namespace fs = std::filesystem;
+
+std::string fmt_ms(const Stats& stats) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.0f ± %.0f", stats.mean() * 1e3,
+                stats.stdev() * 1e3);
+  return buf;
+}
+
+std::string fmt_improvement(double baseline, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * (baseline - value) /
+                                                baseline);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  testbed::Testbed tb = testbed::build();
+  // Task execution: Globus Compute endpoint on a Polaris login node,
+  // tasks on a Polaris compute node (the endpoint process's host governs
+  // where the task code runs).
+  proc::Process& task_proc = tb.world->spawn("tasks", tb.polaris_compute0);
+  auto cloud = faas::CloudService::start(*tb.world, tb.cloud);
+  faas::ComputeEndpoint endpoint(cloud, task_proc);
+
+  proc::Process& theta_client = tb.world->spawn("theta-client",
+                                                tb.theta_login);
+  proc::Process& midway_client = tb.world->spawn("midway-client",
+                                                 tb.midway_login);
+
+  const fs::path base = fs::temp_directory_path() / "ps_table2";
+  fs::remove_all(base);
+
+  apps::DefectConfig config;
+  config.image_size = 512;  // ~1 MB micrographs
+  config.tasks = 20;
+
+  ps::bench::print_header(
+      "Table 2: real-time defect analysis round-trip task times (1 MB "
+      "micrographs, 20 tasks per row)");
+  ps::bench::print_row(
+      {"Configuration", "Proxied", "Time (ms)", "Improvement"}, 26);
+
+  // Globus Compute baseline: client on Theta.
+  config.mode = apps::DefectMode::kBaseline;
+  const apps::DefectReport baseline =
+      apps::run_defect_analysis(theta_client, endpoint, nullptr, config);
+  ps::bench::print_row({"Globus Compute baseline", "-",
+                        fmt_ms(baseline.round_trip), "-"}, 26);
+
+  // FileStore (shared Polaris FS), client on Theta.
+  {
+    proc::ProcessScope scope(theta_client);
+    auto store = std::make_shared<core::Store>(
+        "table2-file",
+        std::make_shared<connectors::FileConnector>(base / "file"));
+    config.mode = apps::DefectMode::kProxyInputs;
+    const apps::DefectReport inputs =
+        apps::run_defect_analysis(theta_client, endpoint, store, config);
+    ps::bench::print_row({"FileStore", "Inputs", fmt_ms(inputs.round_trip),
+                          fmt_improvement(baseline.round_trip.mean(),
+                                          inputs.round_trip.mean())}, 26);
+    config.mode = apps::DefectMode::kProxyBoth;
+    const apps::DefectReport both =
+        apps::run_defect_analysis(theta_client, endpoint, store, config);
+    ps::bench::print_row({"", "Inputs/Outputs", fmt_ms(both.round_trip),
+                          fmt_improvement(baseline.round_trip.mean(),
+                                          both.round_trip.mean())}, 26);
+  }
+
+  // EndpointStore: client on Midway2, PS-endpoints on Midway2 + Polaris
+  // login.
+  {
+    relay::RelayServer::start(*tb.world, tb.relay_host, "table2-relay");
+    endpoint::Endpoint::start(*tb.world, tb.midway_login, "table2-midway",
+                              "relay://" + tb.relay_host + "/table2-relay");
+    endpoint::Endpoint::start(*tb.world, tb.polaris_login, "table2-polaris",
+                              "relay://" + tb.relay_host + "/table2-relay");
+    proc::ProcessScope scope(midway_client);
+    auto store = std::make_shared<core::Store>(
+        "table2-ep",
+        std::make_shared<connectors::EndpointConnector>(
+            std::vector<std::string>{
+                endpoint::endpoint_address(tb.midway_login, "table2-midway"),
+                endpoint::endpoint_address(tb.polaris_login,
+                                           "table2-polaris")}));
+    config.mode = apps::DefectMode::kProxyInputs;
+    const apps::DefectReport inputs =
+        apps::run_defect_analysis(midway_client, endpoint, store, config);
+    ps::bench::print_row({"EndpointStore", "Inputs",
+                          fmt_ms(inputs.round_trip),
+                          fmt_improvement(baseline.round_trip.mean(),
+                                          inputs.round_trip.mean())}, 26);
+    config.mode = apps::DefectMode::kProxyBoth;
+    const apps::DefectReport both =
+        apps::run_defect_analysis(midway_client, endpoint, store, config);
+    ps::bench::print_row({"", "Inputs/Outputs", fmt_ms(both.round_trip),
+                          fmt_improvement(baseline.round_trip.mean(),
+                                          both.round_trip.mean())}, 26);
+  }
+
+  endpoint.stop();
+  fs::remove_all(base);
+  return 0;
+}

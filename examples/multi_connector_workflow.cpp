@@ -1,0 +1,103 @@
+// MultiConnector policies (paper section 4.3): one Store, many channels.
+//
+// A workflow produces objects of very different shapes — small task records,
+// medium simulation outputs that stay on the cluster, and large model
+// weights that must reach a remote NAT'd GPU site. With a MultiConnector,
+// the application keeps a single Store and per-connector policies route
+// each object to the right mediated channel transparently.
+//
+// Build & run:  ./examples/multi_connector_workflow
+#include <cstdio>
+#include <memory>
+
+#include "connectors/endpoint.hpp"
+#include "connectors/redis.hpp"
+#include "core/multi.hpp"
+#include "core/store.hpp"
+#include "endpoint/endpoint.hpp"
+#include "kv/server.hpp"
+#include "relay/relay.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace ps;
+
+int main() {
+  testbed::Testbed tb = testbed::build();
+  proc::Process& thinker = tb.world->spawn("thinker", tb.theta_login);
+  proc::Process& gpu = tb.world->spawn("gpu-worker", tb.remote_gpu);
+
+  // Substrates: a Redis server on the Theta login node, PS-endpoints on
+  // Theta and the remote GPU lab, and a public relay.
+  kv::KvServer::start(*tb.world, tb.theta_login, "example");
+  relay::RelayServer::start(*tb.world, tb.relay_host, "example-relay");
+  endpoint::Endpoint::start(*tb.world, tb.theta_login, "ep-theta",
+                            "relay://" + tb.relay_host + "/example-relay");
+  endpoint::Endpoint::start(*tb.world, tb.remote_gpu, "ep-gpu",
+                            "relay://" + tb.relay_host + "/example-relay");
+
+  proc::ProcessScope scope(thinker);
+
+  // RedisConnector: ideal for sub-10MB intra-site objects, high priority.
+  auto redis = std::make_shared<connectors::RedisConnector>(
+      kv::kv_address(tb.theta_login, "example"));
+  core::Policy redis_policy;
+  redis_policy.max_size = 10'000'000;
+  redis_policy.tags = {"theta"};
+  redis_policy.priority = 1;
+
+  // EndpointConnector: reaches the GPU site across NATs; lower priority so
+  // it only wins when the object must leave Theta.
+  auto ep = std::make_shared<connectors::EndpointConnector>(
+      std::vector<std::string>{
+          endpoint::endpoint_address(tb.theta_login, "ep-theta"),
+          endpoint::endpoint_address(tb.remote_gpu, "ep-gpu")});
+  core::Policy ep_policy;
+  ep_policy.tags = {"theta", "gpu-lab"};
+  ep_policy.priority = 0;
+
+  auto multi = std::make_shared<core::MultiConnector>(
+      std::vector<core::MultiConnector::Entry>{
+          {"redis", redis, redis_policy}, {"endpoint", ep, ep_policy}});
+  auto store = std::make_shared<core::Store>("workflow-store", multi);
+  core::register_store(store);
+
+  // 1) A simulation result that only Theta consumers need -> Redis.
+  const core::Key sim_key = store->put(pattern_bytes(500'000));
+  std::printf("500 KB simulation result  -> %s\n",
+              sim_key.field("multi_connector").c_str());
+
+  // 2) Model weights that the GPU site must read -> endpoint channel,
+  //    expressed as a put constraint rather than code changes.
+  core::PutHints to_gpu;
+  to_gpu.required_tags = {"gpu-lab"};
+  const core::Key weights_key = store->put(pattern_bytes(8'000'000), to_gpu);
+  std::printf("8 MB model weights        -> %s\n",
+              weights_key.field("multi_connector").c_str());
+
+  // 3) An object too large for the Redis policy falls through to the
+  //    endpoint channel automatically.
+  const core::Key big_key = store->put(pattern_bytes(50'000'000));
+  std::printf("50 MB trajectory          -> %s\n",
+              big_key.field("multi_connector").c_str());
+
+  // 4) Consumers don't care which channel was chosen: proxies resolve
+  //    through whatever connector the policy picked — even on the GPU.
+  core::Proxy<Bytes> weights = store->proxy_from_key<Bytes>(weights_key);
+  const Bytes wire = serde::to_bytes(weights);
+  {
+    proc::ProcessScope gpu_scope(gpu);
+    auto remote = serde::from_bytes<core::Proxy<Bytes>>(wire);
+    std::printf("GPU resolved %zu bytes of weights through the proxy\n",
+                remote->size());
+  }
+
+  // 5) No matching policy -> explicit error, not silent misplacement.
+  core::PutHints impossible;
+  impossible.required_tags = {"the-moon"};
+  try {
+    multi->put_hinted(pattern_bytes(10), impossible);
+  } catch (const NoPolicyMatchError& e) {
+    std::printf("unroutable object rejected: %s\n", e.what());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: the proxy pattern in a few lines (paper Listing 1).
+//
+// A producer puts an object in a store and receives a lightweight proxy;
+// any consumer that receives the proxy — even in another (simulated)
+// process with no knowledge of the store — uses it like the real object,
+// and the data moves just in time.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "connectors/local.hpp"
+#include "core/proxy.hpp"
+#include "core/store.hpp"
+#include "proc/world.hpp"
+#include "serde/serde.hpp"
+
+using namespace ps;
+
+// Consumer code written against std::string — it neither knows nor cares
+// that it will be handed a proxy (transparency: no shims, no wrappers).
+std::size_t count_words(const std::string& text) {
+  std::size_t words = 0;
+  bool in_word = false;
+  for (const char c : text) {
+    const bool is_space = c == ' ' || c == '\n';
+    if (!is_space && !in_word) ++words;
+    in_word = !is_space;
+  }
+  return words;
+}
+
+int main() {
+  // A world with two simulated processes: a producer and a consumer.
+  auto world = proc::World::make_local();
+  proc::Process& producer = world->spawn("producer", "localhost");
+  proc::Process& consumer = world->spawn("consumer", "localhost");
+
+  Bytes wire;  // what actually crosses the process boundary
+
+  {
+    proc::ProcessScope scope(producer);
+    // Store = a name + any Connector (here: in-memory; swap in
+    // RedisConnector, FileConnector, EndpointConnector, ... unchanged).
+    auto store = std::make_shared<core::Store>(
+        "my-store", std::make_shared<connectors::LocalConnector>());
+    core::register_store(store);
+
+    const std::string document =
+        "proxies decouple control flow from data flow";
+    core::Proxy<std::string> proxy = store->proxy(document);
+
+    // The proxy serializes to its factory only — a few hundred bytes no
+    // matter how large the target object is.
+    wire = serde::to_bytes(proxy);
+    std::printf("proxy on the wire: %zu bytes (target: %zu bytes)\n",
+                wire.size(), document.size());
+  }
+
+  {
+    proc::ProcessScope scope(consumer);
+    auto proxy = serde::from_bytes<core::Proxy<std::string>>(wire);
+    std::printf("resolved before use? %s\n",
+                proxy.resolved() ? "yes" : "no");
+    // Pass the proxy straight into code expecting std::string: it resolves
+    // lazily on first use and re-registers the store in this process.
+    std::printf("word count (computed through the proxy): %zu\n",
+                count_words(proxy));
+    std::printf("resolved after use? %s\n", proxy.resolved() ? "yes" : "no");
+    std::printf("store re-registered in consumer process? %s\n",
+                core::get_store("my-store") ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "apps/defect.hpp"
+
+#include <cmath>
+#include <variant>
+
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::apps {
+
+ml::Model make_segmentation_model(std::size_t size, Rng& rng) {
+  // A single-channel center-surround (difference-of-Gaussians) conv layer:
+  // a matched filter for the bright blob defects. Weights are set
+  // analytically — the production model is pre-trained; what matters here
+  // is a real convolution over real pixels.
+  constexpr std::size_t kKernel = 5;
+  auto conv = std::make_unique<ml::Conv2D>(1, 1, kKernel, size, size, rng);
+  ml::Tensor* weight = conv->parameters()[0];
+  ml::Tensor* bias = conv->parameters()[1];
+  double sum = 0.0;
+  std::vector<float> g(kKernel * kKernel);
+  for (std::size_t y = 0; y < kKernel; ++y) {
+    for (std::size_t x = 0; x < kKernel; ++x) {
+      const double dy = static_cast<double>(y) - 2.0;
+      const double dx = static_cast<double>(x) - 2.0;
+      g[y * kKernel + x] = static_cast<float>(std::exp(-(dy * dy + dx * dx) / 2.0));
+      sum += g[y * kKernel + x];
+    }
+  }
+  const float mean = static_cast<float>(sum / (kKernel * kKernel));
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    weight->at(i) = g[i] - mean;  // zero-mean: ignores flat background
+  }
+  bias->at(0) = -1.1f;  // decision threshold against noise
+
+  ml::Model model;
+  model.add(std::move(conv));
+  return model;
+}
+
+Segmentation segment(ml::Model& model, const ml::Tensor& image) {
+  const ml::Tensor scores = model.forward(image);
+  Segmentation out;
+  out.mask.resize(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out.mask[i] = scores.at(i) > 0.0f ? 1 : 0;
+    out.defect_pixels += out.mask[i];
+  }
+  return out;
+}
+
+namespace {
+
+using ImageValue = std::variant<Bytes, core::Proxy<Bytes>>;
+
+struct DefectTaskRequest {
+  ImageValue image;  // serialized ml::Tensor, possibly proxied
+  bool proxy_output = false;
+  double inference_cost_s = 1.3;  // GPU inference + model invocation cost
+
+  auto serde_members() {
+    return std::tie(image, proxy_output, inference_cost_s);
+  }
+  auto serde_members() const {
+    return std::tie(image, proxy_output, inference_cost_s);
+  }
+};
+
+struct DefectTaskResponse {
+  std::variant<Bytes, core::Proxy<Bytes>> result;  // serialized Segmentation
+
+  auto serde_members() { return std::tie(result); }
+  auto serde_members() const { return std::tie(result); }
+};
+
+/// The Globus Compute task: resolve the (possibly proxied) image, run the
+/// segmentation model, optionally proxy the output through the same store
+/// the input proxy used (the paper's "two additional lines").
+Bytes defect_task(BytesView request_bytes) {
+  auto request = serde::from_bytes<DefectTaskRequest>(request_bytes);
+
+  std::optional<std::string> store_name;
+  Bytes image_bytes;
+  if (auto* raw = std::get_if<Bytes>(&request.image)) {
+    image_bytes = std::move(*raw);
+  } else {
+    auto& proxy = std::get<core::Proxy<Bytes>>(request.image);
+    store_name = proxy.factory().descriptor()->store_name;
+    image_bytes = *proxy;  // transparent, possibly remote, resolution
+  }
+  const auto image = serde::from_bytes<ml::Tensor>(image_bytes);
+
+  // Per-process model cache (models are loaded once per worker).
+  thread_local std::map<std::size_t, ml::Model> models;
+  const std::size_t size = image.dim(2);
+  auto it = models.find(size);
+  if (it == models.end()) {
+    Rng rng(7);
+    it = models.emplace(size, make_segmentation_model(size, rng)).first;
+  }
+
+  sim::vadvance(request.inference_cost_s);
+  const Segmentation segmentation = segment(it->second, image);
+  Bytes result_bytes = serde::to_bytes(segmentation);
+
+  DefectTaskResponse response;
+  if (request.proxy_output) {
+    if (!store_name) {
+      throw Error("defect task: proxied output requires a proxied input");
+    }
+    auto store = core::get_store(*store_name);
+    if (!store) throw Error("defect task: store not registered");
+    response.result = store->proxy(result_bytes);
+  } else {
+    response.result = std::move(result_bytes);
+  }
+  return serde::to_bytes(response);
+}
+
+const bool kRegistered = [] {
+  faas::FunctionRegistry::instance().register_function("defect-analysis",
+                                                       &defect_task);
+  return true;
+}();
+
+}  // namespace
+
+DefectReport run_defect_analysis(proc::Process& client_process,
+                                 faas::ComputeEndpoint& endpoint,
+                                 std::shared_ptr<core::Store> store,
+                                 const DefectConfig& config) {
+  (void)kRegistered;
+  if (config.mode != DefectMode::kBaseline && !store) {
+    throw Error("run_defect_analysis: proxied modes need a store");
+  }
+  proc::ProcessScope scope(client_process);
+  if (store) core::register_store(store, /*overwrite=*/true);
+  faas::Executor executor(faas::CloudService::connect(), endpoint.uuid());
+
+  Rng rng(config.seed);
+  DefectReport report;
+  double total_defect_pixels = 0.0;
+  for (std::size_t t = 0; t < config.tasks; ++t) {
+    const ml::Micrograph micrograph = ml::micrograph(
+        config.image_size, config.image_size, config.defects_per_image, rng);
+    const Bytes image_bytes = serde::to_bytes(micrograph.image);
+
+    sim::VtimeScope round_trip;
+    DefectTaskRequest request;
+    request.proxy_output = config.mode == DefectMode::kProxyBoth;
+    if (config.mode == DefectMode::kBaseline) {
+      request.image = image_bytes;
+    } else {
+      request.image = store->proxy(image_bytes);
+    }
+    faas::TaskFuture future =
+        executor.submit("defect-analysis", serde::to_bytes(request));
+    auto response = serde::from_bytes<DefectTaskResponse>(future.get());
+
+    Segmentation segmentation;
+    if (auto* raw = std::get_if<Bytes>(&response.result)) {
+      segmentation = serde::from_bytes<Segmentation>(*raw);
+    } else {
+      segmentation = serde::from_bytes<Segmentation>(
+          *std::get<core::Proxy<Bytes>>(response.result));
+    }
+    report.round_trip.add(round_trip.elapsed());
+    total_defect_pixels += static_cast<double>(segmentation.defect_pixels);
+  }
+  report.mean_defect_pixels =
+      total_defect_pixels / static_cast<double>(config.tasks);
+  return report;
+}
+
+}  // namespace ps::apps

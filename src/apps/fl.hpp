@@ -1,0 +1,71 @@
+// Federated learning application (paper section 5.5, Figure 10).
+//
+// A FLoX-like setup: an aggregator initializes a CNN classifier and uses
+// Globus Compute to orchestrate local training on NAT'd edge devices; the
+// edge-trained models are averaged into a new global model each round. Only
+// models cross the network. The experiment scales the model (number of
+// hidden blocks) and measures per-round transfer time:
+//   * baseline: model weights travel inside task payloads through the cloud
+//     and hard-fail above the 5 MB limit (~40 hidden blocks);
+//   * ProxyStore: weights travel by proxy through PS-endpoints on the edge
+//     devices; the cloud only carries tiny task descriptors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/store.hpp"
+#include "faas/cloud.hpp"
+#include "ml/data.hpp"
+#include "ml/model.hpp"
+
+namespace ps::apps {
+
+/// Builds the FL classifier: flatten -> dense(784, width) -> relu ->
+/// `hidden_blocks` x [dense(width, width) -> relu] -> dense(width, 10).
+ml::Model make_fl_model(std::size_t hidden_blocks, std::size_t width,
+                        Rng& rng);
+
+struct FlConfig {
+  std::size_t hidden_blocks = 4;
+  /// Width chosen so ~40 hidden blocks cross the 5 MB cloud payload limit.
+  std::size_t width = 168;
+  std::size_t devices = 4;
+  std::size_t rounds = 1;
+  /// Local training steps and batch size per device per round.
+  std::size_t local_steps = 2;
+  std::size_t batch_size = 16;
+  std::size_t samples_per_device = 64;
+  float learning_rate = 0.05f;
+  bool use_proxystore = false;
+  std::uint64_t seed = 13;
+};
+
+struct FlDevice {
+  proc::Process* process = nullptr;
+  std::unique_ptr<faas::ComputeEndpoint> endpoint;
+};
+
+struct FlReport {
+  /// Per-device, per-round model transfer time (aggregator -> device ->
+  /// aggregator, excluding local training compute).
+  Stats transfer_time;
+  /// Rounds that failed because the cloud rejected the payload.
+  std::size_t failed_rounds = 0;
+  /// Serialized model size (what actually crosses the network).
+  std::size_t model_bytes = 0;
+  double final_train_accuracy = 0.0;
+};
+
+/// Runs `config.rounds` federated rounds from `aggregator_process` over the
+/// given devices. When `config.use_proxystore` is set, `store` must be an
+/// EndpointStore spanning the aggregator's and every device's PS-endpoint
+/// (Figure 3's deployment); models then move peer-to-peer by proxy while
+/// the cloud carries only task descriptors.
+FlReport run_federated_learning(proc::Process& aggregator_process,
+                                std::vector<FlDevice>& devices,
+                                std::shared_ptr<core::Store> store,
+                                const FlConfig& config);
+
+}  // namespace ps::apps

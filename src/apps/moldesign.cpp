@@ -1,0 +1,245 @@
+#include "apps/moldesign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/queue.hpp"
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::apps {
+
+namespace {
+
+struct SimInput {
+  std::vector<float> features;
+  Bytes structure;  // bulky structure/basis payload
+
+  auto serde_members() { return std::tie(features, structure); }
+  auto serde_members() const { return std::tie(features, structure); }
+};
+
+struct SimOutput {
+  std::vector<float> features;
+  float ionization_potential = 0.0f;
+  Bytes trajectory;  // bulky trajectory payload
+
+  auto serde_members() {
+    return std::tie(features, ionization_potential, trajectory);
+  }
+  auto serde_members() const {
+    return std::tie(features, ionization_potential, trajectory);
+  }
+};
+
+struct MlInput {
+  std::vector<std::vector<float>> features;
+  std::vector<float> targets;
+
+  auto serde_members() { return std::tie(features, targets); }
+  auto serde_members() const { return std::tie(features, targets); }
+};
+
+}  // namespace
+
+MolDesignReport run_molecular_design(proc::Process& sim_process,
+                                     proc::Process* ml_process,
+                                     const MolDesignConfig& config) {
+  if (config.retrain_every > 0 && ml_process == nullptr) {
+    throw Error("run_molecular_design: ML arm needs an ml_process");
+  }
+  Rng rng(config.seed);
+
+  // Candidate set: enough molecules for the whole campaign.
+  const std::size_t total_tasks = config.nodes * config.tasks_per_node;
+  std::vector<ml::Molecule> candidates =
+      ml::molecules(total_tasks + 16, config.feature_dims, rng);
+
+  // Simulation arm.
+  workflow::EngineOptions sim_engine = config.engine;
+  sim_engine.workers = config.worker_threads;
+  sim_engine.nodes = config.nodes;
+  workflow::ColmenaApp sim_app(sim_process, sim_engine);
+  const double sim_cost = config.sim_cost_s;
+  const std::size_t traj_bytes = config.sim_result_bytes;
+  sim_app.register_function(
+      "simulate", [sim_cost, traj_bytes](const std::vector<Bytes>& inputs) {
+        const auto input = serde::from_bytes<SimInput>(inputs.at(0));
+        sim::vadvance(sim_cost);  // the DFT calculation occupies the node
+        SimOutput output;
+        output.features = input.features;
+        output.ionization_potential =
+            ml::simulate_ionization_potential(input.features);
+        output.trajectory = pattern_bytes(traj_bytes, 1);
+        return serde::to_bytes(output);
+      });
+  if (config.store) {
+    sim_app.register_store("simulate", config.store, config.proxy_threshold);
+  }
+
+  // ML arm (surrogate training + inference on the remote GPU).
+  std::unique_ptr<workflow::ColmenaApp> ml_app;
+  if (config.retrain_every > 0) {
+    workflow::EngineOptions ml_engine = config.engine;
+    ml_engine.workers = 1;
+    ml_engine.nodes = 1;
+    ml_app = std::make_unique<workflow::ColmenaApp>(*ml_process, ml_engine);
+    const std::size_t dims = config.feature_dims;
+    ml_app->register_function(
+        "train", [dims](const std::vector<Bytes>& inputs) {
+          const auto data = serde::from_bytes<MlInput>(inputs.at(0));
+          Rng init_rng(3);
+          ml::Model surrogate;
+          surrogate.add(std::make_unique<ml::Dense>(dims, 64, init_rng));
+          surrogate.add(std::make_unique<ml::ReLU>());
+          surrogate.add(std::make_unique<ml::Dense>(64, 1, init_rng));
+          ml::Tensor x({data.features.size(), dims});
+          for (std::size_t i = 0; i < data.features.size(); ++i) {
+            std::copy(data.features[i].begin(), data.features[i].end(),
+                      x.data() + i * dims);
+          }
+          for (int epoch = 0; epoch < 10; ++epoch) {
+            surrogate.zero_gradients();
+            const ml::Tensor out = surrogate.forward(x);
+            auto [loss, grad] = ml::mse_loss(out, data.targets);
+            surrogate.backward(grad);
+            surrogate.sgd_step(0.01f);
+          }
+          sim::vadvance(2.0);  // GPU training time
+          return surrogate.serialize();
+        });
+    ml_app->register_function(
+        "infer", [dims](const std::vector<Bytes>& inputs) {
+          ml::Model surrogate = ml::Model::deserialize(inputs.at(0));
+          const auto data = serde::from_bytes<MlInput>(inputs.at(1));
+          ml::Tensor x({data.features.size(), dims});
+          for (std::size_t i = 0; i < data.features.size(); ++i) {
+            std::copy(data.features[i].begin(), data.features[i].end(),
+                      x.data() + i * dims);
+          }
+          const ml::Tensor out = surrogate.forward(x);
+          sim::vadvance(0.5);  // GPU inference time
+          std::vector<float> scores(out.size());
+          for (std::size_t i = 0; i < out.size(); ++i) scores[i] = out.at(i);
+          return serde::to_bytes(scores);
+        });
+    if (config.store) {
+      ml_app->register_store("train", config.store, config.proxy_threshold);
+      ml_app->register_store("infer", config.store, config.proxy_threshold);
+    }
+  }
+
+  const auto submit_candidate = [&](std::size_t index) {
+    SimInput input;
+    input.features = candidates[index].features;
+    input.structure = pattern_bytes(config.sim_input_bytes, index);
+    sim_app.submit("simulate", "simulate", {serde::to_bytes(input)});
+  };
+
+  MolDesignReport report;
+  Rng jitter_rng(config.seed ^ 0x5151ULL);
+  std::size_t next_candidate = 0;
+  const double start_vtime = sim::vnow();
+
+  // The ML arm runs as its own Thinker agent (Colmena Thinkers are
+  // multi-agent): it trains the surrogate and runs inference on dataset
+  // snapshots without stalling the simulation-steering loop.
+  struct MlSnapshot {
+    MlInput dataset;
+    MlInput pool;
+    double stamp = 0.0;
+  };
+  Queue<MlSnapshot> ml_queue(4);
+  std::thread ml_agent;
+  std::atomic<std::size_t> ml_rounds{0};
+  if (ml_app) {
+    proc::Process* thinker_process = &proc::current_process();
+    workflow::ColmenaApp* ml = ml_app.get();
+    ml_agent = std::thread([ml, &ml_queue, &ml_rounds, thinker_process] {
+      proc::ProcessScope scope(*thinker_process);
+      while (auto snapshot = ml_queue.pop()) {
+        sim::vmerge(snapshot->stamp);
+        ml->submit("train", "train", {serde::to_bytes(snapshot->dataset)});
+        const workflow::TaskResult trained = ml->get_result();
+        if (trained.failed() || snapshot->pool.features.empty()) continue;
+        ml->submit("infer", "infer",
+                   {trained.bytes(), serde::to_bytes(snapshot->pool)});
+        ml->get_result();
+        ml_rounds.fetch_add(1);
+      }
+    });
+  }
+
+  // Keep all nodes fed initially.
+  for (std::size_t i = 0; i < config.nodes && next_candidate < total_tasks;
+       ++i) {
+    submit_candidate(next_candidate++);
+  }
+
+  MlInput accumulated;
+  std::size_t since_retrain = 0;
+  float best_ip = -1e30f;
+
+  for (std::size_t completed = 0; completed < total_tasks; ++completed) {
+    const workflow::TaskResult result = sim_app.get_result();
+    if (result.failed()) throw Error("simulation failed: " + result.error);
+
+    // Serial result processing in the Thinker: parse the record, update
+    // the campaign state. Bytes carried in-band through the workflow
+    // system cost deserialization bandwidth; a proxied result arrives as a
+    // lightweight reference and its trajectory stays in the store until
+    // someone needs it.
+    const std::size_t in_band_bytes =
+        std::holds_alternative<Bytes>(result.value)
+            ? std::get<Bytes>(result.value).size()
+            : 0;
+    const auto output = serde::from_bytes<SimOutput>(result.bytes());
+    const double processing =
+        config.processing_base_s +
+        static_cast<double>(in_band_bytes) / config.processing_Bps +
+        jitter_rng.uniform(0.0, 0.01);
+    sim::vadvance(processing);
+    report.result_processing.add(processing);
+
+    best_ip = std::max(best_ip, output.ionization_potential);
+    accumulated.features.push_back(output.features);
+    accumulated.targets.push_back(output.ionization_potential);
+    ++since_retrain;
+
+    // Steering: dispatch the next simulation immediately.
+    if (next_candidate < total_tasks) submit_candidate(next_candidate++);
+
+    // Periodic surrogate retrain + inference round on the remote GPU,
+    // handed to the ML agent (non-blocking for the steering loop).
+    if (ml_app && since_retrain >= config.retrain_every) {
+      since_retrain = 0;
+      MlSnapshot snapshot;
+      snapshot.dataset = accumulated;
+      for (std::size_t i = next_candidate;
+           i < std::min(next_candidate + 16, candidates.size()); ++i) {
+        snapshot.pool.features.push_back(candidates[i].features);
+        snapshot.pool.targets.push_back(0.0f);
+      }
+      snapshot.stamp = sim::vnow();
+      ml_queue.try_push(std::move(snapshot));  // drop if the agent lags
+    }
+  }
+
+  if (ml_agent.joinable()) {
+    ml_queue.close();
+    ml_agent.join();
+  }
+  report.ml_rounds = ml_rounds.load();
+  report.simulations_completed = total_tasks;
+  report.best_ip = best_ip;
+  const double makespan =
+      std::max(sim_app.last_task_done(), sim::vnow()) - start_vtime;
+  report.makespan_s = makespan;
+  report.node_utilization =
+      sim_app.node_busy_time() /
+      (static_cast<double>(config.nodes) * std::max(makespan, 1e-9));
+  return report;
+}
+
+}  // namespace ps::apps

@@ -1,0 +1,76 @@
+// Molecular design application (paper section 5.6, Figure 11).
+//
+// An AI-guided simulation campaign: quantum-chemistry-like "simulation"
+// tasks compute ionization potentials on CPU nodes; "training" tasks fit a
+// surrogate model and "inference" tasks rank the remaining candidates on a
+// remote GPU node behind a different NAT. A Colmena-like Thinker steers the
+// loop, processing each simulation result serially before dispatching the
+// next simulation.
+//
+// Without ProxyStore, bulky task data (simulation trajectories, training
+// sets, model weights) flows through the workflow pipeline and the serial
+// Thinker, which stops keeping nodes fed as the node count grows. With a
+// MultiConnector (RedisConnector intra-site for simulations,
+// EndpointConnector to the GPU site for ML tasks), only tiny proxies cross
+// the pipeline.
+#pragma once
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "core/store.hpp"
+#include "ml/data.hpp"
+#include "ml/model.hpp"
+#include "workflow/colmena.hpp"
+
+namespace ps::apps {
+
+struct MolDesignConfig {
+  std::size_t nodes = 64;
+  /// Real threads driving the virtual nodes.
+  std::size_t worker_threads = 8;
+  /// Simulation tasks executed per node (campaign length scales with
+  /// nodes so utilization is comparable across scales).
+  std::size_t tasks_per_node = 3;
+  /// Virtual cost of one ionization-potential simulation (DFT on KNL).
+  double sim_cost_s = 150.0;
+  /// Bulky per-simulation trajectory payload attached to each result.
+  std::size_t sim_result_bytes = 500'000;
+  /// Simulation input structure payload.
+  std::size_t sim_input_bytes = 100'000;
+  /// Thinker-side result bookkeeping before dispatching the next task.
+  double processing_base_s = 0.19;
+  /// Thinker-side deserialization bandwidth over bytes carried in-band.
+  double processing_Bps = 7.5e6;
+  /// Surrogate training cadence (every N simulation results); 0 disables
+  /// the ML arm.
+  std::size_t retrain_every = 0;
+  /// Molecular feature dimensionality.
+  std::size_t feature_dims = 32;
+  std::uint64_t seed = 99;
+  /// Proxy simulation payloads through `store` when set.
+  std::shared_ptr<core::Store> store;
+  std::size_t proxy_threshold = 10'000;
+  workflow::EngineOptions engine;
+};
+
+struct MolDesignReport {
+  /// busy / (nodes * makespan) over the campaign.
+  double node_utilization = 0.0;
+  /// Per-result serial processing time in the Thinker.
+  Stats result_processing;
+  std::size_t simulations_completed = 0;
+  /// Best ionization potential discovered (sanity: the campaign works).
+  float best_ip = 0.0f;
+  double makespan_s = 0.0;
+  std::size_t ml_rounds = 0;
+};
+
+/// Runs the campaign. The Thinker runs on the calling process;
+/// `sim_process` hosts the simulation workers, and `ml_process` (may be
+/// null when retrain_every == 0) the GPU worker.
+MolDesignReport run_molecular_design(proc::Process& sim_process,
+                                     proc::Process* ml_process,
+                                     const MolDesignConfig& config);
+
+}  // namespace ps::apps

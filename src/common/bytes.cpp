@@ -1,0 +1,95 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+// splitmix64: tiny deterministic generator for pattern fills.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Bytes pattern_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes out;
+  out.resize(n);
+  std::uint64_t state = seed ^ 0xa5a5a5a5deadbeefULL;
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; b < 8; ++b) {
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<char>((word >> (8 * b)) & 0xff);
+    }
+    i += 8;
+  }
+  if (i < n) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; i < n; ++i, ++b) {
+      out[i] = static_cast<char>((word >> (8 * b)) & 0xff);
+    }
+  }
+  return out;
+}
+
+bool check_pattern(BytesView data, std::uint64_t seed) {
+  return Bytes(data) == pattern_bytes(data.size(), seed);
+}
+
+std::string format_bytes(double n) {
+  static constexpr std::array<const char*, 6> kUnits = {"B",   "KiB", "MiB",
+                                                        "GiB", "TiB", "PiB"};
+  std::size_t unit = 0;
+  while (n >= 1024.0 && unit + 1 < kUnits.size()) {
+    n /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", n, kUnits[unit]);
+  return buf;
+}
+
+std::size_t parse_size(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == '.')) {
+    ++pos;
+  }
+  if (pos == 0) throw std::invalid_argument("parse_size: no digits");
+  const double value = std::stod(std::string(text.substr(0, pos)));
+  std::string suffix(text.substr(pos));
+  while (!suffix.empty() && suffix.front() == ' ') suffix.erase(0, 1);
+  double mult = 1;
+  if (suffix.empty() || suffix == "B") {
+    mult = 1;
+  } else if (suffix == "KB" || suffix == "K" || suffix == "kB") {
+    mult = 1e3;
+  } else if (suffix == "MB" || suffix == "M") {
+    mult = 1e6;
+  } else if (suffix == "GB" || suffix == "G") {
+    mult = 1e9;
+  } else if (suffix == "KiB") {
+    mult = 1024;
+  } else if (suffix == "MiB") {
+    mult = 1024.0 * 1024;
+  } else if (suffix == "GiB") {
+    mult = 1024.0 * 1024 * 1024;
+  } else {
+    throw std::invalid_argument("parse_size: bad suffix '" + suffix + "'");
+  }
+  return static_cast<std::size_t>(std::llround(value * mult));
+}
+
+}  // namespace ps

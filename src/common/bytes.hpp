@@ -1,0 +1,38 @@
+// Byte-string type and helpers.
+//
+// ProxyStore connectors operate on opaque byte strings (paper section 3.4).
+// We model byte strings as std::string for cheap copy-on-write-free moves,
+// ubiquitous library support, and easy embedding of binary data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps {
+
+/// Opaque binary payload exchanged with connectors.
+using Bytes = std::string;
+
+/// View over a binary payload (non-owning).
+using BytesView = std::string_view;
+
+/// Creates a payload of `n` bytes filled with a deterministic pattern derived
+/// from `seed`. Used by tests and benchmark workload generators so payload
+/// contents are reproducible and verifiable after a round trip.
+Bytes pattern_bytes(std::size_t n, std::uint64_t seed = 0);
+
+/// Returns true if `data` matches the pattern produced by
+/// `pattern_bytes(data.size(), seed)`.
+bool check_pattern(BytesView data, std::uint64_t seed = 0);
+
+/// Formats a byte count with binary units ("1.5 MiB").
+std::string format_bytes(double n);
+
+/// Parses strings like "10B", "1KB", "100MB", "1GB" (decimal powers,
+/// matching the payload axes used in the paper's figures).
+std::size_t parse_size(std::string_view text);
+
+}  // namespace ps

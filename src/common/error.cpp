@@ -1,0 +1,11 @@
+#include "common/error.hpp"
+
+// The hierarchy is header-only; this TU anchors the vtables so typeinfo is
+// emitted exactly once.
+namespace ps {
+namespace {
+[[maybe_unused]] void anchor() {
+  (void)sizeof(Error);
+}
+}  // namespace
+}  // namespace ps

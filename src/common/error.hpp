@@ -1,0 +1,77 @@
+// Exception hierarchy for ProxyStore-C++.
+//
+// Recoverable absence (a key not found on get/exists) is reported through
+// std::optional / bool returns; exceptional failures (protocol violations,
+// transfer failures, misconfiguration) are reported through this hierarchy,
+// mirroring the Python implementation's error surface.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ps {
+
+/// Root of all ProxyStore-C++ errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialization / deserialization failure (corrupt payload, type mismatch).
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A connector operation failed (backend unreachable, bad key, closed store).
+class ConnectorError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A bulk transfer task failed or was cancelled (GlobusConnector semantics:
+/// "a proxy will ... raise an error if there is a Globus transfer failure").
+class TransferError : public ConnectorError {
+ public:
+  using ConnectorError::ConnectorError;
+};
+
+/// MultiConnector found no connector policy matching the put constraints
+/// (paper section 4.3: "If no match is found then an error is raised").
+class NoPolicyMatchError : public ConnectorError {
+ public:
+  using ConnectorError::ConnectorError;
+};
+
+/// A proxy could not be resolved (missing object, dead factory).
+class ProxyResolutionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Peer / relay protocol violation (endpoint substrate).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An operation exceeded its deadline.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// FaaS task payload exceeded the cloud service limit (the paper's 5 MB
+/// Globus Compute payload ceiling).
+class PayloadTooLargeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A named service/store/endpoint was not found in a registry.
+class NotRegisteredError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ps

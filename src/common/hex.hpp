@@ -1,0 +1,16 @@
+// Hex encoding helpers.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ps {
+
+/// Lowercase hex encoding of a byte string.
+std::string to_hex(BytesView data);
+
+/// Inverse of to_hex. Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace ps

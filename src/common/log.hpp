@@ -1,0 +1,58 @@
+// Minimal leveled, thread-safe logger. Off (warn-level) by default so tests
+// and benchmarks stay quiet; substrates log connection events at debug level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] component: message") to stderr under a lock.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const std::string& component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_message(level, component, os.str());
+}
+
+template <typename... Args>
+void log_debug(const std::string& component, const Args&... args) {
+  log(LogLevel::kDebug, component, args...);
+}
+
+template <typename... Args>
+void log_info(const std::string& component, const Args&... args) {
+  log(LogLevel::kInfo, component, args...);
+}
+
+template <typename... Args>
+void log_warn(const std::string& component, const Args&... args) {
+  log(LogLevel::kWarn, component, args...);
+}
+
+template <typename... Args>
+void log_error(const std::string& component, const Args&... args) {
+  log(LogLevel::kError, component, args...);
+}
+
+}  // namespace ps

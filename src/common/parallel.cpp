@@ -1,0 +1,60 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace ps {
+
+std::size_t parallel_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+void parallel_for_blocks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t grain = std::max<std::size_t>(min_grain, 1);
+  const std::size_t max_blocks = (n + grain - 1) / grain;
+  const std::size_t workers = std::min(parallel_workers(), max_blocks);
+
+  if (workers <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t min_grain) {
+  parallel_for_blocks(
+      begin, end,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      min_grain);
+}
+
+}  // namespace ps

@@ -1,0 +1,17 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ps {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::shuffle(all.begin(), all.end(), engine_);
+  all.resize(std::min(n, k));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace ps

@@ -1,0 +1,66 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace ps {
+
+void Stats::add(double x) { samples_.push_back(x); }
+
+double Stats::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Stats::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Stats::stdev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Stats::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<double> Stats::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double Stats::median() const { return percentile(50.0); }
+
+double Stats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  const auto s = sorted();
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+std::string Stats::mean_pm_stdev(double scale, int precision) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, mean() * scale,
+                precision, stdev() * scale);
+  return buf;
+}
+
+}  // namespace ps

@@ -1,0 +1,35 @@
+// Streaming statistics accumulator used by the benchmark harnesses to report
+// mean ± stdev / median rows matching the paper's tables and error bars.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ps {
+
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stdev() const;  // sample standard deviation
+  double min() const;
+  double max() const;
+  double median() const;
+  double percentile(double p) const;  // p in [0, 100]
+  double sum() const;
+
+  /// "123.4 ± 5.6" formatted with the given unit scale (e.g. 1e3 for ms
+  /// when samples are seconds).
+  std::string mean_pm_stdev(double scale = 1.0, int precision = 1) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> sorted() const;
+  std::vector<double> samples_;
+};
+
+}  // namespace ps

@@ -1,0 +1,77 @@
+#include "common/uuid.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <stdexcept>
+
+namespace ps {
+
+namespace {
+
+std::uint64_t random_u64() {
+  // A process-global counter mixed with random_device seeding gives unique,
+  // cheap identifiers without locking a shared engine.
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  std::uint64_t z = seed + counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                             std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("Uuid::parse: bad digit");
+}
+
+}  // namespace
+
+Uuid Uuid::random() {
+  std::uint64_t hi = random_u64();
+  std::uint64_t lo = random_u64();
+  // Stamp version 4 / variant 1 bits for plausibility.
+  hi = (hi & ~0xf000ULL) | 0x4000ULL;
+  lo = (lo & ~(0xc0ULL << 56)) | (0x80ULL << 56);
+  return Uuid(hi, lo);
+}
+
+std::string Uuid::str() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi_ >> 32),
+                static_cast<unsigned>((hi_ >> 16) & 0xffff),
+                static_cast<unsigned>(hi_ & 0xffff),
+                static_cast<unsigned>(lo_ >> 48),
+                static_cast<unsigned long long>(lo_ & 0xffffffffffffULL));
+  return buf;
+}
+
+Uuid Uuid::parse(std::string_view text) {
+  if (text.size() != 36 || text[8] != '-' || text[13] != '-' ||
+      text[18] != '-' || text[23] != '-') {
+    throw std::invalid_argument("Uuid::parse: malformed UUID");
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  int count = 0;
+  for (const char c : text) {
+    if (c == '-') continue;
+    const std::uint64_t n = static_cast<std::uint64_t>(nibble(c));
+    if (count < 16) {
+      hi = (hi << 4) | n;
+    } else {
+      lo = (lo << 4) | n;
+    }
+    ++count;
+  }
+  return Uuid(hi, lo);
+}
+
+}  // namespace ps

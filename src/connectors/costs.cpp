@@ -1,0 +1,30 @@
+#include "connectors/costs.hpp"
+
+#include "sim/vtime.hpp"
+
+namespace ps::connectors {
+
+proc::World& current_world() { return proc::current_process().world(); }
+
+const std::string& current_host() { return proc::current_process().host(); }
+
+void charge_mem(std::size_t bytes) {
+  sim::vadvance(current_world().fabric().mem_copy_time(current_host(), bytes));
+}
+
+void charge_disk_write(std::size_t bytes) {
+  sim::vadvance(
+      current_world().fabric().disk_write_time(current_host(), bytes));
+}
+
+void charge_disk_read(std::size_t bytes) {
+  sim::vadvance(
+      current_world().fabric().disk_read_time(current_host(), bytes));
+}
+
+void charge_transfer(const std::string& from, const std::string& to,
+                     std::size_t bytes) {
+  sim::vadvance(current_world().fabric().transfer_time(from, to, bytes));
+}
+
+}  // namespace ps::connectors

@@ -1,0 +1,34 @@
+// Virtual-time cost charging helpers shared by connector implementations.
+//
+// Connectors execute the real data path and additionally charge the calling
+// thread's virtual clock with the modeled cost of the operation given the
+// current process's fabric host. Unit tests run in the default world where
+// all costs are tiny; benchmark harnesses build paper-calibrated fabrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "proc/process.hpp"
+#include "proc/world.hpp"
+
+namespace ps::connectors {
+
+/// The world of the calling thread's current process.
+proc::World& current_world();
+
+/// The fabric host of the calling thread's current process.
+const std::string& current_host();
+
+/// Charges an in-memory staging copy of `bytes` on the current host.
+void charge_mem(std::size_t bytes);
+
+/// Charges a file-system write / read of `bytes` on the current host.
+void charge_disk_write(std::size_t bytes);
+void charge_disk_read(std::size_t bytes);
+
+/// Charges a one-way network transfer between two fabric hosts.
+void charge_transfer(const std::string& from, const std::string& to,
+                     std::size_t bytes);
+
+}  // namespace ps::connectors

@@ -1,0 +1,57 @@
+#include "connectors/distributed.hpp"
+
+#include "common/uuid.hpp"
+
+namespace ps::connectors {
+
+DistributedInMemoryConnector::DistributedInMemoryConnector(
+    std::string transport_name, std::string store_id)
+    : transport_name_(std::move(transport_name)),
+      store_id_(std::move(store_id)),
+      client_(store_id_, rpc::transport_by_name(transport_name_)) {}
+
+core::ConnectorConfig DistributedInMemoryConnector::config() const {
+  return core::ConnectorConfig{.type = transport_name_,
+                               .params = {{"store_id", store_id_}}};
+}
+
+core::ConnectorTraits DistributedInMemoryConnector::traits() const {
+  return core::ConnectorTraits{.storage = "memory",
+                               .intra_site = true,
+                               .inter_site = false,
+                               .persistent = false};
+}
+
+core::Key DistributedInMemoryConnector::put(BytesView data) {
+  core::Key key{.object_id = Uuid::random().str(), .meta = {}};
+  key.meta["host"] = client_.put(key.object_id, data);
+  return key;
+}
+
+std::optional<Bytes> DistributedInMemoryConnector::get(const core::Key& key) {
+  return client_.get(key.field("host"), key.object_id);
+}
+
+bool DistributedInMemoryConnector::exists(const core::Key& key) {
+  return client_.exists(key.field("host"), key.object_id);
+}
+
+void DistributedInMemoryConnector::evict(const core::Key& key) {
+  client_.evict(key.field("host"), key.object_id);
+}
+
+namespace {
+core::ConnectorRegistry::FactoryFn make_factory(const std::string& transport) {
+  return [transport](const core::ConnectorConfig& cfg) {
+    return std::static_pointer_cast<core::Connector>(
+        std::make_shared<DistributedInMemoryConnector>(
+            transport, cfg.param("store_id")));
+  };
+}
+
+const core::ConnectorRegistration kMargo("margo", make_factory("margo"));
+const core::ConnectorRegistration kUcx("ucx", make_factory("ucx"));
+const core::ConnectorRegistration kZmq("zmq", make_factory("zmq"));
+}  // namespace
+
+}  // namespace ps::connectors

@@ -1,0 +1,61 @@
+// Distributed in-memory connectors (paper section 4.1.3).
+//
+// MargoConnector, UCXConnector, and ZMQConnector share one implementation
+// differing only in transport profile: each node's first connector spawns a
+// local storage server; objects stay on the producing node and consumers
+// fetch them via RPC over the chosen transport. The store is elastic —
+// servers appear as proxies reach new nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/connector.hpp"
+#include "rpc/peer_store.hpp"
+
+namespace ps::connectors {
+
+class DistributedInMemoryConnector : public core::Connector {
+ public:
+  /// `transport_name` in {"margo", "ucx", "zmq"}. `store_id` names the
+  /// distributed store; connectors with the same id share objects.
+  DistributedInMemoryConnector(std::string transport_name,
+                               std::string store_id);
+
+  std::string type() const override { return transport_name_; }
+  core::ConnectorConfig config() const override;
+  core::ConnectorTraits traits() const override;
+
+  core::Key put(BytesView data) override;
+  std::optional<Bytes> get(const core::Key& key) override;
+  bool exists(const core::Key& key) override;
+  void evict(const core::Key& key) override;
+
+  const std::string& store_id() const { return store_id_; }
+
+ private:
+  std::string transport_name_;
+  std::string store_id_;
+  rpc::PeerStoreClient client_;
+};
+
+/// Convenience aliases matching the paper's connector names.
+class MargoConnector : public DistributedInMemoryConnector {
+ public:
+  explicit MargoConnector(std::string store_id)
+      : DistributedInMemoryConnector("margo", std::move(store_id)) {}
+};
+
+class UCXConnector : public DistributedInMemoryConnector {
+ public:
+  explicit UCXConnector(std::string store_id)
+      : DistributedInMemoryConnector("ucx", std::move(store_id)) {}
+};
+
+class ZMQConnector : public DistributedInMemoryConnector {
+ public:
+  explicit ZMQConnector(std::string store_id)
+      : DistributedInMemoryConnector("zmq", std::move(store_id)) {}
+};
+
+}  // namespace ps::connectors

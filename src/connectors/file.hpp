@@ -1,0 +1,38 @@
+// FileConnector (paper section 4.1.1): mediated communication via a shared
+// file system. Objects are written as files under a data directory; the
+// connector performs real file I/O and charges the modeled parallel-file-
+// system cost of the current host.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/connector.hpp"
+
+namespace ps::connectors {
+
+class FileConnector : public core::Connector {
+ public:
+  /// `store_dir` is created if needed.
+  explicit FileConnector(std::filesystem::path store_dir);
+
+  std::string type() const override { return "file"; }
+  core::ConnectorConfig config() const override;
+  core::ConnectorTraits traits() const override;
+
+  core::Key put(BytesView data) override;
+  std::optional<Bytes> get(const core::Key& key) override;
+  bool exists(const core::Key& key) override;
+  void evict(const core::Key& key) override;
+  bool put_at(const core::Key& key, BytesView data) override;
+  core::Key reserve_key() override;
+
+  const std::filesystem::path& store_dir() const { return store_dir_; }
+
+ private:
+  std::filesystem::path path_for(const core::Key& key) const;
+
+  std::filesystem::path store_dir_;
+};
+
+}  // namespace ps::connectors

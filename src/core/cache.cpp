@@ -1,0 +1,72 @@
+#include "core/cache.hpp"
+
+namespace ps::core {
+
+ObjectCache::ObjectCache(std::size_t capacity) : capacity_(capacity) {}
+
+void ObjectCache::insert(const std::string& key, std::type_index type,
+                         std::shared_ptr<const void> value) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, type, std::move(value)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::pair<std::type_index, std::shared_ptr<const void>> ObjectCache::lookup(
+    const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return {std::type_index(typeid(void)), nullptr};
+  }
+  ++hits_;
+  // Refresh LRU position.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return {it->second->type, it->second->value};
+}
+
+bool ObjectCache::contains(const std::string& key) const {
+  std::lock_guard lock(mu_);
+  return index_.contains(key);
+}
+
+void ObjectCache::erase(const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void ObjectCache::clear() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t ObjectCache::size() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+std::size_t ObjectCache::hits() const {
+  std::lock_guard lock(mu_);
+  return hits_;
+}
+
+std::size_t ObjectCache::misses() const {
+  std::lock_guard lock(mu_);
+  return misses_;
+}
+
+}  // namespace ps::core

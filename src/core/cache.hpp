@@ -1,0 +1,68 @@
+// LRU cache of deserialized objects.
+//
+// The Store caches *after* deserialization "to avoid duplicate
+// deserializations" (paper section 3.5). Values are type-erased shared
+// pointers tagged with their type so a mistyped lookup misses rather than
+// aliasing.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+namespace ps::core {
+
+class ObjectCache {
+ public:
+  /// `capacity` = maximum number of cached objects (LRU eviction).
+  /// Zero disables caching entirely.
+  explicit ObjectCache(std::size_t capacity = 16);
+
+  /// Inserts (or refreshes) `value` under `key`.
+  template <typename T>
+  void put(const std::string& key, std::shared_ptr<const T> value) {
+    insert(key, std::type_index(typeid(T)), std::move(value));
+  }
+
+  /// Returns the cached object if present *and* of type T; refreshes LRU.
+  template <typename T>
+  std::shared_ptr<const T> get(const std::string& key) {
+    auto [type, value] = lookup(key);
+    if (!value || type != std::type_index(typeid(T))) return nullptr;
+    return std::static_pointer_cast<const T>(value);
+  }
+
+  bool contains(const std::string& key) const;
+  void erase(const std::string& key);
+  void clear();
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::type_index type;
+    std::shared_ptr<const void> value;
+  };
+
+  void insert(const std::string& key, std::type_index type,
+              std::shared_ptr<const void> value);
+  std::pair<std::type_index, std::shared_ptr<const void>> lookup(
+      const std::string& key);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ps::core

@@ -1,0 +1,86 @@
+// Factories (paper section 3.3).
+//
+// A factory is a callable that returns the proxy's target object. Factories
+// created by a Store are *self-contained*: their serializable descriptor
+// carries the store name, the object key, and the connector config, so a
+// proxy shipped to another process can re-create the store and connector
+// there and resolve the target without any out-of-band state.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "core/connector.hpp"
+#include "core/key.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::core {
+
+/// Serializable payload of a store-backed factory. This is the entirety of
+/// what crosses process boundaries when a proxy is communicated.
+struct FactoryDescriptor {
+  std::string store_name;
+  Key key;
+  ConnectorConfig connector;
+  /// Evict the object from the channel after the first resolve
+  /// (Store.proxy(evict=True) semantics).
+  bool evict = false;
+  /// Data-flow semantics (I-structures, paper section 6): when > 0, a
+  /// resolve of a not-yet-written object polls every `poll_interval_s`
+  /// virtual seconds, up to `max_polls` times, instead of failing.
+  double poll_interval_s = 0.0;
+  std::uint32_t max_polls = 0;
+  /// Wide-area reference counting (paper section 6): each resolve
+  /// decrements the store's shared counter for this key; the final
+  /// reference evicts the object from the channel.
+  bool ref_counted = false;
+
+  bool operator==(const FactoryDescriptor&) const = default;
+
+  auto serde_members() {
+    return std::tie(store_name, key, connector, evict, poll_interval_s,
+                    max_polls, ref_counted);
+  }
+  auto serde_members() const {
+    return std::tie(store_name, key, connector, evict, poll_interval_s,
+                    max_polls, ref_counted);
+  }
+};
+
+/// A lazy producer of T. Factories are copyable; store-backed factories
+/// additionally carry their descriptor and therefore serialize.
+template <typename T>
+class Factory {
+ public:
+  Factory() = default;
+
+  /// Ad-hoc factory from any callable (not serializable).
+  explicit Factory(std::function<T()> fn) : fn_(std::move(fn)) {}
+
+  /// Store-backed factory: callable plus its serializable descriptor.
+  Factory(std::function<T()> fn, FactoryDescriptor descriptor)
+      : fn_(std::move(fn)), descriptor_(std::move(descriptor)) {}
+
+  /// Resolves the target object.
+  T operator()() const {
+    if (!fn_) {
+      throw ProxyResolutionError("Factory: empty factory invoked");
+    }
+    return fn_();
+  }
+
+  bool valid() const { return static_cast<bool>(fn_); }
+
+  /// Present only for store-backed factories.
+  const std::optional<FactoryDescriptor>& descriptor() const {
+    return descriptor_;
+  }
+
+ private:
+  std::function<T()> fn_;
+  std::optional<FactoryDescriptor> descriptor_;
+};
+
+}  // namespace ps::core

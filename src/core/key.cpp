@@ -1,0 +1,27 @@
+#include "core/key.hpp"
+
+#include "common/error.hpp"
+
+namespace ps::core {
+
+std::string Key::canonical() const {
+  std::string out = object_id;
+  for (const auto& [k, v] : meta) {
+    out += '|';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+const std::string& Key::field(const std::string& name) const {
+  const auto it = meta.find(name);
+  if (it == meta.end()) {
+    throw ConnectorError("Key '" + object_id + "' missing metadata field '" +
+                         name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace ps::core

@@ -1,0 +1,37 @@
+// Object keys.
+//
+// A Connector's put returns "a uniquely identifying key (a tuple of
+// metadata)" (paper section 3.4). Keys carry an object id plus
+// connector-specific metadata — e.g. the GlobusConnector's (object_id,
+// transfer_task_id) or the EndpointConnector's (object_id, endpoint_id).
+#pragma once
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "serde/serde.hpp"
+
+namespace ps::core {
+
+struct Key {
+  /// Unique object identifier (typically a UUID string).
+  std::string object_id;
+  /// Connector-specific metadata fields.
+  std::map<std::string, std::string> meta;
+
+  /// Stable string used for cache indexing and logging.
+  std::string canonical() const;
+
+  /// Metadata accessor that throws ConnectorError on missing fields,
+  /// producing a clearer error than map::at.
+  const std::string& field(const std::string& name) const;
+
+  bool operator==(const Key&) const = default;
+  auto operator<=>(const Key&) const = default;
+
+  auto serde_members() { return std::tie(object_id, meta); }
+  auto serde_members() const { return std::tie(object_id, meta); }
+};
+
+}  // namespace ps::core

@@ -1,0 +1,140 @@
+// Transparent, lazy object proxies (paper section 3.3).
+//
+// A Proxy<T> behaves like a T wherever a `const T&` is accepted — the
+// implicit conversion operator forwards consumer code to the resolved
+// target with no shims, which is the transparency property the paper's
+// programming model rests on. Resolution is lazy (first access), cached,
+// thread-safe, and can be overlapped with computation via resolve_async
+// (used by the paper's 1 s-sleep experiments).
+//
+// Copying a proxy shares the resolution state (like Python references);
+// serializing a proxy writes only its factory descriptor, never the target,
+// so proxies stay small on the wire and remain resolvable after crossing a
+// process boundary. The serde codec lives in store.hpp, which binds
+// descriptors back to stores.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/error.hpp"
+#include "core/factory.hpp"
+#include "proc/process.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::core {
+
+template <typename T>
+class Proxy {
+ public:
+  /// Creates an unresolved proxy over `factory`.
+  explicit Proxy(Factory<T> factory)
+      : state_(std::make_shared<State>(std::move(factory))) {
+    if (!state_->factory.valid()) {
+      throw ProxyResolutionError("Proxy: factory is empty");
+    }
+  }
+
+  // -- transparency ----------------------------------------------------------
+
+  /// Implicit conversion: pass a Proxy<T> anywhere a const T& is expected.
+  operator const T&() const { return resolve(); }  // NOLINT(google-explicit-*)
+
+  const T& operator*() const { return resolve(); }
+  const T* operator->() const { return &resolve(); }
+
+  // -- resolution ------------------------------------------------------------
+
+  /// Resolves (if needed) and returns the cached target.
+  const T& resolve() const {
+    ensure_resolved();
+    return *state_->target;
+  }
+
+  /// True once the target has been materialized locally.
+  bool resolved() const {
+    std::lock_guard lock(state_->mu);
+    return state_->target.has_value();
+  }
+
+  /// Begins resolving on a background thread; returns immediately.
+  /// Idempotent. The eventual wait (resolve()/await_async()) merges the
+  /// resolver's virtual time so communication overlaps computation.
+  void resolve_async() const {
+    std::lock_guard lock(state_->mu);
+    if (state_->target.has_value() || state_->async.valid()) return;
+    auto state = state_;
+    const sim::SimTime start_vtime = sim::vnow();
+    proc::Process* process = &proc::current_process();
+    state_->async =
+        std::async(std::launch::async, [state, start_vtime, process] {
+          proc::ProcessScope scope(*process);
+          sim::vset(start_vtime);
+          state->resolve_locked_free();
+          std::lock_guard lock(state->mu);
+          state->async_done_vtime = sim::vnow();
+        }).share();
+  }
+
+  /// Waits for a pending async resolve (or resolves inline).
+  const T& await_async() const { return resolve(); }
+
+  /// Mutable access to the *local copy* of the target. Mutations affect
+  /// only this process's materialized copy — pass-by-value semantics for
+  /// the eventual consumer, as in the paper.
+  T& mutable_target() {
+    ensure_resolved();
+    return *state_->target;
+  }
+
+  /// The factory backing this proxy.
+  const Factory<T>& factory() const { return state_->factory; }
+
+ private:
+  struct State {
+    explicit State(Factory<T> f) : factory(std::move(f)) {}
+
+    /// Resolves without holding `mu` during the (possibly slow) factory
+    /// call; publishes under the lock. Concurrent resolvers may both invoke
+    /// the factory; first publish wins — acceptable because factories are
+    /// pure reads of write-once objects (paper assumption 3).
+    void resolve_locked_free() {
+      {
+        std::lock_guard lock(mu);
+        if (target.has_value()) return;
+      }
+      T value = factory();
+      std::lock_guard lock(mu);
+      if (!target.has_value()) target.emplace(std::move(value));
+    }
+
+    Factory<T> factory;
+    mutable std::mutex mu;
+    std::optional<T> target;
+    std::shared_future<void> async;
+    sim::SimTime async_done_vtime = 0.0;
+  };
+
+  void ensure_resolved() const {
+    std::shared_future<void> pending;
+    {
+      std::lock_guard lock(state_->mu);
+      if (state_->target.has_value() && !state_->async.valid()) return;
+      pending = state_->async;
+    }
+    if (pending.valid()) {
+      pending.get();  // rethrows factory errors
+      std::lock_guard lock(state_->mu);
+      sim::vmerge(state_->async_done_vtime);
+      state_->async = {};
+      return;
+    }
+    state_->resolve_locked_free();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ps::core

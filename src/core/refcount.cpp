@@ -1,0 +1,55 @@
+#include "core/refcount.hpp"
+
+#include "proc/process.hpp"
+#include "proc/world.hpp"
+
+namespace ps::core {
+
+namespace {
+std::mutex g_bind_mu;
+}  // namespace
+
+std::shared_ptr<RefCountRegistry> RefCountRegistry::for_store(
+    const std::string& store_name) {
+  proc::World& world = proc::current_process().world();
+  const std::string address = "refcounts://" + store_name;
+  std::lock_guard lock(g_bind_mu);
+  if (auto existing =
+          world.services().try_resolve<RefCountRegistry>(address)) {
+    return existing;
+  }
+  auto registry = std::make_shared<RefCountRegistry>();
+  world.services().bind<RefCountRegistry>(address, registry);
+  return registry;
+}
+
+void RefCountRegistry::set(const std::string& key, std::uint32_t count) {
+  std::lock_guard lock(mu_);
+  counts_[key] = count;
+}
+
+std::uint32_t RefCountRegistry::decrement(const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = counts_.find(key);
+  if (it == counts_.end()) return 0;
+  if (--it->second == 0) {
+    counts_.erase(it);
+    return 0;
+  }
+  return it->second;
+}
+
+std::optional<std::uint32_t> RefCountRegistry::remaining(
+    const std::string& key) const {
+  std::lock_guard lock(mu_);
+  const auto it = counts_.find(key);
+  if (it == counts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t refcount_decrement(const std::string& store_name,
+                                 const std::string& canonical_key) {
+  return RefCountRegistry::for_store(store_name)->decrement(canonical_key);
+}
+
+}  // namespace ps::core

@@ -1,0 +1,66 @@
+// Wide-area reference counting for object eviction (paper section 6
+// future work).
+//
+// A producer that knows how many consumers will resolve an object can mint
+// reference-counted proxies: every resolve decrements a shared counter, and
+// the final resolve evicts the object from its channel — ephemeral
+// intermediates clean themselves up without a single-consumer assumption
+// (the evict flag) or out-of-band bookkeeping.
+//
+// The counters live in a world-level registry (the stand-in for a small
+// metadata service colocated with the mediated channel); the ref_counted
+// flag travels inside the factory descriptor, so a proxy keeps its
+// semantics after crossing process boundaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/store.hpp"
+
+namespace ps::core {
+
+/// Shared reference-count table for one store, addressable world-wide.
+class RefCountRegistry {
+ public:
+  /// Returns the registry for `store_name` in the current world, creating
+  /// and binding it on first use.
+  static std::shared_ptr<RefCountRegistry> for_store(
+      const std::string& store_name);
+
+  void set(const std::string& key, std::uint32_t count);
+
+  /// Decrements and returns the remaining count. Unknown or exhausted keys
+  /// return 0 (and stay at 0). The zeroed entry is removed.
+  std::uint32_t decrement(const std::string& key);
+
+  std::optional<std::uint32_t> remaining(const std::string& key) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint32_t> counts_;
+};
+
+/// Stores `value` and returns a proxy whose target is evicted from the
+/// channel after exactly `consumers` resolutions across any processes
+/// (each consumer resolving its own deserialized copy once; re-reads hit
+/// the proxy's locally cached target).
+template <typename T>
+Proxy<T> proxy_with_refs(Store& store, const T& value,
+                         std::uint32_t consumers) {
+  if (consumers == 0) {
+    throw ProxyResolutionError("proxy_with_refs: zero consumers");
+  }
+  const Key key = store.put(value);
+  RefCountRegistry::for_store(store.name())->set(key.canonical(), consumers);
+  FactoryDescriptor descriptor{store.name(), key, store.connector().config(),
+                               /*evict=*/false};
+  descriptor.ref_counted = true;
+  return Proxy<T>(make_descriptor_factory<T>(std::move(descriptor)));
+}
+
+}  // namespace ps::core

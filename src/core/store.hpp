@@ -1,0 +1,398 @@
+// The Store (paper section 3.5).
+//
+// High-level, object-typed interface over a Connector: serializes objects
+// with the serde framework (or registered custom serializers), caches
+// deserialized objects in an LRU cache, and mints proxies whose factories
+// are self-contained and serializable. Stores are registered globally
+// *within a process* by name; a proxy resolved in a process without the
+// store re-creates and registers it from the factory descriptor — the
+// cross-process re-registration mechanism of section 3.5.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/uuid.hpp"
+#include "core/cache.hpp"
+#include "core/connector.hpp"
+#include "core/factory.hpp"
+#include "core/key.hpp"
+#include "core/proxy.hpp"
+#include "proc/process.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::core {
+
+class Store : public std::enable_shared_from_this<Store> {
+ public:
+  struct Options {
+    /// LRU capacity of the deserialized-object cache (0 disables).
+    std::size_t cache_size = 16;
+
+    bool operator==(const Options&) const = default;
+  };
+
+  struct Metrics {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes_put = 0;
+    std::uint64_t bytes_got = 0;
+  };
+
+  Store(std::string name, std::shared_ptr<Connector> connector,
+        Options options);
+
+  Store(std::string name, std::shared_ptr<Connector> connector)
+      : Store(std::move(name), std::move(connector), Options{}) {}
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  const std::string& name() const { return name_; }
+  Connector& connector() { return *connector_; }
+  const Connector& connector() const { return *connector_; }
+  const Options& options() const { return options_; }
+  ObjectCache& cache() { return cache_; }
+
+  // -- object operations ------------------------------------------------
+
+  /// Serializes and stores `value`; returns the connector key.
+  template <typename T>
+  Key put(const T& value) {
+    check_open();
+    const Bytes data = serialize_value(value);
+    metrics_bytes_put_ += data.size();
+    ++metrics_puts_;
+    return connector_->put(data);
+  }
+
+  /// put with routing constraints (honored by policy-routing connectors
+  /// such as MultiConnector; ignored otherwise — paper section 4.3).
+  template <typename T>
+  Key put(const T& value, const PutHints& hints) {
+    check_open();
+    const Bytes data = serialize_value(value);
+    metrics_bytes_put_ += data.size();
+    ++metrics_puts_;
+    return connector_->put_hinted(data, hints);
+  }
+
+  /// Serializes and stores a batch in one connector round trip.
+  template <typename T>
+  std::vector<Key> put_batch(const std::vector<T>& values) {
+    check_open();
+    std::vector<Bytes> blobs;
+    blobs.reserve(values.size());
+    for (const T& value : values) {
+      blobs.push_back(serialize_value(value));
+      metrics_bytes_put_ += blobs.back().size();
+      ++metrics_puts_;
+    }
+    return connector_->put_batch(blobs);
+  }
+
+  /// Retrieves and deserializes the object, consulting the cache first.
+  /// Returns nullopt when the object does not exist.
+  template <typename T>
+  std::optional<T> get(const Key& key) {
+    check_open();
+    ++metrics_gets_;
+    const std::string cache_key = key.canonical();
+    if (auto cached = cache_.get<T>(cache_key)) {
+      ++metrics_cache_hits_;
+      return *cached;
+    }
+    std::optional<Bytes> data = connector_->get(key);
+    if (!data) return std::nullopt;
+    metrics_bytes_got_ += data->size();
+    auto value = std::make_shared<const T>(deserialize_value<T>(*data));
+    cache_.put<T>(cache_key, value);
+    return *value;
+  }
+
+  /// True when the object is cached locally or present in the channel.
+  bool exists(const Key& key) {
+    check_open();
+    return cache_.contains(key.canonical()) || connector_->exists(key);
+  }
+
+  /// Removes the object from the channel and the local cache.
+  void evict(const Key& key) {
+    check_open();
+    ++metrics_evictions_;
+    cache_.erase(key.canonical());
+    connector_->evict(key);
+  }
+
+  // -- proxies ------------------------------------------------------------
+
+  /// Stores `value` and returns a lazy transparent proxy for it.
+  /// With `evict` set, the object is removed from the channel when the
+  /// proxy is first resolved (single-consumer intermediate values).
+  template <typename T>
+  Proxy<T> proxy(const T& value, bool evict = false) {
+    return proxy_from_key<T>(put(value), evict);
+  }
+
+  /// proxy with routing constraints on where the object is stored.
+  template <typename T>
+  Proxy<T> proxy(const T& value, bool evict, const PutHints& hints) {
+    return proxy_from_key<T>(put(value, hints), evict);
+  }
+
+  /// Proxies a batch via a single bulk transfer (GlobusConnector turns this
+  /// into one transfer task — paper section 4.2.1).
+  template <typename T>
+  std::vector<Proxy<T>> proxy_batch(const std::vector<T>& values,
+                                    bool evict = false) {
+    const std::vector<Key> keys = put_batch(values);
+    std::vector<Proxy<T>> proxies;
+    proxies.reserve(keys.size());
+    for (const Key& key : keys) {
+      proxies.push_back(proxy_from_key<T>(key, evict));
+    }
+    return proxies;
+  }
+
+  /// Builds a proxy for an object already stored under `key`.
+  template <typename T>
+  Proxy<T> proxy_from_key(const Key& key, bool evict = false) {
+    check_open();
+    FactoryDescriptor descriptor{name_, key, connector_->config(), evict};
+    return Proxy<T>(make_factory<T>(std::move(descriptor)));
+  }
+
+  // -- data-flow proxies (paper section 6 future work: "readers of an
+  //    object block until the object is written, as in Id") ----------------
+
+  /// A handle to an object that has not been produced yet.
+  template <typename T>
+  struct Future {
+    /// Where the producer must write the object (see fulfill()).
+    Key key;
+    /// A proxy consumers can hold now; resolving blocks (polling in
+    /// virtual time) until the object is written or the poll budget runs
+    /// out (then ProxyResolutionError).
+    Proxy<T> proxy;
+  };
+
+  /// Creates a data-flow proxy. Requires a connector with addressed
+  /// writes (put_at): Local, File, Redis, Endpoint.
+  template <typename T>
+  Future<T> make_future(double poll_interval_s = 0.01,
+                        std::uint32_t max_polls = 1000) {
+    check_open();
+    Key key = connector_->reserve_key();
+    FactoryDescriptor descriptor{name_, key, connector_->config(),
+                                 /*evict=*/false, poll_interval_s, max_polls};
+    return Future<T>{key, Proxy<T>(make_factory<T>(std::move(descriptor)))};
+  }
+
+  /// Fulfils a data-flow proxy: writes `value` at the future's key.
+  template <typename T>
+  void fulfill(const Key& key, const T& value) {
+    check_open();
+    const Bytes data = serialize_value(value);
+    metrics_bytes_put_ += data.size();
+    ++metrics_puts_;
+    if (!connector_->put_at(key, data)) {
+      throw ConnectorError("Store '" + name_ +
+                           "': connector does not support addressed writes");
+    }
+  }
+
+  // -- custom serialization (paper: "custom (de)serialize functions can be
+  //    registered with the Store if needed") --------------------------------
+
+  template <typename T>
+  void register_serializer(std::function<Bytes(const T&)> serializer,
+                           std::function<T(BytesView)> deserializer) {
+    std::lock_guard lock(serializers_mu_);
+    serializers_[std::type_index(typeid(T))] =
+        SerializerEntry{std::move(serializer), std::move(deserializer)};
+  }
+
+  // -- lifecycle ---------------------------------------------------------
+
+  /// Closes the store and its connector. Subsequent operations throw.
+  void close();
+  bool closed() const { return closed_.load(); }
+
+  Metrics metrics() const;
+
+ private:
+  struct SerializerEntry {
+    std::any serializer;    // std::function<Bytes(const T&)>
+    std::any deserializer;  // std::function<T(BytesView)>
+  };
+
+  void check_open() const {
+    if (closed_.load()) {
+      throw ConnectorError("Store '" + name_ + "' is closed");
+    }
+  }
+
+  template <typename T>
+  const SerializerEntry* find_serializer() const {
+    std::lock_guard lock(serializers_mu_);
+    const auto it = serializers_.find(std::type_index(typeid(T)));
+    return it == serializers_.end() ? nullptr : &it->second;
+  }
+
+  template <typename T>
+  Bytes serialize_value(const T& value) {
+    if (const SerializerEntry* entry = find_serializer<T>()) {
+      const auto& fn =
+          std::any_cast<const std::function<Bytes(const T&)>&>(
+              entry->serializer);
+      return fn(value);
+    }
+    if constexpr (serde::Serializable<T>) {
+      return serde::to_bytes(value);
+    } else {
+      throw SerializationError(
+          "Store: type has no serde codec and no registered serializer");
+    }
+  }
+
+  template <typename T>
+  T deserialize_value(BytesView data) {
+    if (const SerializerEntry* entry = find_serializer<T>()) {
+      const auto& fn = std::any_cast<const std::function<T(BytesView)>&>(
+          entry->deserializer);
+      return fn(data);
+    }
+    if constexpr (serde::Serializable<T>) {
+      return serde::from_bytes<T>(data);
+    } else {
+      throw SerializationError(
+          "Store: type has no serde codec and no registered serializer");
+    }
+  }
+
+  template <typename T>
+  Factory<T> make_factory(FactoryDescriptor descriptor);
+
+  std::string name_;
+  std::shared_ptr<Connector> connector_;
+  Options options_;
+  ObjectCache cache_;
+  mutable std::mutex serializers_mu_;
+  std::unordered_map<std::type_index, SerializerEntry> serializers_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> metrics_puts_{0};
+  std::atomic<std::uint64_t> metrics_gets_{0};
+  std::atomic<std::uint64_t> metrics_cache_hits_{0};
+  std::atomic<std::uint64_t> metrics_evictions_{0};
+  std::atomic<std::uint64_t> metrics_bytes_put_{0};
+  std::atomic<std::uint64_t> metrics_bytes_got_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Per-process store registry (paper section 3.5: "Store instances are
+// registered globally within a process by name").
+// ---------------------------------------------------------------------------
+
+/// Registers `store` in the current process under its name.
+/// Throws NotRegisteredError if a different store already holds the name
+/// (unless `overwrite`).
+void register_store(std::shared_ptr<Store> store, bool overwrite = false);
+
+/// Looks up a store by name in the current process; nullptr if absent.
+std::shared_ptr<Store> get_store(const std::string& name);
+
+/// Removes a store binding from the current process. No-op if absent.
+void unregister_store(const std::string& name);
+
+/// Resolution path used by factories: returns the process-registered store
+/// named in the descriptor, or re-creates (and registers) it from the
+/// descriptor's connector config.
+std::shared_ptr<Store> get_or_register_store(
+    const FactoryDescriptor& descriptor);
+
+// ---------------------------------------------------------------------------
+// Descriptor-backed factory construction.
+// ---------------------------------------------------------------------------
+
+/// Hook implemented in refcount.hpp's registry: decrements the shared
+/// count for (store, key) and returns the remaining references.
+std::uint32_t refcount_decrement(const std::string& store_name,
+                                 const std::string& canonical_key);
+
+template <typename T>
+Factory<T> make_descriptor_factory(FactoryDescriptor descriptor) {
+  auto fn = [descriptor]() -> T {
+    std::shared_ptr<Store> store = get_or_register_store(descriptor);
+    std::optional<T> value = store->get<T>(descriptor.key);
+    // Data-flow proxies poll until the producer writes the object.
+    for (std::uint32_t poll = 0; !value && poll < descriptor.max_polls;
+         ++poll) {
+      sim::vadvance(descriptor.poll_interval_s);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      value = store->get<T>(descriptor.key);
+    }
+    if (!value) {
+      throw ProxyResolutionError("proxy target '" +
+                                 descriptor.key.canonical() +
+                                 "' not found in store '" +
+                                 descriptor.store_name + "'");
+    }
+    if (descriptor.evict) store->evict(descriptor.key);
+    if (descriptor.ref_counted &&
+        refcount_decrement(descriptor.store_name,
+                           descriptor.key.canonical()) == 0) {
+      store->evict(descriptor.key);
+    }
+    return std::move(*value);
+  };
+  return Factory<T>(std::move(fn), std::move(descriptor));
+}
+
+template <typename T>
+Factory<T> Store::make_factory(FactoryDescriptor descriptor) {
+  return make_descriptor_factory<T>(std::move(descriptor));
+}
+
+}  // namespace ps::core
+
+// ---------------------------------------------------------------------------
+// Proxy serialization: factory descriptor only, never the target
+// (paper: "Proxy modifies its own pickling behavior to include only the
+// factory, not the target").
+// ---------------------------------------------------------------------------
+
+namespace ps::serde {
+
+template <typename T>
+struct Codec<ps::core::Proxy<T>> {
+  static void encode(Writer& w, const ps::core::Proxy<T>& proxy) {
+    const auto& descriptor = proxy.factory().descriptor();
+    if (!descriptor) {
+      throw SerializationError(
+          "Proxy: only store-backed proxies are serializable");
+    }
+    serde::encode(w, *descriptor);
+  }
+
+  static ps::core::Proxy<T> decode(Reader& r) {
+    auto descriptor = serde::decode<ps::core::FactoryDescriptor>(r);
+    return ps::core::Proxy<T>(
+        ps::core::make_descriptor_factory<T>(std::move(descriptor)));
+  }
+};
+
+}  // namespace ps::serde

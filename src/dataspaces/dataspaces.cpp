@@ -1,0 +1,95 @@
+#include "dataspaces/dataspaces.hpp"
+
+#include <tuple>
+
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::dataspaces {
+
+namespace {
+using PutRequest = std::tuple<std::string, std::uint64_t, Bytes>;
+using GetRequest = std::tuple<std::string, std::uint64_t>;
+}  // namespace
+
+std::shared_ptr<DataSpacesServer> DataSpacesServer::start(
+    proc::World& world, const std::string& host, const std::string& name) {
+  auto server = std::make_shared<DataSpacesServer>(world, host, name);
+  // Keep the DataSpacesServer alive alongside its RPC binding.
+  world.services().bind<DataSpacesServer>("dataspaces://" + host + "/" + name,
+                                          server);
+  return server;
+}
+
+DataSpacesServer::DataSpacesServer(proc::World& world, const std::string& host,
+                                   const std::string& name)
+    : rpc_(rpc::RpcServer::start(world, host, "dataspaces-" + name,
+                                 rpc::margo_transport())) {
+  rpc_->register_handler("put", [this](BytesView request) {
+    auto [obj_name, version, data] = serde::from_bytes<PutRequest>(request);
+    std::lock_guard lock(mu_);
+    space_[TupleKey{obj_name, version}] = std::move(data);
+    return serde::to_bytes(true);
+  });
+  rpc_->register_handler("get", [this](BytesView request) {
+    auto [obj_name, version] = serde::from_bytes<GetRequest>(request);
+    std::lock_guard lock(mu_);
+    const auto it = space_.find(TupleKey{obj_name, version});
+    std::optional<Bytes> result;
+    if (it != space_.end()) result = it->second;
+    return serde::to_bytes(result);
+  });
+  rpc_->register_handler("latest", [this](BytesView request) {
+    const auto obj_name = serde::from_bytes<std::string>(request);
+    std::lock_guard lock(mu_);
+    std::optional<std::uint64_t> latest;
+    for (const auto& [key, value] : space_) {
+      if (key.name == obj_name) latest = key.version;
+    }
+    return serde::to_bytes(latest);
+  });
+}
+
+std::size_t DataSpacesServer::object_count() const {
+  std::lock_guard lock(mu_);
+  return space_.size();
+}
+
+const std::string& DataSpacesServer::host() const { return rpc_->host(); }
+
+DataSpacesClient::DataSpacesClient(const std::string& host,
+                                   const std::string& name,
+                                   DataSpacesOptions options)
+    : options_(options),
+      rpc_(rpc::rpc_address("margo", host, "dataspaces-" + name)) {}
+
+void DataSpacesClient::charge_client_overheads() {
+  if (!started_) {
+    sim::vadvance(options_.client_startup_s);
+    started_ = true;
+  }
+  sim::vadvance(options_.per_op_overhead_s);
+}
+
+void DataSpacesClient::put(const std::string& name, std::uint64_t version,
+                           BytesView data) {
+  charge_client_overheads();
+  rpc_.call("put", serde::to_bytes(PutRequest{name, version, Bytes(data)}));
+}
+
+std::optional<Bytes> DataSpacesClient::get(const std::string& name,
+                                           std::uint64_t version) {
+  charge_client_overheads();
+  const Bytes response =
+      rpc_.call("get", serde::to_bytes(GetRequest{name, version}));
+  return serde::from_bytes<std::optional<Bytes>>(response);
+}
+
+std::optional<std::uint64_t> DataSpacesClient::latest_version(
+    const std::string& name) {
+  charge_client_overheads();
+  const Bytes response = rpc_.call("latest", serde::to_bytes(name));
+  return serde::from_bytes<std::optional<std::uint64_t>>(response);
+}
+
+}  // namespace ps::dataspaces

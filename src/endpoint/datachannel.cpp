@@ -1,0 +1,34 @@
+#include "endpoint/datachannel.hpp"
+
+#include <algorithm>
+
+namespace ps::endpoint {
+
+double DataChannelOptions::effective_throttle() const {
+  const double usable =
+      std::min(static_cast<double>(channels), max_multiplex_benefit);
+  return wan_throttle_Bps * std::max(1.0, usable);
+}
+
+double data_channel_time(const net::Fabric& fabric, const std::string& from,
+                         const std::string& to, std::size_t bytes,
+                         const DataChannelOptions& options) {
+  net::Route route = fabric.route(from, to);
+  double total = 0.0;
+  for (net::Hop& hop : route.hops) {
+    net::LinkProfile p = hop.profile;
+    p.per_msg_overhead_s += options.per_msg_overhead_s;
+    const bool wan = p.congestion == net::Congestion::kTcpWan ||
+                     p.congestion == net::Congestion::kBbrWan ||
+                     p.congestion == net::Congestion::kUdpThrottled;
+    if (wan) {
+      p.congestion = net::Congestion::kUdpThrottled;
+      p.throttle_Bps = options.effective_throttle();
+      p.ramp_rtt_factor = 2.0;  // aiortc ramps slower than BBR
+    }
+    total += p.transfer_time(bytes);
+  }
+  return total;
+}
+
+}  // namespace ps::endpoint

@@ -1,0 +1,39 @@
+// RTCDataChannel cost model (paper section 5.3.2).
+//
+// The paper found that aiortc data channels cannot fully utilize inter-site
+// bandwidth: computing centers throttle UDP, and aiortc's congestion control
+// is slower than BBR — a measured ceiling of ~80 Mbps between Frontera and
+// Theta. Multiplexing over multiple channels helps only marginally because
+// the single-threaded asyncio loop saturates after "a couple" of channels.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/fabric.hpp"
+
+namespace ps::endpoint {
+
+struct DataChannelOptions {
+  /// Effective ceiling of one SCTP-over-DTLS channel across the WAN
+  /// (bytes/second). 10 MB/s = the paper's 80 Mbps observation.
+  double wan_throttle_Bps = 10e6;
+  /// Per-message SCTP/DTLS framing + event-loop dispatch cost.
+  double per_msg_overhead_s = 1e-3;
+  /// Number of multiplexed data channels.
+  int channels = 1;
+  /// The asyncio loop cannot drive more than about this many channels.
+  double max_multiplex_benefit = 2.0;
+
+  /// Aggregate WAN ceiling given multiplexing.
+  double effective_throttle() const;
+};
+
+/// One-way virtual time to move `bytes` between two peered endpoints over
+/// their data channel. Intra-site connections use the native interconnect
+/// (no UDP policer); inter-site hops are throttled.
+double data_channel_time(const net::Fabric& fabric, const std::string& from,
+                         const std::string& to, std::size_t bytes,
+                         const DataChannelOptions& options);
+
+}  // namespace ps::endpoint

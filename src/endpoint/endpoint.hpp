@@ -1,0 +1,159 @@
+// PS-endpoint (paper section 4.2.2).
+//
+// A PS-endpoint is an in-memory object store with optional disk spill,
+// modeled as the paper's single-threaded asyncio application: one FIFO
+// service queue handles client and peer requests. Endpoints register with a
+// relay server (which assigns their UUID) and open WebRTC-like peer
+// connections on demand: when an endpoint receives a request whose key
+// names another endpoint, it establishes (offer/answer/ICE via relay, then
+// hole punch) or reuses a peer connection and forwards the request over the
+// data channel.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/uuid.hpp"
+#include "endpoint/datachannel.hpp"
+#include "proc/world.hpp"
+#include "relay/relay.hpp"
+#include "sim/resource.hpp"
+
+namespace ps::endpoint {
+
+struct EndpointOptions {
+  /// Spill objects to disk once in-memory bytes exceed this
+  /// ("optional on-disk storage if host memory is insufficient").
+  std::size_t max_memory_bytes = SIZE_MAX;
+  /// Directory for spilled objects (required if max_memory_bytes is finite).
+  std::filesystem::path spill_dir;
+  DataChannelOptions data_channel;
+  /// Event-loop dispatch cost per request.
+  double base_service_s = 50e-6;
+  /// Memory bandwidth applied to payload handling.
+  double mem_Bps = 6e9;
+};
+
+struct EndpointRequest {
+  std::string op;  // "get" | "set" | "exists" | "evict"
+  std::string object_id;
+  /// The endpoint owning the object; requests for other endpoints are
+  /// forwarded over a peer connection.
+  Uuid endpoint_id;
+  Bytes data;  // set payload
+};
+
+struct EndpointResponse {
+  bool ok = false;
+  std::optional<Bytes> data;
+};
+
+class Endpoint : public std::enable_shared_from_this<Endpoint> {
+ public:
+  /// Starts an endpoint on fabric host `host`, registers it with the relay
+  /// at `relay_address`, and binds it at "psep://<host>/<name>" plus
+  /// "psep-uuid://<uuid>". The relay assigns the UUID unless `preferred` is
+  /// given.
+  static std::shared_ptr<Endpoint> start(proc::World& world,
+                                         const std::string& host,
+                                         const std::string& name,
+                                         const std::string& relay_address,
+                                         EndpointOptions options = {},
+                                         const Uuid& preferred = Uuid());
+
+  Endpoint(proc::World& world, std::string host, std::string name,
+           std::shared_ptr<relay::RelayServer> relay, EndpointOptions options);
+  ~Endpoint();
+
+  const Uuid& uuid() const { return uuid_; }
+  const std::string& host() const { return host_; }
+  const std::string& name() const { return name_; }
+
+  /// Serves one request at the caller's current virtual time: queues on the
+  /// single-threaded event loop, forwards to a peer endpoint if needed, and
+  /// advances the caller's virtual clock to the completion time.
+  EndpointResponse handle(const EndpointRequest& request);
+
+  /// True once a peer connection to `peer` has been established.
+  bool has_peer(const Uuid& peer) const;
+
+  /// Failure injection: drops an established peer connection; the next
+  /// forwarded request re-establishes it ("the connection is re-established
+  /// if lost for any reason").
+  void drop_peer(const Uuid& peer);
+
+  /// Unregisters from the relay and closes all peer connections.
+  void stop();
+  bool stopped() const;
+
+  // -- observability ----------------------------------------------------------
+
+  std::size_t object_count() const;
+  std::size_t memory_bytes() const;
+  std::size_t spilled_count() const;
+  std::uint64_t handshakes_completed() const;
+  std::uint64_t requests_served() const;
+
+  /// Service time of one request touching `bytes` of payload.
+  double service_time(std::size_t bytes) const;
+
+  sim::Resource& queue() { return queue_; }
+
+ private:
+  enum class PeerPhase { kIdle, kOfferReceived, kConnected };
+
+  struct PeerConnection {
+    PeerPhase phase = PeerPhase::kIdle;
+    bool ice_received = false;
+  };
+
+  /// The relay's WebSocket listener: answers offers, records ICE.
+  void on_relay_message(const relay::RelayMessage& message);
+
+  /// Establishes a peer connection via the Figure 4 handshake.
+  void connect_peer(const Uuid& peer);
+
+  /// Runs an operation against local storage (no forwarding).
+  EndpointResponse local_op(const EndpointRequest& request);
+
+  /// Serves a request arriving from a peer endpoint (queues locally).
+  EndpointResponse handle_from_peer(const EndpointRequest& request);
+
+  void store_object(const std::string& object_id, Bytes data);
+  std::optional<Bytes> load_object(const std::string& object_id);
+  bool object_exists(const std::string& object_id) const;
+  void remove_object(const std::string& object_id);
+
+  std::filesystem::path spill_path(const std::string& object_id) const;
+
+  proc::World& world_;
+  std::string host_;
+  std::string name_;
+  std::shared_ptr<relay::RelayServer> relay_;
+  EndpointOptions options_;
+  Uuid uuid_;
+  bool stopped_ = false;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bytes> memory_objects_;
+  std::unordered_map<std::string, std::size_t> spilled_objects_;  // id->size
+  std::size_t memory_bytes_ = 0;
+  std::map<Uuid, PeerConnection> peers_;
+  std::uint64_t handshakes_ = 0;
+  std::uint64_t requests_ = 0;
+
+  sim::Resource queue_{1};
+};
+
+/// Canonical service addresses.
+std::string endpoint_address(const std::string& host, const std::string& name);
+std::string endpoint_uuid_address(const Uuid& uuid);
+
+}  // namespace ps::endpoint

@@ -1,0 +1,8 @@
+#include "faas/executor.hpp"
+
+// Header-only templates; TU anchors the library.
+namespace ps::faas {
+namespace {
+[[maybe_unused]] constexpr int kAnchor = 0;
+}
+}  // namespace ps::faas

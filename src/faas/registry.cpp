@@ -1,0 +1,30 @@
+#include "faas/registry.hpp"
+
+namespace ps::faas {
+
+FunctionRegistry& FunctionRegistry::instance() {
+  static FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+void FunctionRegistry::register_function(const std::string& name,
+                                         TaskFunction fn) {
+  std::lock_guard lock(mu_);
+  functions_[name] = std::move(fn);
+}
+
+TaskFunction FunctionRegistry::lookup(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    throw NotRegisteredError("no function registered as '" + name + "'");
+  }
+  return it->second;
+}
+
+bool FunctionRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return functions_.contains(name);
+}
+
+}  // namespace ps::faas

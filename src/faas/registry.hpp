@@ -1,0 +1,50 @@
+// Function registry for the FaaS substrate.
+//
+// Globus Compute ships function code to endpoints; in this in-process
+// reproduction, functions are registered by name process-wide (registration
+// is code, like Python imports) and referenced by name in task submissions.
+// Functions map request bytes to response bytes; typed helpers wrap the
+// serde framework.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::faas {
+
+using TaskFunction = std::function<Bytes(BytesView)>;
+
+class FunctionRegistry {
+ public:
+  static FunctionRegistry& instance();
+
+  /// Registers `fn` under `name`. Re-registration replaces.
+  void register_function(const std::string& name, TaskFunction fn);
+
+  /// Typed registration: deserializes the argument, serializes the result.
+  template <typename Ret, typename Arg>
+  void register_typed(const std::string& name,
+                      std::function<Ret(const Arg&)> fn) {
+    register_function(name, [fn = std::move(fn)](BytesView request) {
+      const Arg arg = serde::from_bytes<Arg>(request);
+      return serde::to_bytes(fn(arg));
+    });
+  }
+
+  /// Throws NotRegisteredError for unknown functions.
+  TaskFunction lookup(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TaskFunction> functions_;
+};
+
+}  // namespace ps::faas

@@ -1,0 +1,108 @@
+// IPFS-like content-addressed peer-to-peer file store (paper sections 2, 5.1).
+//
+// The Figure 5 inter-site comparison treats the Globus Compute client and
+// endpoint as two nodes of a distributed file system: data are written to
+// disk, added to IPFS (content is chunked into blocks addressed by their
+// SHA-256), and the root content ID is passed with the task; the consumer
+// node fetches missing blocks from peers (Bitswap-style want lists) and
+// reassembles the file. This substrate reproduces that cost structure:
+// disk write + hashing on add, per-block peer fetches + local disk on get.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "proc/world.hpp"
+
+namespace ps::ipfs {
+
+/// A content identifier: the SHA-256 of the addressed content (hex).
+struct Cid {
+  std::string hash;
+
+  bool operator==(const Cid&) const = default;
+  auto operator<=>(const Cid&) const = default;
+
+  auto serde_members() { return std::tie(hash); }
+  auto serde_members() const { return std::tie(hash); }
+};
+
+struct IpfsOptions {
+  /// Chunk size for splitting content into blocks.
+  std::size_t block_size = 256 * 1024;
+  /// Per-block request overhead when fetching from a peer (want-list
+  /// round trip + block verification).
+  double per_block_overhead_s = 2e-3;
+  /// Fraction of link bandwidth the Bitswap transfer achieves.
+  double bandwidth_efficiency = 0.6;
+  /// Hashing throughput for content addressing (bytes/second).
+  double hash_Bps = 1.5e9;
+};
+
+class IpfsNode : public std::enable_shared_from_this<IpfsNode> {
+ public:
+  /// Starts a node on `host` storing blocks under `block_dir`, bound at
+  /// "ipfs://<host>/<name>".
+  static std::shared_ptr<IpfsNode> start(proc::World& world,
+                                         const std::string& host,
+                                         const std::string& name,
+                                         std::filesystem::path block_dir,
+                                         IpfsOptions options = {});
+
+  IpfsNode(proc::World& world, std::string host,
+           std::filesystem::path block_dir, IpfsOptions options);
+
+  /// Connects this node to a peer (bidirectional swarm link).
+  void connect(const std::shared_ptr<IpfsNode>& peer);
+
+  /// Chunks, hashes, and stores `data`; returns the root CID.
+  /// Identical content yields the identical CID (content addressing).
+  Cid add(BytesView data);
+
+  /// Reassembles the content: local blocks are read from disk; missing
+  /// blocks are fetched from connected peers and cached locally.
+  /// Returns nullopt when no peer (nor this node) has the content.
+  std::optional<Bytes> get(const Cid& cid);
+
+  /// True when every block of `cid` is present locally.
+  bool has_local(const Cid& cid) const;
+
+  /// Drops all local blocks of `cid` (garbage collection).
+  void remove_local(const Cid& cid);
+
+  const std::string& host() const { return host_; }
+  std::size_t block_count() const;
+
+ private:
+  struct Manifest {
+    std::vector<std::string> block_hashes;
+    std::size_t total_bytes = 0;
+    auto serde_members() { return std::tie(block_hashes, total_bytes); }
+    auto serde_members() const { return std::tie(block_hashes, total_bytes); }
+  };
+
+  bool has_block(const std::string& hash) const;
+  void write_block(const std::string& hash, BytesView data);
+  std::optional<Bytes> read_block(const std::string& hash) const;
+  std::optional<Manifest> load_manifest(const Cid& cid);
+
+  /// Fetches one block from any connected peer (one-hop Bitswap).
+  std::optional<Bytes> fetch_block(const std::string& hash);
+
+  proc::World& world_;
+  std::string host_;
+  std::filesystem::path block_dir_;
+  IpfsOptions options_;
+  mutable std::mutex mu_;
+  std::set<std::string> blocks_;      // hashes present locally
+  std::set<std::string> warm_peers_;  // peers with an open connection
+  std::vector<std::weak_ptr<IpfsNode>> peers_;
+};
+
+}  // namespace ps::ipfs

@@ -1,0 +1,73 @@
+#include "kv/client.hpp"
+
+#include <algorithm>
+
+#include "proc/process.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::kv {
+
+KvClient::KvClient(const std::string& address)
+    : address_(address),
+      server_(proc::current_process().world().services().resolve<KvServer>(
+          address)) {}
+
+double KvClient::round_trip(std::size_t request_bytes,
+                            std::size_t response_bytes) {
+  proc::World& world = proc::current_process().world();
+  const std::string& client_host = proc::current_process().host();
+  const std::string& server_host = server_->host();
+
+  // Request travels to the server...
+  const double arrival =
+      sim::vnow() +
+      world.fabric().transfer_time(client_host, server_host, request_bytes);
+  // ...queues behind other requests on the single-threaded server...
+  const double payload = static_cast<double>(
+      std::max(request_bytes, response_bytes));
+  const double done = server_->queue().schedule(
+      arrival, server_->service_time(static_cast<std::size_t>(payload)));
+  // ...and the response travels back.
+  sim::vset(done + world.fabric().transfer_time(server_host, client_host,
+                                                response_bytes));
+  return arrival;
+}
+
+void KvClient::set(const std::string& key, BytesView value,
+                   std::optional<std::chrono::milliseconds> ttl) {
+  const double arrival = round_trip(value.size() + key.size(), 8);
+  server_->set(key, value, ttl, arrival);
+}
+
+void KvClient::set_many(
+    const std::vector<std::pair<std::string, Bytes>>& pairs) {
+  std::size_t total = 0;
+  for (const auto& [key, value] : pairs) total += key.size() + value.size();
+  const double arrival = round_trip(total, 8 * std::max<std::size_t>(
+                                               pairs.size(), 1));
+  for (const auto& [key, value] : pairs) {
+    server_->set(key, value, std::nullopt, arrival);
+  }
+}
+
+std::optional<Bytes> KvClient::get(const std::string& key) {
+  // Peek the size for response cost accounting; the server lock is cheap.
+  const double probe_now = sim::vnow();
+  std::optional<Bytes> value = server_->get(key, probe_now);
+  const std::size_t response_bytes = value ? value->size() : 8;
+  const double arrival = round_trip(key.size(), response_bytes);
+  // Re-read at the arrival time so TTL expiry is judged server-side.
+  return server_->get(key, arrival);
+}
+
+bool KvClient::exists(const std::string& key) {
+  const double arrival = round_trip(key.size(), 8);
+  return server_->exists(key, arrival);
+}
+
+bool KvClient::del(const std::string& key) {
+  round_trip(key.size(), 8);
+  return server_->del(key);
+}
+
+}  // namespace ps::kv

@@ -1,0 +1,49 @@
+// Client side of the Redis-like KV substrate.
+//
+// A KvClient resolves a server address through the world's service
+// directory and issues requests. Each request charges the caller's virtual
+// time with: request transfer to the server host, FIFO queueing + service
+// on the server (single-threaded Redis event loop), and the response
+// transfer back — the full client-observed round trip.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "kv/server.hpp"
+
+namespace ps::kv {
+
+class KvClient {
+ public:
+  /// Connects to the server bound at `address` in the current world.
+  explicit KvClient(const std::string& address);
+
+  void set(const std::string& key, BytesView value,
+           std::optional<std::chrono::milliseconds> ttl = std::nullopt);
+
+  /// Pipelined MSET: all pairs travel in one request/response round trip
+  /// (one network RTT instead of one per key).
+  void set_many(const std::vector<std::pair<std::string, Bytes>>& pairs);
+
+  std::optional<Bytes> get(const std::string& key);
+  bool exists(const std::string& key);
+  bool del(const std::string& key);
+
+  const std::string& address() const { return address_; }
+  KvServer& server() { return *server_; }
+
+ private:
+  /// Charges request/queue/response costs; returns server-side arrival time.
+  double round_trip(std::size_t request_bytes, std::size_t response_bytes);
+
+  std::string address_;
+  std::shared_ptr<KvServer> server_;
+};
+
+}  // namespace ps::kv

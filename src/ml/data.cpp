@@ -1,0 +1,89 @@
+#include "ml/data.hpp"
+
+#include <cmath>
+
+namespace ps::ml {
+
+Dataset fashion_like(std::size_t n, Rng& rng) {
+  constexpr std::size_t kSize = 28;
+  Dataset ds;
+  ds.images = Tensor({n, 1, kSize, kSize});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto label = static_cast<std::size_t>(rng.uniform_int(0, 9));
+    ds.labels[i] = label;
+    // Class structure: stripe frequency from the label's low bits,
+    // orientation from bit 3, brightness offset from bit 2.
+    const double freq = 0.3 + 0.18 * static_cast<double>(label % 4);
+    const bool vertical = (label & 4) != 0;
+    const float offset = (label & 8) != 0 ? 0.3f : 0.0f;
+    for (std::size_t y = 0; y < kSize; ++y) {
+      for (std::size_t x = 0; x < kSize; ++x) {
+        const double t = static_cast<double>(vertical ? x : y);
+        const double signal = 0.5 + 0.5 * std::sin(freq * t);
+        const double noise = rng.normal(0.0, 0.15);
+        ds.images.data()[(i * kSize + y) * kSize + x] =
+            static_cast<float>(signal + noise) + offset;
+      }
+    }
+  }
+  return ds;
+}
+
+Micrograph micrograph(std::size_t height, std::size_t width,
+                      std::size_t defects, Rng& rng) {
+  Micrograph m;
+  m.image = Tensor({1, 1, height, width});
+  m.defect_mask.assign(height * width, false);
+  // Noisy background.
+  for (std::size_t i = 0; i < height * width; ++i) {
+    m.image.data()[i] = static_cast<float>(rng.normal(0.2, 0.05));
+  }
+  // Bright Gaussian blobs = radiation-damage defects.
+  for (std::size_t d = 0; d < defects; ++d) {
+    const auto cy = static_cast<std::size_t>(
+        rng.uniform_int(3, static_cast<std::int64_t>(height) - 4));
+    const auto cx = static_cast<std::size_t>(
+        rng.uniform_int(3, static_cast<std::int64_t>(width) - 4));
+    for (std::ptrdiff_t dy = -3; dy <= 3; ++dy) {
+      for (std::ptrdiff_t dx = -3; dx <= 3; ++dx) {
+        const std::size_t y = cy + static_cast<std::size_t>(dy);
+        const std::size_t x = cx + static_cast<std::size_t>(dx);
+        const double r2 = static_cast<double>(dy * dy + dx * dx);
+        const float bump = static_cast<float>(0.8 * std::exp(-r2 / 3.0));
+        m.image.data()[y * width + x] += bump;
+        if (r2 <= 4.0) m.defect_mask[y * width + x] = true;
+      }
+    }
+  }
+  for (const bool b : m.defect_mask) {
+    if (b) ++m.defect_count;
+  }
+  return m;
+}
+
+float simulate_ionization_potential(const std::vector<float>& features) {
+  // A smooth nonlinear response: deterministic, so the "simulation" task is
+  // reproducible and the surrogate has something real to learn.
+  double acc = 5.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const double f = features[i];
+    const double w = 1.0 / static_cast<double>(1 + i % 7);
+    acc += w * std::sin(1.7 * f) + 0.25 * w * f * f;
+  }
+  return static_cast<float>(acc);
+}
+
+std::vector<Molecule> molecules(std::size_t n, std::size_t dims, Rng& rng) {
+  std::vector<Molecule> out(n);
+  for (Molecule& mol : out) {
+    mol.features.resize(dims);
+    for (float& f : mol.features) {
+      f = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    mol.ionization_potential = simulate_ionization_potential(mol.features);
+  }
+  return out;
+}
+
+}  // namespace ps::ml

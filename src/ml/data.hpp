@@ -1,0 +1,53 @@
+// Synthetic datasets standing in for the paper's data dependencies.
+//
+// * fashion_like: a 10-class 28x28 grayscale image set with class-dependent
+//   spatial structure (stripe frequency/orientation + noise) standing in
+//   for Fashion-MNIST in the federated-learning experiments (Figure 10).
+// * micrograph: transmission-electron-microscopy-like images with seeded
+//   bright defects, for the real-time defect analysis app (Table 2).
+// * molecules: feature vectors with a deterministic "quantum chemistry"
+//   ionization potential, for the molecular-design app (Figure 11).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/tensor.hpp"
+
+namespace ps::ml {
+
+struct Dataset {
+  Tensor images;  // [N, 1, H, W] or flattened [N, D]
+  std::vector<std::size_t> labels;
+};
+
+/// Generates `n` labeled 28x28 images with learnable class structure.
+Dataset fashion_like(std::size_t n, Rng& rng);
+
+struct Micrograph {
+  Tensor image;  // [1, 1, H, W]
+  /// Ground-truth defect pixel mask, row-major H x W.
+  std::vector<bool> defect_mask;
+  std::size_t defect_count = 0;
+};
+
+/// A synthetic micrograph with `defects` bright spots on noisy background.
+Micrograph micrograph(std::size_t height, std::size_t width,
+                      std::size_t defects, Rng& rng);
+
+struct Molecule {
+  std::vector<float> features;
+  /// Deterministic "simulated" ionization potential (the ground truth the
+  /// expensive simulation task computes).
+  float ionization_potential = 0.0f;
+};
+
+/// Candidate set of `n` molecules with `dims`-dimensional features.
+std::vector<Molecule> molecules(std::size_t n, std::size_t dims, Rng& rng);
+
+/// The deterministic "quantum chemistry" kernel: recomputes a molecule's
+/// ionization potential from its features (what simulation tasks evaluate).
+float simulate_ionization_potential(const std::vector<float>& features);
+
+}  // namespace ps::ml

@@ -1,0 +1,279 @@
+#include "ml/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace ps::ml {
+
+void Layer::zero_gradients() {
+  for (Tensor* g : gradients()) {
+    std::fill(g->values().begin(), g->values().end(), 0.0f);
+  }
+}
+
+void Layer::sgd_step(float lr) {
+  const auto params = parameters();
+  const auto grads = gradients();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor scaled = *grads[i];
+    scaled *= lr;
+    *params[i] -= scaled;
+  }
+}
+
+// -------------------------------------------------------------- Dense ----
+
+Dense::Dense(std::size_t in, std::size_t out, Rng& rng)
+    : in_(in),
+      out_(out),
+      weight_(Tensor::randn({in, out}, rng,
+                            std::sqrt(2.0f / static_cast<float>(in)))),
+      bias_({out}),
+      dweight_({in, out}),
+      dbias_({out}) {}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: bad input shape");
+  }
+  input_ = input;
+  Tensor out = matmul(input, weight_);
+  for (std::size_t n = 0; n < out.dim(0); ++n) {
+    for (std::size_t j = 0; j < out_; ++j) out.at(n, j) += bias_.at(j);
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad) {
+  // dW = x^T g ; db = sum_n g ; dx = g W^T
+  dweight_ += matmul_at(input_, grad);
+  for (std::size_t n = 0; n < grad.dim(0); ++n) {
+    for (std::size_t j = 0; j < out_; ++j) dbias_.at(j) += grad.at(n, j);
+  }
+  return matmul_bt(grad, weight_);
+}
+
+LayerSpec Dense::spec() const {
+  return LayerSpec{.kind = "dense",
+                   .attrs = {{"in", static_cast<std::int64_t>(in_)},
+                             {"out", static_cast<std::int64_t>(out_)}}};
+}
+
+// -------------------------------------------------------------- Conv2D ----
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t height, std::size_t width,
+               Rng& rng)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      h_(height),
+      w_(width),
+      weight_(Tensor::randn(
+          {out_channels, in_channels, kernel, kernel}, rng,
+          std::sqrt(2.0f / static_cast<float>(in_channels * kernel * kernel)))),
+      bias_({out_channels}),
+      dweight_({out_channels, in_channels, kernel, kernel}),
+      dbias_({out_channels}) {
+  if (kernel % 2 == 0) {
+    throw std::invalid_argument("Conv2D: kernel must be odd (same padding)");
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != cin_ || input.dim(2) != h_ ||
+      input.dim(3) != w_) {
+    throw std::invalid_argument("Conv2D::forward: bad input shape");
+  }
+  input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor out({n, cout_, h_, w_});
+  const auto in_at = [&](std::size_t b, std::size_t c, std::ptrdiff_t y,
+                         std::ptrdiff_t x) -> float {
+    if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(h_) ||
+        x >= static_cast<std::ptrdiff_t>(w_)) {
+      return 0.0f;
+    }
+    return input.data()[((b * cin_ + c) * h_ + static_cast<std::size_t>(y)) *
+                            w_ +
+                        static_cast<std::size_t>(x)];
+  };
+  // Batch items write disjoint output planes: fork-join across the batch.
+  parallel_for(0, n, [&](std::size_t b) {
+    for (std::size_t f = 0; f < cout_; ++f) {
+      for (std::size_t y = 0; y < h_; ++y) {
+        for (std::size_t x = 0; x < w_; ++x) {
+          float acc = bias_.at(f);
+          for (std::size_t c = 0; c < cin_; ++c) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                acc += weight_.data()[((f * cin_ + c) * k_ + ky) * k_ + kx] *
+                       in_at(b, c,
+                             static_cast<std::ptrdiff_t>(y + ky) - pad,
+                             static_cast<std::ptrdiff_t>(x + kx) - pad);
+              }
+            }
+          }
+          out.data()[((b * cout_ + f) * h_ + y) * w_ + x] = acc;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad) {
+  const std::size_t n = grad.dim(0);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor dinput(input_.shape());
+  const auto in_at = [&](std::size_t b, std::size_t c, std::ptrdiff_t y,
+                         std::ptrdiff_t x) -> float {
+    if (y < 0 || x < 0 || y >= static_cast<std::ptrdiff_t>(h_) ||
+        x >= static_cast<std::ptrdiff_t>(w_)) {
+      return 0.0f;
+    }
+    return input_.data()[((b * cin_ + c) * h_ + static_cast<std::size_t>(y)) *
+                             w_ +
+                         static_cast<std::size_t>(x)];
+  };
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t f = 0; f < cout_; ++f) {
+      for (std::size_t y = 0; y < h_; ++y) {
+        for (std::size_t x = 0; x < w_; ++x) {
+          const float g = grad.data()[((b * cout_ + f) * h_ + y) * w_ + x];
+          if (g == 0.0f) continue;
+          dbias_.at(f) += g;
+          for (std::size_t c = 0; c < cin_; ++c) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y + ky) - pad;
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - pad;
+                dweight_.data()[((f * cin_ + c) * k_ + ky) * k_ + kx] +=
+                    g * in_at(b, c, iy, ix);
+                if (iy >= 0 && ix >= 0 &&
+                    iy < static_cast<std::ptrdiff_t>(h_) &&
+                    ix < static_cast<std::ptrdiff_t>(w_)) {
+                  dinput.data()[((b * cin_ + c) * h_ +
+                                 static_cast<std::size_t>(iy)) *
+                                    w_ +
+                                static_cast<std::size_t>(ix)] +=
+                      g * weight_.data()[((f * cin_ + c) * k_ + ky) * k_ + kx];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dinput;
+}
+
+LayerSpec Conv2D::spec() const {
+  return LayerSpec{
+      .kind = "conv2d",
+      .attrs = {{"cin", static_cast<std::int64_t>(cin_)},
+                {"cout", static_cast<std::int64_t>(cout_)},
+                {"kernel", static_cast<std::int64_t>(k_)},
+                {"height", static_cast<std::int64_t>(h_)},
+                {"width", static_cast<std::int64_t>(w_)}}};
+}
+
+// ------------------------------------------------------------ MaxPool2D ----
+
+Tensor MaxPool2D::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(2) % 2 != 0 || input.dim(3) % 2 != 0) {
+    throw std::invalid_argument("MaxPool2D: input must be [N,C,H,W], H and W even");
+  }
+  input_shape_ = input.shape();
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  Tensor out({n, c, h / 2, w / 2});
+  argmax_.assign(out.size(), 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h; y += 2) {
+        for (std::size_t x = 0; x < w; x += 2) {
+          const std::size_t base = ((b * c + ch) * h + y) * w + x;
+          std::size_t best = base;
+          for (const std::size_t candidate :
+               {base + 1, base + w, base + w + 1}) {
+            if (input.at(candidate) > input.at(best)) best = candidate;
+          }
+          const std::size_t out_index =
+              ((b * c + ch) * (h / 2) + y / 2) * (w / 2) + x / 2;
+          out.at(out_index) = input.at(best);
+          argmax_[out_index] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad) {
+  Tensor out(input_shape_);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    out.at(argmax_[i]) += grad.at(i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& input) {
+  input_ = input;
+  Tensor out = input;
+  for (float& v : out.values()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad) {
+  Tensor out = grad;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (input_.at(i) <= 0.0f) out.at(i) = 0.0f;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  Tensor out = input;
+  out.reshape({input.dim(0), input.size() / input.dim(0)});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad) {
+  Tensor out = grad;
+  out.reshape(input_shape_);
+  return out;
+}
+
+// ------------------------------------------------------------- factory ----
+
+std::unique_ptr<Layer> layer_from_spec(const LayerSpec& spec, Rng& rng) {
+  const auto attr = [&](const std::string& name) {
+    return static_cast<std::size_t>(spec.attrs.at(name));
+  };
+  if (spec.kind == "dense") {
+    return std::make_unique<Dense>(attr("in"), attr("out"), rng);
+  }
+  if (spec.kind == "conv2d") {
+    return std::make_unique<Conv2D>(attr("cin"), attr("cout"), attr("kernel"),
+                                    attr("height"), attr("width"), rng);
+  }
+  if (spec.kind == "relu") return std::make_unique<ReLU>();
+  if (spec.kind == "maxpool") return std::make_unique<MaxPool2D>();
+  if (spec.kind == "flatten") return std::make_unique<Flatten>();
+  throw std::invalid_argument("layer_from_spec: unknown kind '" + spec.kind +
+                              "'");
+}
+
+}  // namespace ps::ml

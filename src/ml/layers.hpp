@@ -1,0 +1,121 @@
+// Neural network layers: Dense, Conv2D, ReLU, Flatten.
+//
+// Layers own their parameters and gradients and implement forward/backward.
+// Each layer exposes a serializable spec so models reconstruct on remote
+// processes (the FL aggregator ships whole models to edge devices).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/tensor.hpp"
+
+namespace ps::ml {
+
+/// Serializable layer description (architecture without weights).
+struct LayerSpec {
+  std::string kind;
+  std::map<std::string, std::int64_t> attrs;
+
+  bool operator==(const LayerSpec&) const = default;
+  auto serde_members() { return std::tie(kind, attrs); }
+  auto serde_members() const { return std::tie(kind, attrs); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  /// `grad` w.r.t. the layer output; returns grad w.r.t. the input and
+  /// accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad) = 0;
+
+  virtual std::vector<Tensor*> parameters() { return {}; }
+  virtual std::vector<Tensor*> gradients() { return {}; }
+  virtual LayerSpec spec() const = 0;
+
+  void zero_gradients();
+  void sgd_step(float lr);
+};
+
+/// Fully connected layer: y = x W + b, x is [N, in].
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&dweight_, &dbias_}; }
+  LayerSpec spec() const override;
+
+  std::size_t in() const { return in_; }
+  std::size_t out() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor weight_, bias_, dweight_, dbias_;
+  Tensor input_;  // cached for backward
+};
+
+/// 2-D convolution, stride 1, zero padding to preserve H x W.
+/// Input [N, C, H, W]; kernels [F, C, K, K]; output [N, F, H, W].
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t height, std::size_t width, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&dweight_, &dbias_}; }
+  LayerSpec spec() const override;
+
+ private:
+  std::size_t cin_, cout_, k_, h_, w_;
+  Tensor weight_, bias_, dweight_, dbias_;
+  Tensor input_;
+};
+
+/// 2x2 max pooling, stride 2. Input [N, C, H, W] with even H and W;
+/// output [N, C, H/2, W/2].
+class MaxPool2D : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad) override;
+  LayerSpec spec() const override { return LayerSpec{.kind = "maxpool", .attrs = {}}; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad) override;
+  LayerSpec spec() const override { return LayerSpec{.kind = "relu", .attrs = {}}; }
+
+ private:
+  Tensor input_;
+};
+
+/// Collapses all trailing dimensions: [N, ...] -> [N, prod(...)].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad) override;
+  LayerSpec spec() const override { return LayerSpec{.kind = "flatten", .attrs = {}}; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+/// Reconstructs a layer from its spec (fresh weights from `rng`).
+std::unique_ptr<Layer> layer_from_spec(const LayerSpec& spec, Rng& rng);
+
+}  // namespace ps::ml

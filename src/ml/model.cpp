@@ -1,0 +1,189 @@
+#include "ml/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ps::ml {
+
+Model::Model(std::vector<std::unique_ptr<Layer>> layers)
+    : layers_(std::move(layers)) {}
+
+void Model::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Model::forward(const Tensor& input) {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+void Model::backward(const Tensor& grad) {
+  Tensor g = grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+void Model::zero_gradients() {
+  for (const auto& layer : layers_) layer->zero_gradients();
+}
+
+void Model::sgd_step(float lr) {
+  for (const auto& layer : layers_) layer->sgd_step(lr);
+}
+
+std::size_t Model::parameter_count() const {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) {
+    for (const Tensor* p :
+         const_cast<Layer&>(*layer).parameters()) {
+      count += p->size();
+    }
+  }
+  return count;
+}
+
+ModelState Model::state() const {
+  ModelState state;
+  for (const auto& layer : layers_) {
+    state.specs.push_back(layer->spec());
+    for (const Tensor* p : const_cast<Layer&>(*layer).parameters()) {
+      state.weights.push_back(*p);
+    }
+  }
+  return state;
+}
+
+void Model::set_state(const ModelState& state) {
+  std::size_t weight_index = 0;
+  if (state.specs.size() != layers_.size()) {
+    throw std::invalid_argument("Model::set_state: architecture mismatch");
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->spec() != state.specs[i]) {
+      throw std::invalid_argument("Model::set_state: layer spec mismatch");
+    }
+    for (Tensor* p : layers_[i]->parameters()) {
+      if (weight_index >= state.weights.size() ||
+          state.weights[weight_index].shape() != p->shape()) {
+        throw std::invalid_argument("Model::set_state: weight shape mismatch");
+      }
+      *p = state.weights[weight_index++];
+    }
+  }
+  if (weight_index != state.weights.size()) {
+    throw std::invalid_argument("Model::set_state: extra weights");
+  }
+}
+
+Model Model::from_state(const ModelState& state) {
+  // Weights are overwritten by set_state; the init RNG seed is irrelevant.
+  Rng rng(0);
+  Model model;
+  for (const LayerSpec& spec : state.specs) {
+    model.add(layer_from_spec(spec, rng));
+  }
+  model.set_state(state);
+  return model;
+}
+
+std::vector<Layer*> Model::layers() {
+  std::vector<Layer*> out;
+  out.reserve(layers_.size());
+  for (const auto& layer : layers_) out.push_back(layer.get());
+  return out;
+}
+
+std::pair<float, Tensor> softmax_cross_entropy(
+    const Tensor& logits, const std::vector<std::size_t>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
+  }
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor grad({n, c});
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    float max_logit = logits.at(i, 0);
+    for (std::size_t j = 1; j < c; ++j) {
+      max_logit = std::max(max_logit, logits.at(i, j));
+    }
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) {
+      denom += std::exp(logits.at(i, j) - max_logit);
+    }
+    const std::size_t label = labels[i];
+    if (label >= c) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float log_prob =
+        logits.at(i, label) - max_logit - std::log(denom);
+    loss -= log_prob;
+    for (std::size_t j = 0; j < c; ++j) {
+      const float prob = std::exp(logits.at(i, j) - max_logit) / denom;
+      grad.at(i, j) =
+          (prob - (j == label ? 1.0f : 0.0f)) / static_cast<float>(n);
+    }
+  }
+  return {loss / static_cast<float>(n), std::move(grad)};
+}
+
+std::pair<float, Tensor> mse_loss(const Tensor& output,
+                                  const std::vector<float>& targets) {
+  if (output.rank() != 2 || output.dim(1) != 1 ||
+      output.dim(0) != targets.size()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  const std::size_t n = output.dim(0);
+  Tensor grad({n, 1});
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float diff = output.at(i, 0) - targets[i];
+    loss += diff * diff;
+    grad.at(i, 0) = 2.0f * diff / static_cast<float>(n);
+  }
+  return {loss / static_cast<float>(n), std::move(grad)};
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& logits) {
+  std::vector<std::size_t> out(logits.dim(0));
+  for (std::size_t i = 0; i < logits.dim(0); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.dim(1); ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  const auto predictions = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(labels.size());
+}
+
+ModelState federated_average(const std::vector<ModelState>& states) {
+  if (states.empty()) {
+    throw std::invalid_argument("federated_average: no models");
+  }
+  ModelState out = states.front();
+  for (std::size_t s = 1; s < states.size(); ++s) {
+    if (states[s].specs != out.specs) {
+      throw std::invalid_argument("federated_average: architecture mismatch");
+    }
+    for (std::size_t w = 0; w < out.weights.size(); ++w) {
+      out.weights[w] += states[s].weights[w];
+    }
+  }
+  const float scale = 1.0f / static_cast<float>(states.size());
+  for (Tensor& w : out.weights) w *= scale;
+  return out;
+}
+
+}  // namespace ps::ml

@@ -1,0 +1,75 @@
+// Sequential model with softmax-cross-entropy / MSE heads, SGD training,
+// serialization, and federated averaging.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ml/layers.hpp"
+
+namespace ps::ml {
+
+/// Serializable model snapshot: architecture + flattened weights.
+struct ModelState {
+  std::vector<LayerSpec> specs;
+  std::vector<Tensor> weights;
+
+  bool operator==(const ModelState&) const = default;
+  auto serde_members() { return std::tie(specs, weights); }
+  auto serde_members() const { return std::tie(specs, weights); }
+};
+
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::vector<std::unique_ptr<Layer>> layers);
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& input);
+  /// Backpropagates `grad` (w.r.t. the output) through all layers.
+  void backward(const Tensor& grad);
+  void zero_gradients();
+  void sgd_step(float lr);
+
+  std::size_t parameter_count() const;
+
+  ModelState state() const;
+  void set_state(const ModelState& state);
+  static Model from_state(const ModelState& state);
+
+  Bytes serialize() const { return serde::to_bytes(state()); }
+  static Model deserialize(BytesView data) {
+    return from_state(serde::from_bytes<ModelState>(data));
+  }
+
+  std::vector<Layer*> layers();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Softmax cross-entropy over logits [N, C] with integer labels.
+/// Returns (mean loss, grad w.r.t. logits).
+std::pair<float, Tensor> softmax_cross_entropy(
+    const Tensor& logits, const std::vector<std::size_t>& labels);
+
+/// Mean squared error for regression outputs [N, 1].
+std::pair<float, Tensor> mse_loss(const Tensor& output,
+                                  const std::vector<float>& targets);
+
+/// argmax over each row of [N, C].
+std::vector<std::size_t> argmax_rows(const Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+/// Federated averaging: element-wise mean of the models' weights. All
+/// states must share an architecture.
+ModelState federated_average(const std::vector<ModelState>& states);
+
+}  // namespace ps::ml

@@ -1,0 +1,119 @@
+#include "ml/tensor.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+
+namespace ps::ml {
+
+namespace {
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  if (element_count(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch");
+  }
+  shape_ = std::move(shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("Tensor::+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("Tensor::-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scale) {
+  for (float& v : data_) v *= scale;
+  return *this;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes");
+  }
+  const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  Tensor c({n, m});
+  // Output rows are independent: fork-join across them for big products.
+  const std::size_t min_rows_per_block =
+      std::max<std::size_t>(1, 250'000 / std::max<std::size_t>(k * m, 1));
+  parallel_for_blocks(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::size_t p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            if (av == 0.0f) continue;
+            const float* brow = b.data() + p * m;
+            float* crow = c.data() + i * m;
+            for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      min_rows_per_block);
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("matmul_bt: incompatible shapes");
+  }
+  const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
+  Tensor c({n, m});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* arow = a.data() + i * k;
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("matmul_at: incompatible shapes");
+  }
+  const std::size_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
+  Tensor c({n, m});
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * n;
+    const float* brow = b.data() + p * m;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + i * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace ps::ml

@@ -1,0 +1,79 @@
+// Dense float tensors for the mini deep-learning library.
+//
+// The federated-learning (Figure 10), defect-analysis (Table 2), and
+// molecular-design (Figure 11) applications need real trainable models whose
+// serialized size scales with architecture. This library implements the
+// minimum honestly: row-major tensors, matmul, conv2d, and SGD.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  /// He/Glorot-style uniform init in [-limit, limit].
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng,
+                      float stddev);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& values() { return data_; }
+  const std::vector<float>& values() const { return data_; }
+
+  float& at(std::size_t i) { return data_.at(i); }
+  float at(std::size_t i) const { return data_.at(i); }
+
+  /// 2-D accessors (row-major).
+  float& at(std::size_t r, std::size_t c) { return data_[r * shape_[1] + c]; }
+  float at(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Reshapes in place; the element count must match.
+  void reshape(std::vector<std::size_t> shape);
+
+  /// Elementwise operations (shapes must match).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scale);
+
+  bool operator==(const Tensor&) const = default;
+
+  auto serde_members() { return std::tie(shape_, data_); }
+  auto serde_members() const { return std::tie(shape_, data_); }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// C = A (n x k) * B (k x m). Shapes validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A (n x k) * B^T where B is (m x k).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+/// C = A^T (k x n -> n x k) * B (k x m)... i.e. a' (k x n) with a (n x k).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+}  // namespace ps::ml

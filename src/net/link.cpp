@@ -1,0 +1,120 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ps::net {
+
+std::string to_string(Congestion c) {
+  switch (c) {
+    case Congestion::kLan:
+      return "lan";
+    case Congestion::kRdma:
+      return "rdma";
+    case Congestion::kTcpWan:
+      return "tcp-wan";
+    case Congestion::kBbrWan:
+      return "bbr-wan";
+    case Congestion::kUdpThrottled:
+      return "udp-throttled";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Extra round trips a ramping protocol spends opening its window before
+/// the flow runs at line rate: the window doubles from init_window each
+/// RTT until it covers min(transfer size, bandwidth-delay product).
+double ramp_rtts(const LinkProfile& p, double bytes, double bw) {
+  switch (p.congestion) {
+    case Congestion::kLan:
+    case Congestion::kRdma:
+      return 0.0;
+    case Congestion::kTcpWan:
+    case Congestion::kBbrWan:
+    case Congestion::kUdpThrottled:
+      break;
+  }
+  const double bdp = std::max(p.init_window_bytes, bw * p.latency_s);
+  const double target = std::min(bytes, bdp);
+  const double doublings =
+      std::log2(1.0 + target / std::max(p.init_window_bytes, 1.0));
+  return doublings * p.ramp_rtt_factor;
+}
+
+}  // namespace
+
+double LinkProfile::transfer_time(std::size_t bytes) const {
+  double bw = std::max(bandwidth_Bps, 1.0);
+  if (throttle_Bps > 0.0) bw = std::min(bw, throttle_Bps);
+  return per_msg_overhead_s + latency_s +
+         latency_s * ramp_rtts(*this, static_cast<double>(bytes), bw) +
+         static_cast<double>(bytes) / bw;
+}
+
+double LinkProfile::effective_bandwidth(std::size_t bytes) const {
+  if (bytes == 0) return std::max(bandwidth_Bps, 1.0);
+  double bw = std::max(bandwidth_Bps, 1.0);
+  if (throttle_Bps > 0.0) bw = std::min(bw, throttle_Bps);
+  const double payload_time =
+      latency_s * ramp_rtts(*this, static_cast<double>(bytes), bw) +
+      static_cast<double>(bytes) / bw;
+  return static_cast<double>(bytes) / std::max(payload_time, 1e-12);
+}
+
+LinkProfile loopback_profile() {
+  return LinkProfile{.latency_s = 2e-6,
+                     .bandwidth_Bps = 20e9,
+                     .per_msg_overhead_s = 1e-6,
+                     .congestion = Congestion::kLan};
+}
+
+LinkProfile hpc_interconnect(double latency_s, double bandwidth_Bps) {
+  return LinkProfile{.latency_s = latency_s,
+                     .bandwidth_Bps = bandwidth_Bps,
+                     .per_msg_overhead_s = 5e-6,
+                     .congestion = Congestion::kLan};
+}
+
+LinkProfile rdma_fabric(double latency_s, double bandwidth_Bps) {
+  return LinkProfile{.latency_s = latency_s,
+                     .bandwidth_Bps = bandwidth_Bps,
+                     .per_msg_overhead_s = 1e-6,
+                     .congestion = Congestion::kRdma};
+}
+
+LinkProfile wan_tcp(double latency_s, double bandwidth_Bps,
+                    double ramp_rtt_factor) {
+  return LinkProfile{.latency_s = latency_s,
+                     .bandwidth_Bps = bandwidth_Bps,
+                     .per_msg_overhead_s = 100e-6,
+                     .congestion = Congestion::kTcpWan,
+                     .ramp_rtt_factor = ramp_rtt_factor};
+}
+
+LinkProfile wan_bbr(double latency_s, double bandwidth_Bps,
+                    double ramp_rtt_factor) {
+  return LinkProfile{.latency_s = latency_s,
+                     .bandwidth_Bps = bandwidth_Bps,
+                     .per_msg_overhead_s = 100e-6,
+                     .congestion = Congestion::kBbrWan,
+                     .ramp_rtt_factor = ramp_rtt_factor};
+}
+
+LinkProfile wan_udp_throttled(double latency_s, double bandwidth_Bps,
+                              double throttle_Bps) {
+  if (throttle_Bps <= 0.0) {
+    throw std::invalid_argument("wan_udp_throttled: throttle must be > 0");
+  }
+  return LinkProfile{.latency_s = latency_s,
+                     .bandwidth_Bps = bandwidth_Bps,
+                     .per_msg_overhead_s = 200e-6,
+                     .congestion = Congestion::kUdpThrottled,
+                     // aiortc's congestion control ramps slower than BBR.
+                     .ramp_rtt_factor = 2.0,
+                     .throttle_Bps = throttle_Bps};
+}
+
+}  // namespace ps::net

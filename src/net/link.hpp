@@ -1,0 +1,66 @@
+// Link performance profiles.
+//
+// Each link in the federated fabric carries a latency / bandwidth /
+// congestion-control profile. Congestion control matters to the paper:
+// Section 5.3.2 attributes the PS-endpoint bandwidth gap to computing
+// centers throttling UDP and to aiortc's congestion control being slower
+// than BBR — we model both effects so Figure 9's shape reproduces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ps::net {
+
+/// Congestion / transport behaviour of a link.
+enum class Congestion {
+  kLan,           // full bandwidth immediately (HPC interconnect)
+  kRdma,          // near-zero per-message cost, full bandwidth
+  kTcpWan,        // TCP with slow-start ramp over the WAN
+  kBbrWan,        // BBR-like: faster ramp, higher sustained utilization
+  kUdpThrottled,  // UDP throttled by site policy (the aiortc 80 Mbps case)
+};
+
+std::string to_string(Congestion c);
+
+struct LinkProfile {
+  /// One-way propagation + protocol latency per message (seconds).
+  double latency_s = 0.0;
+  /// Peak sustainable bandwidth (bytes/second).
+  double bandwidth_Bps = 1e9;
+  /// Fixed software overhead per message (seconds).
+  double per_msg_overhead_s = 0.0;
+  Congestion congestion = Congestion::kLan;
+  /// Initial congestion window for ramping protocols (bytes). The classic
+  /// slow-start model: the window doubles each RTT from this value until
+  /// it covers the bandwidth-delay product. Ignored for kLan / kRdma.
+  double init_window_bytes = 14.6e3;  // 10 MSS
+  /// Multiplier on the slow-start RTT count: <1 for fast-ramping BBR-like
+  /// stacks, >1 for slow congestion control (the aiortc case).
+  double ramp_rtt_factor = 1.0;
+  /// Hard throughput cap applied after congestion effects (bytes/second);
+  /// 0 disables. Models site UDP policers.
+  double throttle_Bps = 0.0;
+
+  /// Effective achieved bandwidth for a transfer of `bytes`
+  /// (bytes / payload time, excluding fixed per-message costs).
+  double effective_bandwidth(std::size_t bytes) const;
+
+  /// One-way time to move `bytes` across this link as a single message:
+  /// fixed overhead + propagation + slow-start ramp RTTs + payload time at
+  /// the (possibly throttled) link bandwidth.
+  double transfer_time(std::size_t bytes) const;
+};
+
+/// Convenience profile constructors used by the testbed descriptions.
+LinkProfile loopback_profile();
+LinkProfile hpc_interconnect(double latency_s, double bandwidth_Bps);
+LinkProfile rdma_fabric(double latency_s, double bandwidth_Bps);
+LinkProfile wan_tcp(double latency_s, double bandwidth_Bps,
+                    double ramp_rtt_factor = 1.0);
+LinkProfile wan_bbr(double latency_s, double bandwidth_Bps,
+                    double ramp_rtt_factor = 0.4);
+LinkProfile wan_udp_throttled(double latency_s, double bandwidth_Bps,
+                              double throttle_Bps);
+
+}  // namespace ps::net

@@ -1,0 +1,27 @@
+#include "proc/process.hpp"
+
+#include "proc/world.hpp"
+
+namespace ps::proc {
+
+namespace {
+thread_local Process* t_current = nullptr;
+}  // namespace
+
+Process::Process(std::string name, std::string host, World* world)
+    : name_(std::move(name)), host_(std::move(host)), world_(world) {}
+
+Process& current_process() {
+  if (t_current == nullptr) {
+    t_current = &World::default_world().process("main");
+  }
+  return *t_current;
+}
+
+ProcessScope::ProcessScope(Process& process) : previous_(t_current) {
+  t_current = &process;
+}
+
+ProcessScope::~ProcessScope() { t_current = previous_; }
+
+}  // namespace ps::proc

@@ -1,0 +1,16 @@
+#include "proc/services.hpp"
+
+#include <algorithm>
+
+namespace ps::proc {
+
+std::vector<std::string> ServiceDirectory::addresses() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [address, entry] : entries_) out.push_back(address);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ps::proc

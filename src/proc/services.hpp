@@ -1,0 +1,85 @@
+// Service directory: the "network addressability" layer of the simulation.
+//
+// Real deployments address servers by host:port; in this in-process
+// reproduction, substrate servers (Redis-like KV servers, relay servers,
+// PS-endpoints, Globus transfer service, distributed store peers) register
+// themselves in the world's service directory under an address string, and
+// clients resolve the address to the live server object. ConnectorConfigs
+// carry only the address string, so they remain serializable exactly like
+// the Python implementation's connector configs.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ps::proc {
+
+class ServiceDirectory {
+ public:
+  /// Registers `service` under `address`. Re-registering an address replaces
+  /// the previous binding (a restarted server).
+  template <typename T>
+  void bind(const std::string& address, std::shared_ptr<T> service) {
+    std::lock_guard lock(mu_);
+    entries_.insert_or_assign(
+        address, Entry{std::type_index(typeid(T)), std::move(service)});
+  }
+
+  /// Resolves `address` to a service of type T.
+  /// Throws NotRegisteredError if absent or of a different type.
+  template <typename T>
+  std::shared_ptr<T> resolve(const std::string& address) const {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(address);
+    if (it == entries_.end()) {
+      throw NotRegisteredError("no service bound at '" + address + "'");
+    }
+    if (it->second.type != std::type_index(typeid(T))) {
+      throw NotRegisteredError("service at '" + address +
+                               "' has unexpected type");
+    }
+    return std::static_pointer_cast<T>(it->second.service);
+  }
+
+  /// Resolves `address` if present and of type T, else nullptr.
+  template <typename T>
+  std::shared_ptr<T> try_resolve(const std::string& address) const {
+    std::lock_guard lock(mu_);
+    const auto it = entries_.find(address);
+    if (it == entries_.end() ||
+        it->second.type != std::type_index(typeid(T))) {
+      return nullptr;
+    }
+    return std::static_pointer_cast<T>(it->second.service);
+  }
+
+  bool contains(const std::string& address) const {
+    std::lock_guard lock(mu_);
+    return entries_.contains(address);
+  }
+
+  /// Removes a binding (a stopped server). No-op if absent.
+  void unbind(const std::string& address) {
+    std::lock_guard lock(mu_);
+    entries_.erase(address);
+  }
+
+  std::vector<std::string> addresses() const;
+
+ private:
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<void> service;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace ps::proc

@@ -1,0 +1,49 @@
+#include "proc/world.hpp"
+
+#include "common/error.hpp"
+
+namespace ps::proc {
+
+World::World() = default;
+
+std::unique_ptr<World> World::make_local() {
+  auto world = std::make_unique<World>();
+  world->fabric().add_site("local", net::hpc_interconnect(5e-6, 10e9));
+  world->fabric().add_host("localhost", "local");
+  world->spawn("main", "localhost");
+  return world;
+}
+
+Process& World::spawn(const std::string& name, const std::string& host) {
+  if (!fabric_.has_host(host)) {
+    throw NotRegisteredError("World::spawn: unknown host " + host);
+  }
+  std::lock_guard lock(mu_);
+  for (const auto& p : processes_) {
+    if (p->name() == name) {
+      throw NotRegisteredError("World::spawn: duplicate process " + name);
+    }
+  }
+  processes_.push_back(std::make_unique<Process>(name, host, this));
+  return *processes_.back();
+}
+
+Process& World::process(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (const auto& p : processes_) {
+    if (p->name() == name) return *p;
+  }
+  throw NotRegisteredError("World::process: unknown process " + name);
+}
+
+World& World::default_world() {
+  static World* world = [] {
+    // Leaked intentionally: the default world must outlive all static
+    // destructors of user code that might still reference it.
+    auto owned = make_local();
+    return owned.release();
+  }();
+  return *world;
+}
+
+}  // namespace ps::proc

@@ -1,0 +1,55 @@
+// World: one isolated simulation universe.
+//
+// A World owns the network fabric (topology + virtual clock), the service
+// directory (addressable substrate servers), and the simulated processes.
+// Tests construct private Worlds for isolation; a lazily created default
+// World with a single "local" host backs code that runs outside any
+// explicit scope.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "proc/process.hpp"
+#include "proc/services.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ps::proc {
+
+class World {
+ public:
+  /// Creates a world with an empty fabric. Call fabric() to build topology,
+  /// then spawn processes on its hosts.
+  World();
+
+  /// Creates a world with a minimal single-site fabric ("local" site,
+  /// "localhost" host) — convenient for unit tests.
+  static std::unique_ptr<World> make_local();
+
+  net::Fabric& fabric() { return fabric_; }
+  const net::Fabric& fabric() const { return fabric_; }
+  ServiceDirectory& services() { return services_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+  sim::VirtualClock& clock() { return fabric_.clock(); }
+
+  /// Creates a process pinned to `host` (which must exist in the fabric).
+  Process& spawn(const std::string& name, const std::string& host);
+
+  /// Looks up a previously spawned process by name.
+  Process& process(const std::string& name);
+
+  /// The default world used by threads that never entered a scope.
+  static World& default_world();
+
+ private:
+  net::Fabric fabric_;
+  ServiceDirectory services_;
+  sim::Scheduler scheduler_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace ps::proc

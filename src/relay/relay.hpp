@@ -1,0 +1,83 @@
+// Relay (signaling) server for PS-endpoint peering (paper section 4.2.2,
+// Figure 4).
+//
+// PS-endpoints register with a publicly accessible relay server over a
+// WebSocket-like channel; the relay assigns UUIDs and forwards the small
+// (O(KB)) session-description and ICE-candidate messages that bootstrap a
+// peer-to-peer connection. The relay never carries object data — its
+// hosting requirement is minimal, exactly as in the paper.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/uuid.hpp"
+#include "proc/world.hpp"
+
+namespace ps::relay {
+
+/// A signaling message forwarded between peers through the relay.
+struct RelayMessage {
+  Uuid from;
+  Uuid to;
+  /// "offer" | "answer" | "ice" (SDP exchange then ICE candidates).
+  std::string kind;
+  /// Message body (session description / candidate list).
+  std::string payload;
+  /// Virtual arrival time at the receiving endpoint.
+  double stamp = 0.0;
+};
+
+class RelayServer {
+ public:
+  using Handler = std::function<void(const RelayMessage&)>;
+
+  /// Starts a relay bound at "relay://<host>/<name>" in `world`.
+  static std::shared_ptr<RelayServer> start(proc::World& world,
+                                            const std::string& host,
+                                            const std::string& name);
+
+  RelayServer(proc::World& world, std::string host);
+
+  /// Registers an endpoint living on fabric host `endpoint_host`; the relay
+  /// assigns a UUID when `preferred` is nil (paper: "the relay server
+  /// assigns a unique UUID if not already assigned"). `handler` receives
+  /// forwarded messages (the endpoint's WebSocket listener task).
+  Uuid register_endpoint(const Uuid& preferred,
+                         const std::string& endpoint_host, Handler handler);
+
+  void unregister_endpoint(const Uuid& id);
+
+  /// Forwards `message` to its target, charging the sender's virtual time
+  /// with the two legs (sender -> relay -> target). Throws ProtocolError if
+  /// the target is not registered.
+  void forward(RelayMessage message);
+
+  /// Fabric host of a registered endpoint.
+  const std::string& endpoint_host(const Uuid& id) const;
+
+  bool is_registered(const Uuid& id) const;
+  std::size_t endpoint_count() const;
+  const std::string& host() const { return host_; }
+
+  /// Total signaling messages forwarded (observability).
+  std::uint64_t forwarded_count() const;
+
+ private:
+  struct Registration {
+    std::string host;
+    Handler handler;
+  };
+
+  proc::World& world_;
+  std::string host_;
+  mutable std::mutex mu_;
+  std::map<Uuid, Registration> endpoints_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace ps::relay

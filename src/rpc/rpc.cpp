@@ -1,0 +1,73 @@
+#include "rpc/rpc.hpp"
+
+#include "common/error.hpp"
+#include "proc/process.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::rpc {
+
+std::string rpc_address(const std::string& transport, const std::string& host,
+                        const std::string& name) {
+  return "rpc://" + transport + "/" + host + "/" + name;
+}
+
+std::shared_ptr<RpcServer> RpcServer::start(proc::World& world,
+                                            const std::string& host,
+                                            const std::string& name,
+                                            TransportProfile transport) {
+  auto server = std::make_shared<RpcServer>(host, transport);
+  world.services().bind<RpcServer>(rpc_address(transport.name, host, name),
+                                   server);
+  return server;
+}
+
+RpcServer::RpcServer(std::string host, TransportProfile transport)
+    : host_(std::move(host)), transport_(std::move(transport)) {}
+
+void RpcServer::register_handler(const std::string& op, Handler handler) {
+  std::lock_guard lock(mu_);
+  handlers_[op] = std::move(handler);
+}
+
+double RpcServer::service_time(std::size_t bytes) const {
+  // Handler dispatch plus a memory pass over the payload.
+  return transport_.sw_overhead_s + static_cast<double>(bytes) / 10e9;
+}
+
+std::pair<Bytes, double> RpcServer::handle(const std::string& op,
+                                           BytesView request, double arrival) {
+  Handler handler;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = handlers_.find(op);
+    if (it == handlers_.end()) {
+      throw ProtocolError("RpcServer: no handler for op '" + op + "'");
+    }
+    handler = it->second;
+  }
+  Bytes response = handler(request);
+  const double done = queue_.schedule(
+      arrival, service_time(request.size() + response.size()));
+  return {std::move(response), done};
+}
+
+RpcClient::RpcClient(const std::string& address)
+    : server_(proc::current_process().world().services().resolve<RpcServer>(
+          address)) {}
+
+Bytes RpcClient::call(const std::string& op, BytesView request) {
+  proc::World& world = proc::current_process().world();
+  const std::string& here = proc::current_process().host();
+  const std::string& there = server_->host();
+  const TransportProfile& transport = server_->transport();
+
+  const double arrival =
+      sim::vnow() +
+      transport.transfer_time(world.fabric(), here, there, request.size());
+  auto [response, done] = server_->handle(op, request, arrival);
+  sim::vset(done + transport.transfer_time(world.fabric(), there, here,
+                                           response.size()));
+  return std::move(response);
+}
+
+}  // namespace ps::rpc

@@ -1,0 +1,72 @@
+// Mercury/Margo-like RPC: named handlers over a transport profile.
+//
+// Servers register byte-level handlers; clients call them by name. Each call
+// charges the caller's virtual time with request transfer, FIFO service
+// queueing on the server, and response transfer — the client-observed RPC
+// round trip, parameterized by the transport (Margo / UCX / ZMQ).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "proc/world.hpp"
+#include "rpc/transport.hpp"
+#include "sim/resource.hpp"
+
+namespace ps::rpc {
+
+class RpcServer {
+ public:
+  using Handler = std::function<Bytes(BytesView)>;
+
+  /// Creates a server on `host`, bound at "rpc://<transport>/<host>/<name>".
+  static std::shared_ptr<RpcServer> start(proc::World& world,
+                                          const std::string& host,
+                                          const std::string& name,
+                                          TransportProfile transport);
+
+  RpcServer(std::string host, TransportProfile transport);
+
+  void register_handler(const std::string& op, Handler handler);
+
+  /// Invoked by RpcClient: runs the handler. `arrival` is the request's
+  /// virtual arrival time; returns (response, virtual completion time).
+  std::pair<Bytes, double> handle(const std::string& op, BytesView request,
+                                  double arrival);
+
+  const std::string& host() const { return host_; }
+  const TransportProfile& transport() const { return transport_; }
+
+  /// Per-request service time for a payload of `bytes`.
+  double service_time(std::size_t bytes) const;
+
+ private:
+  std::string host_;
+  TransportProfile transport_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Handler> handlers_;
+  sim::Resource queue_{1};
+};
+
+std::string rpc_address(const std::string& transport, const std::string& host,
+                        const std::string& name);
+
+class RpcClient {
+ public:
+  /// Connects to the server at `address` in the current world.
+  explicit RpcClient(const std::string& address);
+
+  /// Calls `op`, charging virtual time for the full round trip.
+  Bytes call(const std::string& op, BytesView request);
+
+  RpcServer& server() { return *server_; }
+
+ private:
+  std::shared_ptr<RpcServer> server_;
+};
+
+}  // namespace ps::rpc

@@ -1,0 +1,63 @@
+#include "rpc/transport.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ps::rpc {
+
+double TransportProfile::efficiency_for(net::Congestion c) const {
+  const auto it = efficiency.find(c);
+  return it == efficiency.end() ? 0.8 : it->second;
+}
+
+double TransportProfile::transfer_time(const net::Fabric& fabric,
+                                       const std::string& from,
+                                       const std::string& to,
+                                       std::size_t bytes) const {
+  const net::Route route = fabric.route(from, to);
+  double total = 0.0;
+  for (const net::Hop& hop : route.hops) {
+    net::LinkProfile p = hop.profile;
+    p.bandwidth_Bps =
+        std::max(1.0, p.bandwidth_Bps * efficiency_for(p.congestion));
+    p.per_msg_overhead_s += sw_overhead_s;
+    total += p.transfer_time(bytes);
+  }
+  return total;
+}
+
+TransportProfile margo_transport() {
+  return TransportProfile{
+      .name = "margo",
+      .sw_overhead_s = 4e-6,
+      .efficiency = {{net::Congestion::kRdma, 0.92},
+                     {net::Congestion::kLan, 0.85}}};
+}
+
+TransportProfile ucx_transport() {
+  return TransportProfile{
+      .name = "ucx",
+      .sw_overhead_s = 6e-6,
+      // Matches Margo on RDMA fabrics; measurably worse on commodity LAN
+      // (the Chameleon 40GbE observation in the paper).
+      .efficiency = {{net::Congestion::kRdma, 0.92},
+                     {net::Congestion::kLan, 0.35}}};
+}
+
+TransportProfile zmq_transport() {
+  return TransportProfile{
+      .name = "zmq",
+      .sw_overhead_s = 45e-6,
+      .efficiency = {{net::Congestion::kRdma, 0.55},
+                     {net::Congestion::kLan, 0.55}}};
+}
+
+TransportProfile transport_by_name(const std::string& name) {
+  if (name == "margo") return margo_transport();
+  if (name == "ucx") return ucx_transport();
+  if (name == "zmq") return zmq_transport();
+  throw NotRegisteredError("unknown transport '" + name + "'");
+}
+
+}  // namespace ps::rpc

@@ -1,0 +1,46 @@
+// HPC transport profiles for the RPC substrate.
+//
+// The paper's distributed in-memory connectors use Margo (Mercury RPC over
+// RDMA), UCX, and ZeroMQ. Each transport achieves a different fraction of
+// the physical link bandwidth and adds different per-message software
+// overhead; crucially, UCX underperformed on Chameleon's 40GbE fabric while
+// matching Margo on Polaris's Slingshot (paper section 5.1, Figure 6). We
+// encode that as a per-link-class efficiency table.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "net/fabric.hpp"
+
+namespace ps::rpc {
+
+struct TransportProfile {
+  std::string name;
+  /// Fixed software overhead per RPC (request processing, protocol).
+  double sw_overhead_s = 10e-6;
+  /// Fraction of physical link bandwidth achieved, per link class.
+  std::map<net::Congestion, double> efficiency;
+
+  double efficiency_for(net::Congestion c) const;
+
+  /// One-way time to move `bytes` from `from` to `to` over this transport.
+  double transfer_time(const net::Fabric& fabric, const std::string& from,
+                       const std::string& to, std::size_t bytes) const;
+};
+
+/// Margo/Mercury over RDMA: tiny overhead, near-wire bandwidth everywhere.
+TransportProfile margo_transport();
+
+/// UCX: matches Margo on modern HPC fabrics (Slingshot) but achieves a
+/// fraction of peak on commodity 40GbE (the Chameleon anomaly).
+TransportProfile ucx_transport();
+
+/// ZeroMQ fallback: TCP-based, higher overhead, moderate bandwidth.
+TransportProfile zmq_transport();
+
+/// Lookup by name ("margo" | "ucx" | "zmq"); throws on unknown.
+TransportProfile transport_by_name(const std::string& name);
+
+}  // namespace ps::rpc

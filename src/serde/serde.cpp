@@ -1,0 +1,9 @@
+#include "serde/serde.hpp"
+
+// The framework is header-only templates; this TU exists so the library has
+// an object file and to host non-template helpers if they grow.
+namespace ps::serde {
+namespace {
+[[maybe_unused]] constexpr int kAnchor = 0;
+}
+}  // namespace ps::serde

@@ -1,0 +1,20 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ps::sim {
+
+SimTime VirtualClock::advance(SimTime dt) {
+  if (dt < 0.0) throw std::invalid_argument("VirtualClock: negative advance");
+  std::lock_guard lock(mu_);
+  now_ += dt;
+  return now_;
+}
+
+void VirtualClock::advance_to(SimTime t) {
+  std::lock_guard lock(mu_);
+  now_ = std::max(now_, t);
+}
+
+}  // namespace ps::sim

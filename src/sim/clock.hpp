@@ -1,0 +1,42 @@
+// Virtual time.
+//
+// Benchmarks run the real data path through the in-process substrates but
+// account time on a virtual clock driven by the network/service cost models.
+// This makes every figure in EXPERIMENTS.md deterministic and independent of
+// the machine the reproduction runs on.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace ps::sim {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// Monotonic virtual clock. Thread-safe: substrates running on different
+/// service threads charge costs concurrently.
+class VirtualClock {
+ public:
+  SimTime now() const {
+    std::lock_guard lock(mu_);
+    return now_;
+  }
+
+  /// Advances the clock by `dt` seconds and returns the new time.
+  SimTime advance(SimTime dt);
+
+  /// Moves the clock forward to `t` if `t` is later than now.
+  void advance_to(SimTime t);
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    now_ = 0.0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace ps::sim

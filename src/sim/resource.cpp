@@ -1,0 +1,48 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ps::sim {
+
+Resource::Resource(std::size_t servers) : servers_(servers) {
+  if (servers == 0) throw std::invalid_argument("Resource: zero servers");
+}
+
+SimTime Resource::schedule(SimTime arrival, SimTime service) {
+  if (service < 0.0) throw std::invalid_argument("Resource: negative service");
+  std::lock_guard lock(mu_);
+  // Backlog drains at `servers` service-seconds per second between
+  // arrivals. Out-of-(virtual-)order arrivals see the backlog as-is.
+  if (arrival > last_arrival_) {
+    backlog_ = std::max(
+        0.0, backlog_ - (arrival - last_arrival_) *
+                            static_cast<SimTime>(servers_));
+    last_arrival_ = arrival;
+  }
+  const SimTime wait = backlog_ / static_cast<SimTime>(servers_);
+  backlog_ += service;
+  busy_ += service;
+  ++completed_;
+  return arrival + wait + service;
+}
+
+SimTime Resource::busy_time() const {
+  std::lock_guard lock(mu_);
+  return busy_;
+}
+
+std::size_t Resource::completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+void Resource::reset() {
+  std::lock_guard lock(mu_);
+  backlog_ = 0.0;
+  last_arrival_ = 0.0;
+  busy_ = 0.0;
+  completed_ = 0;
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,45 @@
+#include "sim/scheduler.hpp"
+
+#include <limits>
+
+namespace ps::sim {
+
+void Scheduler::at(SimTime when, Callback fn) {
+  std::lock_guard lock(mu_);
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t Scheduler::run_until(SimTime until) {
+  std::size_t fired = 0;
+  for (;;) {
+    Callback fn;
+    SimTime when;
+    {
+      std::lock_guard lock(mu_);
+      if (events_.empty() || events_.top().when > until) break;
+      when = events_.top().when;
+      fn = events_.top().fn;
+      events_.pop();
+    }
+    fn(when);
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t Scheduler::run_all() {
+  return run_until(std::numeric_limits<SimTime>::infinity());
+}
+
+SimTime Scheduler::next_event_time() const {
+  std::lock_guard lock(mu_);
+  if (events_.empty()) return std::numeric_limits<SimTime>::infinity();
+  return events_.top().when;
+}
+
+bool Scheduler::empty() const {
+  std::lock_guard lock(mu_);
+  return events_.empty();
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,31 @@
+#include "sim/vtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ps::sim {
+
+namespace {
+thread_local SimTime t_vnow = 0.0;
+}  // namespace
+
+SimTime vnow() { return t_vnow; }
+
+void vset(SimTime t) { t_vnow = t; }
+
+void vadvance(SimTime dt) {
+  if (dt < 0.0) throw std::invalid_argument("vadvance: negative dt");
+  t_vnow += dt;
+}
+
+void vmerge(SimTime t) { t_vnow = std::max(t_vnow, t); }
+
+VtimeScope::VtimeScope() : start_(t_vnow) {}
+
+SimTime VtimeScope::elapsed() const { return t_vnow - start_; }
+
+VtimeGuard::VtimeGuard() : saved_(t_vnow) {}
+
+VtimeGuard::~VtimeGuard() { t_vnow = saved_; }
+
+}  // namespace ps::sim

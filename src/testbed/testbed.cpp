@@ -1,0 +1,144 @@
+#include "testbed/testbed.hpp"
+
+namespace ps::testbed {
+
+namespace {
+
+/// Login-node-style host: local scratch, moderate file system.
+net::Host login_host() {
+  net::Host h;
+  h.disk_write_Bps = 0.8e9;
+  h.disk_read_Bps = 1.6e9;
+  h.file_latency_s = 1.5e-3;
+  h.mem_Bps = 8e9;
+  return h;
+}
+
+/// Compute node on a parallel file system: high bandwidth, higher metadata
+/// latency (Lustre-like).
+net::Host compute_host() {
+  net::Host h;
+  h.disk_write_Bps = 2e9;
+  h.disk_read_Bps = 4e9;
+  h.file_latency_s = 4e-3;
+  h.mem_Bps = 10e9;
+  return h;
+}
+
+/// Frontera's file system measured slower in the paper's IPFS comparison.
+net::Host frontera_host() {
+  net::Host h;
+  h.disk_write_Bps = 0.3e9;
+  h.disk_read_Bps = 0.6e9;
+  h.file_latency_s = 6e-3;
+  h.mem_Bps = 8e9;
+  return h;
+}
+
+net::Host edge_host() {
+  net::Host h;
+  h.disk_write_Bps = 0.1e9;
+  h.disk_read_Bps = 0.2e9;
+  h.file_latency_s = 3e-3;
+  h.mem_Bps = 2e9;
+  return h;
+}
+
+}  // namespace
+
+Testbed build() {
+  Testbed tb;
+  tb.world = std::make_unique<proc::World>();
+  net::Fabric& fabric = tb.world->fabric();
+
+  // -- sites ------------------------------------------------------------
+  // Theta: Aries dragonfly.
+  fabric.add_site("theta", net::hpc_interconnect(1.5e-6, 14e9));
+  // Polaris: Slingshot 11 (RDMA, 25 GB/s).
+  fabric.add_site("polaris", net::rdma_fabric(1.8e-6, 25e9));
+  // Perlmutter: Slingshot.
+  fabric.add_site("perlmutter", net::rdma_fabric(1.8e-6, 25e9));
+  // Midway2 / Frontera login environments (clients only).
+  fabric.add_site("uchicago", net::hpc_interconnect(10e-6, 1.25e9));
+  fabric.add_site("tacc", net::hpc_interconnect(10e-6, 1.25e9));
+  // Chameleon: Mellanox ConnectX-3 40GbE (5 GB/s), commodity LAN class —
+  // the fabric where UCX underperforms.
+  fabric.add_site("chameleon", net::hpc_interconnect(18e-6, 5e9));
+  // AWS-like region for the Globus Compute cloud and the relay server.
+  fabric.add_site("aws", net::hpc_interconnect(60e-6, 5e9));
+  // The Fig 11 remote GPU node: its own NAT'd site.
+  fabric.add_site("gpu-lab", net::hpc_interconnect(10e-6, 10e9),
+                  /*behind_nat=*/true);
+  // Four FLoX edge sites, each behind NAT.
+  for (int i = 0; i < 4; ++i) {
+    fabric.add_site("edge-site-" + std::to_string(i),
+                    net::wan_tcp(0.5e-3, 12.5e6), /*behind_nat=*/true);
+  }
+
+  // -- hosts ------------------------------------------------------------
+  fabric.add_host(tb.theta_login, "theta", login_host());
+  fabric.add_host(tb.theta_compute0, "theta", compute_host());
+  fabric.add_host(tb.theta_compute1, "theta", compute_host());
+  fabric.add_host(tb.polaris_login, "polaris", login_host());
+  fabric.add_host(tb.polaris_compute0, "polaris", compute_host());
+  fabric.add_host(tb.polaris_compute1, "polaris", compute_host());
+  fabric.add_host(tb.perlmutter_login, "perlmutter", login_host());
+  fabric.add_host(tb.perlmutter_compute, "perlmutter", compute_host());
+  fabric.add_host(tb.midway_login, "uchicago", login_host());
+  fabric.add_host(tb.frontera_login, "tacc", frontera_host());
+  fabric.add_host(tb.chameleon0, "chameleon", compute_host());
+  fabric.add_host(tb.chameleon1, "chameleon", compute_host());
+  fabric.add_host(tb.cloud, "aws", login_host());
+  fabric.add_host(tb.relay_host, "aws", login_host());
+  fabric.add_host(tb.remote_gpu, "gpu-lab", compute_host());
+  for (std::size_t i = 0; i < tb.edge_devices.size(); ++i) {
+    fabric.add_host(tb.edge_devices[i], "edge-site-" + std::to_string(i),
+                    edge_host());
+  }
+
+  // -- WAN links ----------------------------------------------------------
+  // ANL machines share the lab backbone: fast, low latency.
+  const net::LinkProfile lab = net::wan_bbr(0.3e-3, 12.5e9);
+  fabric.connect_sites("theta", "polaris", lab);
+
+  // ESnet-class links between labs/universities (10 Gb/s effective).
+  const auto esnet = [](double latency) {
+    return net::wan_tcp(latency, 1.25e9);
+  };
+  fabric.connect_sites("theta", "uchicago", esnet(3e-3));      // ~50 km
+  fabric.connect_sites("polaris", "uchicago", esnet(3e-3));
+  fabric.connect_sites("theta", "tacc", esnet(25e-3));         // ~1500 km
+  fabric.connect_sites("polaris", "tacc", esnet(25e-3));
+  fabric.connect_sites("theta", "perlmutter", esnet(28e-3));
+  fabric.connect_sites("uchicago", "tacc", esnet(24e-3));
+  fabric.connect_sites("theta", "chameleon", esnet(18e-3));
+  fabric.connect_sites("uchicago", "chameleon", esnet(18e-3));
+
+  // Everything reaches the cloud region.
+  const net::LinkProfile to_cloud = net::wan_tcp(32e-3, 0.6e9);
+  for (const std::string site :
+       {"theta", "polaris", "perlmutter", "uchicago", "tacc", "chameleon",
+        "gpu-lab"}) {
+    fabric.connect_sites(site, "aws", to_cloud);
+  }
+
+  // The remote GPU lab (different NAT + auth domain than Theta).
+  fabric.connect_sites("theta", "gpu-lab", esnet(12e-3));
+  fabric.connect_sites("uchicago", "gpu-lab", esnet(10e-3));
+
+  // Edge devices: consumer uplinks (100 Mb/s) to the cloud and to the labs.
+  for (int i = 0; i < 4; ++i) {
+    const std::string site = "edge-site-" + std::to_string(i);
+    fabric.connect_sites(site, "aws", net::wan_tcp(20e-3, 12.5e6));
+    fabric.connect_sites(site, "theta", net::wan_tcp(25e-3, 12.5e6));
+    // Edge devices can peer with each other (hole-punched paths).
+    for (int j = 0; j < i; ++j) {
+      fabric.connect_sites(site, "edge-site-" + std::to_string(j),
+                           net::wan_tcp(30e-3, 12.5e6));
+    }
+  }
+
+  return tb;
+}
+
+}  // namespace ps::testbed

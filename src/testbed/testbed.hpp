@@ -1,0 +1,47 @@
+// The paper's testbed, as a simulated fabric (paper section 5).
+//
+// Machines: Theta (ANL, KNL + Aries dragonfly), Polaris (ANL, A100 +
+// Slingshot 11), Perlmutter (NERSC), Frontera (TACC), Midway2 (UChicago),
+// Chameleon Cloud (bare metal, 40GbE), an AWS-like cloud region hosting the
+// Globus Compute service and the relay server, and four NAT'd edge devices
+// (the FLoX testbed). Link latencies/bandwidths are calibrated to public
+// characteristics; absolute values matter less than the ratios that drive
+// the figures' shapes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proc/world.hpp"
+
+namespace ps::testbed {
+
+struct Testbed {
+  std::unique_ptr<proc::World> world;
+
+  // Host names (in the fabric) commonly used by the experiments.
+  std::string theta_login = "theta-login";
+  std::string theta_compute0 = "theta-compute-0";
+  std::string theta_compute1 = "theta-compute-1";
+  std::string polaris_login = "polaris-login";
+  std::string polaris_compute0 = "polaris-compute-0";
+  std::string polaris_compute1 = "polaris-compute-1";
+  std::string perlmutter_login = "perlmutter-login";
+  std::string perlmutter_compute = "perlmutter-compute-0";
+  std::string midway_login = "midway2-login";
+  std::string frontera_login = "frontera-login";
+  std::string chameleon0 = "chameleon-0";
+  std::string chameleon1 = "chameleon-1";
+  std::string cloud = "aws-cloud";
+  std::string relay_host = "aws-relay";
+  std::string remote_gpu = "remote-gpu";  // the Fig 11 GPU node behind NAT
+  std::vector<std::string> edge_devices = {"edge-0", "edge-1", "edge-2",
+                                           "edge-3"};
+};
+
+/// Builds the full multi-site fabric. No processes or services are spawned;
+/// experiments create what they need.
+Testbed build();
+
+}  // namespace ps::testbed

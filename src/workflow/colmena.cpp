@@ -1,0 +1,234 @@
+#include "workflow/colmena.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::workflow {
+
+Bytes resolve_value(const Value& value) {
+  if (const Bytes* raw = std::get_if<Bytes>(&value)) return *raw;
+  return *std::get<core::Proxy<Bytes>>(value);
+}
+
+void ColmenaApp::ResultMailbox::push(ResultMessage message) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return;
+    heap_.push(std::move(message));
+  }
+  cv_.notify_one();
+}
+
+std::optional<ColmenaApp::ResultMessage> ColmenaApp::ResultMailbox::pop() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+  if (heap_.empty()) return std::nullopt;
+  ResultMessage message = heap_.top();
+  heap_.pop();
+  return message;
+}
+
+void ColmenaApp::ResultMailbox::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+ColmenaApp::ColmenaApp(proc::Process& worker_process, EngineOptions options)
+    : worker_process_(worker_process), options_(options) {
+  const std::size_t nodes =
+      options_.nodes == 0 ? options_.workers : options_.nodes;
+  node_free_.assign(nodes, 0.0);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::pair<std::size_t, double> ColmenaApp::claim_node(double stamp) {
+  std::lock_guard lock(nodes_mu_);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < node_free_.size(); ++i) {
+    if (node_free_[i] < node_free_[best]) best = i;
+  }
+  const double start = std::max(stamp, node_free_[best]);
+  // Mark busy until released (concurrent workers must not double-book).
+  node_free_[best] = std::numeric_limits<double>::infinity();
+  return {best, start};
+}
+
+void ColmenaApp::release_node(std::size_t node, double done) {
+  std::lock_guard lock(nodes_mu_);
+  node_free_[node] = done;
+  last_done_ = std::max(last_done_, done);
+}
+
+ColmenaApp::~ColmenaApp() { close(); }
+
+void ColmenaApp::close() {
+  bool expected = false;
+  if (!closed_.compare_exchange_strong(expected, true)) return;
+  tasks_.close();
+  results_.close();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ColmenaApp::register_function(const std::string& function, TaskFn fn) {
+  std::lock_guard lock(mu_);
+  functions_[function] = std::move(fn);
+}
+
+void ColmenaApp::register_store(const std::string& topic,
+                                std::shared_ptr<core::Store> store,
+                                std::size_t threshold) {
+  if (!store) throw NotRegisteredError("ColmenaApp: null store");
+  std::lock_guard lock(mu_);
+  stores_[topic] = TopicStore{std::move(store), threshold};
+}
+
+std::optional<ColmenaApp::TopicStore> ColmenaApp::topic_store(
+    const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  const auto it = stores_.find(topic);
+  if (it == stores_.end()) return std::nullopt;
+  return it->second;
+}
+
+double ColmenaApp::pipeline_time(std::size_t bytes) const {
+  return static_cast<double>(options_.hops) *
+         (options_.hop_overhead_s +
+          static_cast<double>(bytes) / options_.hop_Bps);
+}
+
+Uuid ColmenaApp::submit(const std::string& topic, const std::string& function,
+                        std::vector<Bytes> inputs) {
+  if (closed_.load()) throw Error("ColmenaApp: closed");
+  {
+    std::lock_guard lock(mu_);
+    if (!functions_.contains(function)) {
+      throw NotRegisteredError("ColmenaApp: unknown function '" + function +
+                               "'");
+    }
+  }
+  TaskMessage message;
+  message.id = Uuid::random();
+  message.topic = topic;
+  message.function = function;
+  message.submitted_at = sim::vnow();
+
+  const auto store = topic_store(topic);
+  std::size_t message_bytes = 128;  // task descriptor framing
+  for (Bytes& input : inputs) {
+    if (store && input.size() > store->threshold) {
+      // Library-level ProxyStore integration: heavy inputs become proxies
+      // before the task is sent to the Task Server.
+      message.inputs.emplace_back(store->store->proxy(input));
+      message_bytes += 256;  // a proxy travels as its factory descriptor
+    } else {
+      message_bytes += input.size();
+      message.inputs.emplace_back(std::move(input));
+    }
+  }
+
+  // The task message traverses the workflow system's pipeline.
+  message.stamp = sim::vnow() + pipeline_time(message_bytes);
+  const Uuid task_id = message.id;
+  outstanding_.fetch_add(1);
+  if (!tasks_.push(std::move(message))) {
+    outstanding_.fetch_sub(1);
+    throw Error("ColmenaApp: closed");
+  }
+  return task_id;
+}
+
+void ColmenaApp::worker_loop() {
+  proc::ProcessScope scope(worker_process_);
+  while (auto task = tasks_.pop()) {
+    const auto [node, start] = claim_node(task->stamp);
+    sim::vset(start);
+
+    ResultMessage result;
+    result.id = task->id;
+    result.topic = task->topic;
+    result.submitted_at = task->submitted_at;
+
+    std::size_t result_bytes = 64;
+    try {
+      TaskFn fn;
+      {
+        std::lock_guard lock(mu_);
+        fn = functions_.at(task->function);
+      }
+      // Resolve proxied inputs (communication happens here, producer to
+      // worker, bypassing the Task Server).
+      std::vector<Bytes> inputs;
+      inputs.reserve(task->inputs.size());
+      for (const Value& value : task->inputs) {
+        inputs.push_back(resolve_value(value));
+      }
+      Bytes output = fn(inputs);
+
+      const auto store = topic_store(task->topic);
+      if (store && output.size() > store->threshold) {
+        result.value = store->store->proxy(output);
+        result_bytes += 256;
+      } else {
+        result_bytes += output.size();
+        result.value = std::move(output);
+      }
+    } catch (const std::exception& e) {
+      result.error = e.what();
+      result.value = Bytes();
+    }
+
+    const double done = sim::vnow();
+    {
+      std::lock_guard lock(nodes_mu_);
+      busy_total_ += done - start;
+    }
+    release_node(node, done);
+    result.stamp = done + pipeline_time(result_bytes);
+    results_.push(std::move(result));
+  }
+}
+
+double ColmenaApp::node_busy_time() const {
+  std::lock_guard lock(nodes_mu_);
+  return busy_total_;
+}
+
+double ColmenaApp::last_task_done() const {
+  std::lock_guard lock(nodes_mu_);
+  return last_done_;
+}
+
+std::size_t ColmenaApp::node_count() const {
+  std::lock_guard lock(nodes_mu_);
+  return node_free_.size();
+}
+
+TaskResult ColmenaApp::get_result() {
+  auto message = results_.pop();
+  if (!message) throw Error("ColmenaApp: closed");
+  sim::vmerge(message->stamp);
+
+  TaskResult result;
+  result.task_id = message->id;
+  result.topic = message->topic;
+  result.error = std::move(message->error);
+  // Proxied results stay lazy: the thinker receives the lightweight proxy
+  // now and pulls the bytes from the store only when it uses them.
+  result.value = std::move(message->value);
+  result.round_trip_s = sim::vnow() - message->submitted_at;
+  outstanding_.fetch_sub(1);
+  return result;
+}
+
+std::size_t ColmenaApp::outstanding() const { return outstanding_.load(); }
+
+}  // namespace ps::workflow

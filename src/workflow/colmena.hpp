@@ -1,0 +1,201 @@
+// Colmena-like ensemble-steering workflow substrate (paper section 5.2).
+//
+// Colmena applications have a Thinker (creates tasks, consumes results), a
+// Task Server (coordinates tasks through a workflow engine — Parsl), and
+// workers. All task data flows through the Task Server and engine in the
+// baseline; with ProxyStore integrated at the library level, inputs/results
+// larger than a per-task-type threshold are replaced by proxies before the
+// task enters the workflow system, so the heavy bytes bypass every
+// intermediate hop (Figure 7).
+//
+// The engine models Parsl's hub-spoke ZeroMQ pipeline: each task/result
+// message traverses `hops` mediating components (Thinker -> Task Server ->
+// engine hub -> worker), each charging a dispatch overhead plus a
+// serialize/copy pass over the message.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/queue.hpp"
+#include "common/uuid.hpp"
+#include "core/store.hpp"
+#include "proc/process.hpp"
+
+namespace ps::workflow {
+
+/// A task argument or result: raw bytes, or a proxy standing in for them.
+using Value = std::variant<Bytes, core::Proxy<Bytes>>;
+
+/// Resolves a Value to its bytes (charging the proxy's communication cost).
+Bytes resolve_value(const Value& value);
+
+/// Task implementations take resolved inputs and produce raw output bytes;
+/// the library handles all proxying transparently (the paper's "no task
+/// code changes" property).
+using TaskFn = std::function<Bytes(const std::vector<Bytes>&)>;
+
+struct EngineOptions {
+  /// Mediating components a task message traverses from Thinker to worker
+  /// (Task Server, engine hub, worker manager).
+  std::size_t hops = 3;
+  /// Per-component dispatch/queue overhead.
+  double hop_overhead_s = 0.2e-3;
+  /// Per-component serialize/copy bandwidth over the message body.
+  double hop_Bps = 2e9;
+  /// Worker threads (real concurrency executing task functions).
+  std::size_t workers = 1;
+  /// Virtual compute nodes. Each task occupies one node for its virtual
+  /// duration; tasks queue when all nodes are busy. 0 = one node per
+  /// worker thread. Large node counts (the Figure 11 sweep) are modeled
+  /// with a bounded real thread pool.
+  std::size_t nodes = 0;
+};
+
+struct TaskResult {
+  Uuid task_id;
+  std::string topic;
+  /// The result: raw bytes, or a lazy proxy when the worker proxied a
+  /// large output. Proxies resolve on first use (bytes()), not on receipt
+  /// — the consumer pays for the data only when it touches it.
+  Value value;
+  std::string error;  // non-empty => the task raised
+  /// Thinker-observed round-trip virtual time (submit -> result received).
+  double round_trip_s = 0.0;
+  bool failed() const { return !error.empty(); }
+
+  /// Resolves the result to its bytes (charging any proxy communication).
+  Bytes bytes() const { return resolve_value(value); }
+};
+
+class ColmenaApp {
+ public:
+  /// `worker_process` determines where tasks execute (fabric host + store
+  /// registry); the Thinker runs on the calling thread's process.
+  ColmenaApp(proc::Process& worker_process, EngineOptions options = {});
+  ~ColmenaApp();
+
+  ColmenaApp(const ColmenaApp&) = delete;
+  ColmenaApp& operator=(const ColmenaApp&) = delete;
+
+  /// Registers a task implementation under `function`.
+  void register_function(const std::string& function, TaskFn fn);
+
+  /// Registers a Store and proxy threshold for `topic` (paper: "Users can
+  /// register a Store and associated threshold for each task type. Task
+  /// inputs or results greater than the threshold will be proxied").
+  void register_store(const std::string& topic,
+                      std::shared_ptr<core::Store> store,
+                      std::size_t threshold);
+
+  /// Submits a task; inputs above the topic threshold are proxied before
+  /// the task enters the workflow system. Returns the task id.
+  Uuid submit(const std::string& topic, const std::string& function,
+              std::vector<Bytes> inputs);
+
+  /// Blocks for the next completed result (any topic); resolves proxied
+  /// results and reports the thinker-observed round trip.
+  TaskResult get_result();
+
+  /// Tasks submitted but not yet returned through get_result.
+  std::size_t outstanding() const;
+
+  /// Total virtual node-busy time accumulated by task executions, and the
+  /// virtual completion time of the last task — together these give node
+  /// utilization: busy / (nodes * makespan).
+  double node_busy_time() const;
+  double last_task_done() const;
+  std::size_t node_count() const;
+
+  /// Stops the workers; pending tasks are dropped.
+  void close();
+
+ private:
+  struct TopicStore {
+    std::shared_ptr<core::Store> store;
+    std::size_t threshold = 0;
+  };
+
+  struct TaskMessage {
+    Uuid id;
+    std::string topic;
+    std::string function;
+    std::vector<Value> inputs;
+    double stamp = 0.0;        // virtual arrival at the worker
+    double submitted_at = 0.0; // thinker's virtual submit time
+  };
+
+  struct ResultMessage {
+    Uuid id;
+    std::string topic;
+    Value value;
+    std::string error;
+    double stamp = 0.0;  // virtual arrival back at the thinker
+    double submitted_at = 0.0;
+  };
+
+  /// Virtual cost of pushing `bytes` through the engine pipeline.
+  double pipeline_time(std::size_t bytes) const;
+
+  /// Result mailbox ordered by virtual arrival stamp: the Thinker receives
+  /// results in virtual-time order even though workers complete them in
+  /// arbitrary real-time order (otherwise merging a "future" stamp early
+  /// would drag the Thinker's clock forward past still-pending results).
+  class ResultMailbox {
+   public:
+    void push(ResultMessage message);
+    std::optional<ResultMessage> pop();
+    void close();
+
+   private:
+    struct LaterStamp {
+      bool operator()(const ResultMessage& a, const ResultMessage& b) const {
+        return a.stamp > b.stamp;
+      }
+    };
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::priority_queue<ResultMessage, std::vector<ResultMessage>, LaterStamp>
+        heap_;
+    bool closed_ = false;
+  };
+
+  std::optional<TopicStore> topic_store(const std::string& topic) const;
+
+  void worker_loop();
+
+  /// Claims the virtual node that frees earliest; returns (node index,
+  /// virtual start time) for a task arriving at `stamp`.
+  std::pair<std::size_t, double> claim_node(double stamp);
+  void release_node(std::size_t node, double done);
+
+  proc::Process& worker_process_;
+  EngineOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, TaskFn> functions_;
+  std::map<std::string, TopicStore> stores_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  Queue<TaskMessage> tasks_;
+  ResultMailbox results_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> closed_{false};
+
+  mutable std::mutex nodes_mu_;
+  std::vector<double> node_free_;
+  double busy_total_ = 0.0;
+  double last_done_ = 0.0;
+};
+
+}  // namespace ps::workflow

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/defect.hpp"
+#include "apps/fl.hpp"
+#include "apps/moldesign.hpp"
+#include "connectors/endpoint.hpp"
+#include "connectors/file.hpp"
+#include "connectors/local.hpp"
+#include "connectors/redis.hpp"
+#include "core/multi.hpp"
+#include "endpoint/endpoint.hpp"
+#include "kv/server.hpp"
+#include "relay/relay.hpp"
+#include "testbed/testbed.hpp"
+
+namespace ps::apps {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- defect app ----
+
+class DefectTest : public ::testing::Test {
+ protected:
+  DefectTest() : tb_(testbed::build()) {
+    client_ = &tb_.world->spawn("client", tb_.theta_login);
+    endpoint_proc_ = &tb_.world->spawn("gc-endpoint", tb_.polaris_compute0);
+    cloud_ = faas::CloudService::start(*tb_.world, tb_.cloud);
+    endpoint_ = std::make_unique<faas::ComputeEndpoint>(cloud_, *endpoint_proc_);
+  }
+
+  ~DefectTest() override { endpoint_->stop(); }
+
+  testbed::Testbed tb_;
+  proc::Process* client_ = nullptr;
+  proc::Process* endpoint_proc_ = nullptr;
+  std::shared_ptr<faas::CloudService> cloud_;
+  std::unique_ptr<faas::ComputeEndpoint> endpoint_;
+};
+
+TEST_F(DefectTest, SegmentationModelFindsSeededDefects) {
+  Rng rng(1);
+  const ml::Micrograph m = ml::micrograph(64, 64, 6, rng);
+  ml::Model model = make_segmentation_model(64, rng);
+  const Segmentation seg = segment(model, m.image);
+  EXPECT_GT(seg.defect_pixels, 0u);
+  // Most detected pixels coincide with the ground-truth mask.
+  std::size_t overlap = 0;
+  for (std::size_t i = 0; i < seg.mask.size(); ++i) {
+    if (seg.mask[i] && m.defect_mask[i]) ++overlap;
+  }
+  EXPECT_GT(static_cast<double>(overlap),
+            0.5 * static_cast<double>(seg.defect_pixels));
+}
+
+TEST_F(DefectTest, CleanImageYieldsFewDetections) {
+  Rng rng(2);
+  const ml::Micrograph clean = ml::micrograph(64, 64, 0, rng);
+  ml::Model model = make_segmentation_model(64, rng);
+  const Segmentation seg = segment(model, clean.image);
+  EXPECT_LT(seg.defect_pixels, 20u);
+}
+
+TEST_F(DefectTest, BaselineRunsEndToEnd) {
+  DefectConfig config;
+  config.image_size = 64;
+  config.tasks = 3;
+  const DefectReport report =
+      run_defect_analysis(*client_, *endpoint_, nullptr, config);
+  EXPECT_EQ(report.round_trip.count(), 3u);
+  EXPECT_GT(report.mean_defect_pixels, 0.0);
+}
+
+TEST_F(DefectTest, ProxiedInputsBeatBaselineFor1MbImages) {
+  DefectConfig config;
+  config.image_size = 512;  // ~1 MB float image, as in the paper
+  config.tasks = 3;
+  const DefectReport baseline =
+      run_defect_analysis(*client_, *endpoint_, nullptr, config);
+
+  config.mode = DefectMode::kProxyInputs;
+  proc::ProcessScope scope(*client_);
+  const fs::path dir =
+      fs::temp_directory_path() / ("ps_defect_" + Uuid::random().str());
+  auto store = std::make_shared<core::Store>(
+      "defect-store", std::make_shared<connectors::FileConnector>(dir));
+  const DefectReport proxied =
+      run_defect_analysis(*client_, *endpoint_, store, config);
+
+  // The paper reports >30% improvement; at minimum proxying must win.
+  EXPECT_LT(proxied.round_trip.mean(), 0.8 * baseline.round_trip.mean());
+  fs::remove_all(dir);
+}
+
+TEST_F(DefectTest, ProxyingOutputsImprovesFurther) {
+  DefectConfig config;
+  config.image_size = 256;
+  config.tasks = 3;
+  proc::ProcessScope scope(*client_);
+  const fs::path dir =
+      fs::temp_directory_path() / ("ps_defect2_" + Uuid::random().str());
+  auto store = std::make_shared<core::Store>(
+      "defect-store2", std::make_shared<connectors::FileConnector>(dir));
+  config.mode = DefectMode::kProxyInputs;
+  const DefectReport inputs_only =
+      run_defect_analysis(*client_, *endpoint_, store, config);
+  config.mode = DefectMode::kProxyBoth;
+  const DefectReport both =
+      run_defect_analysis(*client_, *endpoint_, store, config);
+  EXPECT_LE(both.round_trip.mean(), inputs_only.round_trip.mean() * 1.05);
+  fs::remove_all(dir);
+}
+
+TEST_F(DefectTest, ProxiedModeRequiresStore) {
+  DefectConfig config;
+  config.mode = DefectMode::kProxyInputs;
+  EXPECT_THROW(run_defect_analysis(*client_, *endpoint_, nullptr, config),
+               Error);
+}
+
+// --------------------------------------------------------------- FL app ----
+
+class FlTest : public ::testing::Test {
+ protected:
+  FlTest() : tb_(testbed::build()) {
+    aggregator_ = &tb_.world->spawn("aggregator", tb_.theta_login);
+    cloud_ = faas::CloudService::start(*tb_.world, tb_.cloud);
+    relay_ = relay::RelayServer::start(*tb_.world, tb_.relay_host, "relay");
+    for (std::size_t d = 0; d < 2; ++d) {
+      FlDevice device;
+      device.process =
+          &tb_.world->spawn("edge-proc-" + std::to_string(d),
+                            tb_.edge_devices[d]);
+      device.endpoint =
+          std::make_unique<faas::ComputeEndpoint>(cloud_, *device.process);
+      devices_.push_back(std::move(device));
+    }
+  }
+
+  ~FlTest() override {
+    for (auto& device : devices_) device.endpoint->stop();
+  }
+
+  /// EndpointStore spanning the aggregator and device PS-endpoints.
+  std::shared_ptr<core::Store> make_endpoint_store() {
+    std::vector<std::string> addresses;
+    endpoint::Endpoint::start(*tb_.world, tb_.theta_login, "agg-ep",
+                              "relay://" + tb_.relay_host + "/relay");
+    addresses.push_back(endpoint::endpoint_address(tb_.theta_login, "agg-ep"));
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      const std::string name = "edge-ep-" + std::to_string(d);
+      endpoint::Endpoint::start(*tb_.world, tb_.edge_devices[d], name,
+                                "relay://" + tb_.relay_host + "/relay");
+      addresses.push_back(
+          endpoint::endpoint_address(tb_.edge_devices[d], name));
+    }
+    proc::ProcessScope scope(*aggregator_);
+    return std::make_shared<core::Store>(
+        "fl-store", std::make_shared<connectors::EndpointConnector>(addresses));
+  }
+
+  testbed::Testbed tb_;
+  proc::Process* aggregator_ = nullptr;
+  std::shared_ptr<faas::CloudService> cloud_;
+  std::shared_ptr<relay::RelayServer> relay_;
+  std::vector<FlDevice> devices_;
+};
+
+TEST_F(FlTest, ModelSizeScalesWithHiddenBlocks) {
+  Rng rng(1);
+  const std::size_t small =
+      make_fl_model(2, 168, rng).serialize().size();
+  const std::size_t large =
+      make_fl_model(42, 168, rng).serialize().size();
+  EXPECT_LT(small, 5'000'000u);
+  EXPECT_GT(large, 5'000'000u);  // crosses the cloud payload limit
+}
+
+TEST_F(FlTest, BaselineRoundTrainsAndAverages) {
+  FlConfig config;
+  config.hidden_blocks = 1;
+  config.devices = 2;
+  config.local_steps = 1;
+  config.samples_per_device = 32;
+  const FlReport report =
+      run_federated_learning(*aggregator_, devices_, nullptr, config);
+  EXPECT_EQ(report.failed_rounds, 0u);
+  EXPECT_EQ(report.transfer_time.count(), 2u);  // one per device
+  EXPECT_GT(report.final_train_accuracy, 0.05);
+}
+
+TEST_F(FlTest, BaselineFailsAboveCloudLimit) {
+  FlConfig config;
+  config.hidden_blocks = 42;  // > 5 MB serialized
+  config.devices = 2;
+  config.local_steps = 1;
+  const FlReport report =
+      run_federated_learning(*aggregator_, devices_, nullptr, config);
+  EXPECT_EQ(report.failed_rounds, 1u);
+  EXPECT_EQ(report.transfer_time.count(), 0u);
+}
+
+TEST_F(FlTest, ProxyStoreHandlesLargeModelsAndIsFaster) {
+  auto store = make_endpoint_store();
+
+  FlConfig config;
+  config.hidden_blocks = 8;
+  config.devices = 2;
+  config.local_steps = 1;
+  config.samples_per_device = 32;
+  const FlReport baseline =
+      run_federated_learning(*aggregator_, devices_, nullptr, config);
+  ASSERT_EQ(baseline.failed_rounds, 0u);
+
+  config.use_proxystore = true;
+  const FlReport proxied =
+      run_federated_learning(*aggregator_, devices_, store, config);
+  EXPECT_EQ(proxied.failed_rounds, 0u);
+  EXPECT_LT(proxied.transfer_time.mean(), baseline.transfer_time.mean());
+
+  // And the over-limit model now completes.
+  config.hidden_blocks = 42;
+  config.local_steps = 1;
+  const FlReport big =
+      run_federated_learning(*aggregator_, devices_, store, config);
+  EXPECT_EQ(big.failed_rounds, 0u);
+}
+
+// -------------------------------------------------------- moldesign app ----
+
+class MolDesignTest : public ::testing::Test {
+ protected:
+  MolDesignTest() : tb_(testbed::build()) {
+    thinker_ = &tb_.world->spawn("thinker", tb_.theta_login);
+    sim_proc_ = &tb_.world->spawn("sim-workers", tb_.theta_compute0);
+    gpu_proc_ = &tb_.world->spawn("gpu-worker", tb_.remote_gpu);
+  }
+
+  MolDesignConfig small_config() {
+    MolDesignConfig config;
+    config.nodes = 8;
+    config.worker_threads = 4;
+    config.tasks_per_node = 2;
+    config.sim_cost_s = 5.0;
+    config.sim_result_bytes = 100'000;
+    config.sim_input_bytes = 10'000;
+    return config;
+  }
+
+  std::shared_ptr<core::Store> make_multi_store() {
+    kv::KvServer::start(*tb_.world, tb_.theta_login, "mol-redis");
+    relay::RelayServer::start(*tb_.world, tb_.relay_host, "mol-relay");
+    endpoint::Endpoint::start(*tb_.world, tb_.theta_login, "mol-ep-theta",
+                              "relay://" + tb_.relay_host + "/mol-relay");
+    endpoint::Endpoint::start(*tb_.world, tb_.remote_gpu, "mol-ep-gpu",
+                              "relay://" + tb_.relay_host + "/mol-relay");
+    proc::ProcessScope scope(*thinker_);
+    auto redis = std::make_shared<connectors::RedisConnector>(
+        kv::kv_address(tb_.theta_login, "mol-redis"));
+    auto ep = std::make_shared<connectors::EndpointConnector>(
+        std::vector<std::string>{
+            endpoint::endpoint_address(tb_.theta_login, "mol-ep-theta"),
+            endpoint::endpoint_address(tb_.remote_gpu, "mol-ep-gpu")});
+    core::Policy redis_policy;
+    redis_policy.tags = {"theta"};
+    redis_policy.priority = 1;
+    core::Policy ep_policy;
+    ep_policy.tags = {"theta", "gpu-lab"};
+    ep_policy.priority = 0;
+    auto multi = std::make_shared<core::MultiConnector>(
+        std::vector<core::MultiConnector::Entry>{
+            {"redis", redis, redis_policy}, {"endpoint", ep, ep_policy}});
+    return std::make_shared<core::Store>("mol-store", multi);
+  }
+
+  testbed::Testbed tb_;
+  proc::Process* thinker_ = nullptr;
+  proc::Process* sim_proc_ = nullptr;
+  proc::Process* gpu_proc_ = nullptr;
+};
+
+TEST_F(MolDesignTest, CampaignCompletesAndFindsBestIp) {
+  proc::ProcessScope scope(*thinker_);
+  const MolDesignConfig config = small_config();
+  const MolDesignReport report =
+      run_molecular_design(*sim_proc_, nullptr, config);
+  EXPECT_EQ(report.simulations_completed, 16u);
+  EXPECT_GT(report.best_ip, 0.0f);
+  EXPECT_GT(report.node_utilization, 0.0);
+  EXPECT_LE(report.node_utilization, 1.0 + 1e-9);
+}
+
+TEST_F(MolDesignTest, MlArmRunsTrainingAndInference) {
+  proc::ProcessScope scope(*thinker_);
+  MolDesignConfig config = small_config();
+  config.retrain_every = 8;
+  const MolDesignReport report =
+      run_molecular_design(*sim_proc_, gpu_proc_, config);
+  EXPECT_GE(report.ml_rounds, 1u);
+}
+
+TEST_F(MolDesignTest, ProxyStoreImprovesUtilizationAtScale) {
+  proc::ProcessScope scope(*thinker_);
+  MolDesignConfig config = small_config();
+  // Scale chosen so the serial thinker is the bottleneck in the baseline:
+  // 64 nodes finishing 5 s simulations -> 12.8 results/s arrival vs
+  // ~3-6 results/s thinker throughput.
+  config.nodes = 64;
+  config.worker_threads = 8;
+  config.tasks_per_node = 2;
+  config.sim_result_bytes = 500'000;
+  const MolDesignReport baseline =
+      run_molecular_design(*sim_proc_, nullptr, config);
+
+  MolDesignConfig proxied = config;
+  proxied.store = make_multi_store();
+  const MolDesignReport with_store =
+      run_molecular_design(*sim_proc_, nullptr, proxied);
+
+  EXPECT_GT(with_store.node_utilization, baseline.node_utilization);
+  // Result processing drops too (paper: 267 ms -> 201 ms).
+  EXPECT_LT(with_store.result_processing.mean(),
+            baseline.result_processing.mean());
+}
+
+TEST_F(MolDesignTest, MlArmWithoutProcessThrows) {
+  proc::ProcessScope scope(*thinker_);
+  MolDesignConfig config = small_config();
+  config.retrain_every = 4;
+  EXPECT_THROW(run_molecular_design(*sim_proc_, nullptr, config), Error);
+}
+
+}  // namespace
+}  // namespace ps::apps

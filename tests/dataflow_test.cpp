@@ -1,0 +1,165 @@
+// Data-flow proxies (paper section 6 future work): consumers hold proxies
+// to objects that do not exist yet; resolution blocks (polling in virtual
+// time) until the producer fulfils the future, as in Id's I-structures.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "connectors/endpoint.hpp"
+#include "connectors/file.hpp"
+#include "connectors/local.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "endpoint/endpoint.hpp"
+#include "kv/server.hpp"
+#include "proc/world.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  DataflowTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_host("host", "site");
+    producer_ = &world_->spawn("producer", "host");
+    consumer_ = &world_->spawn("consumer", "host");
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* producer_ = nullptr;
+  proc::Process* consumer_ = nullptr;
+};
+
+TEST_F(DataflowTest, FulfilledFutureResolves) {
+  proc::ProcessScope scope(*producer_);
+  auto store = std::make_shared<Store>(
+      "df1", std::make_shared<connectors::LocalConnector>());
+  register_store(store);
+  auto future = store->make_future<std::string>();
+  EXPECT_FALSE(future.proxy.resolved());
+  store->fulfill(future.key, std::string("written"));
+  EXPECT_EQ(*future.proxy, "written");
+}
+
+TEST_F(DataflowTest, ReaderBlocksUntilWriterWrites) {
+  proc::ProcessScope scope(*producer_);
+  auto store = std::make_shared<Store>(
+      "df2", std::make_shared<connectors::LocalConnector>());
+  register_store(store);
+  auto future = store->make_future<int>(/*poll_interval_s=*/0.001,
+                                        /*max_polls=*/100000);
+
+  std::thread writer([&] {
+    proc::ProcessScope writer_scope(*producer_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    store->fulfill(future.key, 42);
+  });
+  // The reader starts before the write happens and blocks until it does.
+  EXPECT_EQ(*future.proxy, 42);
+  writer.join();
+}
+
+TEST_F(DataflowTest, PollBudgetExhaustionThrows) {
+  proc::ProcessScope scope(*producer_);
+  auto store = std::make_shared<Store>(
+      "df3", std::make_shared<connectors::LocalConnector>());
+  register_store(store);
+  auto future = store->make_future<int>(/*poll_interval_s=*/0.001,
+                                        /*max_polls=*/3);
+  EXPECT_THROW(future.proxy.resolve(), ProxyResolutionError);
+}
+
+TEST_F(DataflowTest, PollingChargesVirtualTime) {
+  proc::ProcessScope scope(*producer_);
+  auto store = std::make_shared<Store>(
+      "df4", std::make_shared<connectors::LocalConnector>());
+  register_store(store);
+  auto future = store->make_future<int>(/*poll_interval_s=*/0.5,
+                                        /*max_polls=*/4);
+  sim::VtimeScope vt;
+  EXPECT_THROW(future.proxy.resolve(), ProxyResolutionError);
+  EXPECT_NEAR(vt.elapsed(), 4 * 0.5, 1e-6);
+}
+
+TEST_F(DataflowTest, FutureCrossesProcessBoundary) {
+  auto store = [&] {
+    proc::ProcessScope scope(*producer_);
+    auto s = std::make_shared<Store>(
+        "df5", std::make_shared<connectors::LocalConnector>());
+    register_store(s);
+    return s;
+  }();
+  Store::Future<std::string> future = [&] {
+    proc::ProcessScope scope(*producer_);
+    return store->make_future<std::string>();
+  }();
+  const Bytes wire = serde::to_bytes(future.proxy);
+
+  // The consumer receives the proxy before the object exists...
+  std::thread consumer_thread([&] {
+    proc::ProcessScope scope(*consumer_);
+    auto proxy = serde::from_bytes<Proxy<std::string>>(wire);
+    EXPECT_EQ(*proxy, "late");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    proc::ProcessScope scope(*producer_);
+    store->fulfill(future.key, std::string("late"));
+  }
+  consumer_thread.join();
+}
+
+TEST_F(DataflowTest, WorksOverRedisAndFileAndEndpoint) {
+  kv::KvServer::start(*world_, "host", "df");
+  relay::RelayServer::start(*world_, "host", "df-relay");
+  endpoint::Endpoint::start(*world_, "host", "df-ep", "relay://host/df-relay");
+  const fs::path dir =
+      fs::temp_directory_path() / ("ps_df_" + Uuid::random().str());
+
+  proc::ProcessScope scope(*producer_);
+  const std::vector<std::shared_ptr<Connector>> connectors = {
+      std::make_shared<connectors::RedisConnector>(kv::kv_address("host",
+                                                                  "df")),
+      std::make_shared<connectors::FileConnector>(dir),
+      std::make_shared<connectors::EndpointConnector>(
+          std::vector<std::string>{endpoint::endpoint_address("host",
+                                                              "df-ep")}),
+  };
+  int n = 0;
+  for (const auto& connector : connectors) {
+    auto store = std::make_shared<Store>("df-multi-" + std::to_string(n++),
+                                         connector);
+    register_store(store);
+    auto future = store->make_future<int>();
+    store->fulfill(future.key, 7);
+    EXPECT_EQ(*future.proxy, 7) << connector->type();
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(DataflowTest, UnsupportedConnectorsReportClearly) {
+  // Connectors without addressed writes refuse future creation up front.
+  struct Minimal : Connector {
+    std::string type() const override { return "minimal"; }
+    ConnectorConfig config() const override { return {"minimal", {}}; }
+    ConnectorTraits traits() const override { return {}; }
+    Key put(BytesView) override { return Key{"x", {}}; }
+    std::optional<Bytes> get(const Key&) override { return std::nullopt; }
+    bool exists(const Key&) override { return false; }
+    void evict(const Key&) override {}
+  };
+  proc::ProcessScope scope(*producer_);
+  auto store = std::make_shared<Store>("df-min", std::make_shared<Minimal>());
+  EXPECT_THROW(store->make_future<int>(), ConnectorError);
+  EXPECT_THROW(store->fulfill(Key{"x", {}}, 1), ConnectorError);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "dataspaces/dataspaces.hpp"
+#include "proc/world.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::dataspaces {
+namespace {
+
+class DataSpacesTest : public ::testing::Test {
+ protected:
+  DataSpacesTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("cluster", net::rdma_fabric(2e-6, 25e9));
+    world_->fabric().add_host("node-0", "cluster");
+    world_->fabric().add_host("node-1", "cluster");
+    producer_ = &world_->spawn("producer", "node-0");
+    consumer_ = &world_->spawn("consumer", "node-1");
+    server_ = DataSpacesServer::start(*world_, "node-0", "space");
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* producer_ = nullptr;
+  proc::Process* consumer_ = nullptr;
+  std::shared_ptr<DataSpacesServer> server_;
+};
+
+TEST_F(DataSpacesTest, PutGetByNameAndVersion) {
+  proc::ProcessScope scope(*producer_);
+  DataSpacesClient client("node-0", "space");
+  client.put("temperature", 1, "300K");
+  EXPECT_EQ(client.get("temperature", 1), "300K");
+  EXPECT_EQ(server_->object_count(), 1u);
+}
+
+TEST_F(DataSpacesTest, GetMissingReturnsNullopt) {
+  proc::ProcessScope scope(*producer_);
+  DataSpacesClient client("node-0", "space");
+  EXPECT_EQ(client.get("nothing", 1), std::nullopt);
+}
+
+TEST_F(DataSpacesTest, VersionsAreIndependent) {
+  proc::ProcessScope scope(*producer_);
+  DataSpacesClient client("node-0", "space");
+  client.put("field", 1, "v1");
+  client.put("field", 2, "v2");
+  EXPECT_EQ(client.get("field", 1), "v1");
+  EXPECT_EQ(client.get("field", 2), "v2");
+  EXPECT_EQ(client.latest_version("field"), 2u);
+}
+
+TEST_F(DataSpacesTest, LatestVersionOfUnknownNameIsNullopt) {
+  proc::ProcessScope scope(*producer_);
+  DataSpacesClient client("node-0", "space");
+  EXPECT_EQ(client.latest_version("ghost"), std::nullopt);
+}
+
+TEST_F(DataSpacesTest, CrossNodeSharing) {
+  {
+    proc::ProcessScope scope(*producer_);
+    DataSpacesClient client("node-0", "space");
+    client.put("shared", 1, pattern_bytes(100'000, 1));
+  }
+  proc::ProcessScope scope(*consumer_);
+  DataSpacesClient client("node-0", "space");
+  const auto data = client.get("shared", 1);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_TRUE(check_pattern(*data, 1));
+}
+
+TEST_F(DataSpacesTest, FirstOperationPaysStartupOverhead) {
+  proc::ProcessScope scope(*producer_);
+  sim::VtimeGuard guard;
+  DataSpacesOptions options;
+  options.client_startup_s = 0.5;
+  DataSpacesClient client("node-0", "space", options);
+  sim::VtimeScope first;
+  client.put("a", 1, "x");
+  const double first_cost = first.elapsed();
+  sim::VtimeScope second;
+  client.put("b", 1, "x");
+  const double second_cost = second.elapsed();
+  EXPECT_GE(first_cost, 0.5);
+  EXPECT_LT(second_cost, 0.1);
+}
+
+TEST_F(DataSpacesTest, BinaryPayloadsSafe) {
+  proc::ProcessScope scope(*producer_);
+  DataSpacesClient client("node-0", "space");
+  const Bytes blob = pattern_bytes(1'000'000, 2);
+  client.put("blob", 7, blob);
+  EXPECT_EQ(client.get("blob", 7), blob);
+}
+
+TEST_F(DataSpacesTest, OverwriteSameVersionReplaces) {
+  proc::ProcessScope scope(*producer_);
+  DataSpacesClient client("node-0", "space");
+  client.put("k", 1, "old");
+  client.put("k", 1, "new");
+  EXPECT_EQ(client.get("k", 1), "new");
+  EXPECT_EQ(server_->object_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ps::dataspaces

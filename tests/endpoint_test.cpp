@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "endpoint/datachannel.hpp"
+#include "endpoint/endpoint.hpp"
+#include "proc/world.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::endpoint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Two NAT'd sites plus a public cloud site hosting the relay — the
+/// deployment shape of Figures 3 and 4.
+class EndpointTest : public ::testing::Test {
+ protected:
+  EndpointTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site-a", net::hpc_interconnect(10e-6, 10e9),
+                              /*behind_nat=*/true);
+    world_->fabric().add_site("site-b", net::hpc_interconnect(10e-6, 10e9),
+                              /*behind_nat=*/true);
+    world_->fabric().add_site("cloud", net::hpc_interconnect(50e-6, 10e9));
+    world_->fabric().connect_sites("site-a", "site-b",
+                                   net::wan_tcp(20e-3, 1.25e9));
+    world_->fabric().connect_sites("site-a", "cloud",
+                                   net::wan_tcp(15e-3, 1e9));
+    world_->fabric().connect_sites("site-b", "cloud",
+                                   net::wan_tcp(15e-3, 1e9));
+    world_->fabric().add_host("a-login", "site-a");
+    world_->fabric().add_host("b-login", "site-b");
+    world_->fabric().add_host("relay-host", "cloud");
+    client_a_ = &world_->spawn("client-a", "a-login");
+    client_b_ = &world_->spawn("client-b", "b-login");
+    relay_ = relay::RelayServer::start(*world_, "relay-host", "relay");
+  }
+
+  std::shared_ptr<Endpoint> start_endpoint(const std::string& host,
+                                           const std::string& name,
+                                           EndpointOptions options = {}) {
+    return Endpoint::start(*world_, host, name, "relay://relay-host/relay",
+                           std::move(options));
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* client_a_ = nullptr;
+  proc::Process* client_b_ = nullptr;
+  std::shared_ptr<relay::RelayServer> relay_;
+};
+
+// ---------------------------------------------------------------- relay ----
+
+TEST_F(EndpointTest, RelayAssignsUuidOnRegistration) {
+  auto ep = start_endpoint("a-login", "ep1");
+  EXPECT_FALSE(ep->uuid().is_nil());
+  EXPECT_TRUE(relay_->is_registered(ep->uuid()));
+  EXPECT_EQ(relay_->endpoint_host(ep->uuid()), "a-login");
+}
+
+TEST_F(EndpointTest, RelayKeepsPreferredUuid) {
+  const Uuid preferred = Uuid::random();
+  auto ep = Endpoint::start(*world_, "a-login", "ep2",
+                            "relay://relay-host/relay", {}, preferred);
+  EXPECT_EQ(ep->uuid(), preferred);
+}
+
+TEST_F(EndpointTest, RelayRejectsUnknownTargets) {
+  auto ep = start_endpoint("a-login", "ep3");
+  relay::RelayMessage msg{.from = ep->uuid(), .to = Uuid::random(),
+                          .kind = "offer", .payload = "x", .stamp = 0.0};
+  EXPECT_THROW(relay_->forward(msg), ProtocolError);
+  relay::RelayMessage msg2{.from = Uuid::random(), .to = ep->uuid(),
+                           .kind = "offer", .payload = "x", .stamp = 0.0};
+  EXPECT_THROW(relay_->forward(msg2), ProtocolError);
+}
+
+TEST_F(EndpointTest, StopUnregistersFromRelay) {
+  auto ep = start_endpoint("a-login", "ep4");
+  const Uuid id = ep->uuid();
+  ep->stop();
+  EXPECT_FALSE(relay_->is_registered(id));
+  EXPECT_TRUE(ep->stopped());
+  EXPECT_THROW(ep->handle(EndpointRequest{.op = "get", .object_id = "x",
+                                          .endpoint_id = id, .data = {}}),
+               ProtocolError);
+}
+
+// ------------------------------------------------------- local requests ----
+
+TEST_F(EndpointTest, SetGetLocalObject) {
+  auto ep = start_endpoint("a-login", "ep5");
+  proc::ProcessScope scope(*client_a_);
+  const Bytes data = pattern_bytes(1000, 7);
+  auto set = ep->handle(EndpointRequest{.op = "set", .object_id = "obj",
+                                        .endpoint_id = ep->uuid(),
+                                        .data = data});
+  EXPECT_TRUE(set.ok);
+  auto get = ep->handle(EndpointRequest{.op = "get", .object_id = "obj",
+                                        .endpoint_id = ep->uuid(),
+                                        .data = {}});
+  EXPECT_TRUE(get.ok);
+  EXPECT_EQ(get.data, data);
+}
+
+TEST_F(EndpointTest, ExistsEvictLifecycle) {
+  auto ep = start_endpoint("a-login", "ep6");
+  proc::ProcessScope scope(*client_a_);
+  ep->handle(EndpointRequest{.op = "set", .object_id = "obj",
+                             .endpoint_id = ep->uuid(), .data = "x"});
+  EXPECT_TRUE(ep->handle(EndpointRequest{.op = "exists", .object_id = "obj",
+                                         .endpoint_id = ep->uuid(),
+                                         .data = {}})
+                  .ok);
+  ep->handle(EndpointRequest{.op = "evict", .object_id = "obj",
+                             .endpoint_id = ep->uuid(), .data = {}});
+  EXPECT_FALSE(ep->handle(EndpointRequest{.op = "exists", .object_id = "obj",
+                                          .endpoint_id = ep->uuid(),
+                                          .data = {}})
+                   .ok);
+}
+
+TEST_F(EndpointTest, UnknownOpThrows) {
+  auto ep = start_endpoint("a-login", "ep7");
+  proc::ProcessScope scope(*client_a_);
+  EXPECT_THROW(ep->handle(EndpointRequest{.op = "frobnicate",
+                                          .object_id = "x",
+                                          .endpoint_id = ep->uuid(),
+                                          .data = {}}),
+               ProtocolError);
+}
+
+TEST_F(EndpointTest, MemoryLimitSpillsToDisk) {
+  const fs::path spill =
+      fs::temp_directory_path() / ("ps_ep_spill_" + Uuid::random().str());
+  EndpointOptions options;
+  options.max_memory_bytes = 1500;
+  options.spill_dir = spill;
+  auto ep = start_endpoint("a-login", "ep8", options);
+  proc::ProcessScope scope(*client_a_);
+  const Bytes big = pattern_bytes(1000, 1);
+  ep->handle(EndpointRequest{.op = "set", .object_id = "in-mem",
+                             .endpoint_id = ep->uuid(), .data = big});
+  ep->handle(EndpointRequest{.op = "set", .object_id = "spilled",
+                             .endpoint_id = ep->uuid(), .data = big});
+  EXPECT_EQ(ep->object_count(), 2u);
+  EXPECT_EQ(ep->spilled_count(), 1u);
+  // Spilled object still readable and evictable.
+  auto get = ep->handle(EndpointRequest{.op = "get", .object_id = "spilled",
+                                        .endpoint_id = ep->uuid(),
+                                        .data = {}});
+  EXPECT_EQ(get.data, big);
+  ep->handle(EndpointRequest{.op = "evict", .object_id = "spilled",
+                             .endpoint_id = ep->uuid(), .data = {}});
+  EXPECT_EQ(ep->spilled_count(), 0u);
+  fs::remove_all(spill);
+}
+
+TEST_F(EndpointTest, FiniteMemoryRequiresSpillDir) {
+  EndpointOptions options;
+  options.max_memory_bytes = 100;
+  EXPECT_THROW(start_endpoint("a-login", "ep9", options), ProtocolError);
+}
+
+// ---------------------------------------------------- peering & forward ----
+
+TEST_F(EndpointTest, ForwardedRequestReachesOwningEndpoint) {
+  auto ep_a = start_endpoint("a-login", "epA");
+  auto ep_b = start_endpoint("b-login", "epB");
+  // Producer stores at B.
+  {
+    proc::ProcessScope scope(*client_b_);
+    ep_b->handle(EndpointRequest{.op = "set", .object_id = "obj",
+                                 .endpoint_id = ep_b->uuid(),
+                                 .data = pattern_bytes(500, 2)});
+  }
+  // Consumer asks its local endpoint A, which forwards to B.
+  proc::ProcessScope scope(*client_a_);
+  auto get = ep_a->handle(EndpointRequest{.op = "get", .object_id = "obj",
+                                          .endpoint_id = ep_b->uuid(),
+                                          .data = {}});
+  ASSERT_TRUE(get.ok);
+  EXPECT_TRUE(check_pattern(*get.data, 2));
+}
+
+TEST_F(EndpointTest, PeerConnectionEstablishedOnceAndReused) {
+  auto ep_a = start_endpoint("a-login", "epC");
+  auto ep_b = start_endpoint("b-login", "epD");
+  proc::ProcessScope scope(*client_a_);
+  EXPECT_FALSE(ep_a->has_peer(ep_b->uuid()));
+  for (int i = 0; i < 3; ++i) {
+    ep_a->handle(EndpointRequest{.op = "exists", .object_id = "x",
+                                 .endpoint_id = ep_b->uuid(), .data = {}});
+  }
+  EXPECT_TRUE(ep_a->has_peer(ep_b->uuid()));
+  EXPECT_TRUE(ep_b->has_peer(ep_a->uuid()));
+  // One handshake each despite three forwarded requests.
+  EXPECT_EQ(ep_a->handshakes_completed(), 1u);
+  EXPECT_EQ(ep_b->handshakes_completed(), 1u);
+}
+
+TEST_F(EndpointTest, HandshakeExchangesSignalingViaRelay) {
+  auto ep_a = start_endpoint("a-login", "epE");
+  auto ep_b = start_endpoint("b-login", "epF");
+  proc::ProcessScope scope(*client_a_);
+  const auto before = relay_->forwarded_count();
+  ep_a->handle(EndpointRequest{.op = "exists", .object_id = "x",
+                               .endpoint_id = ep_b->uuid(), .data = {}});
+  // Figure 4: offer, answer, ice(initiator), ice(responder) = 4 messages.
+  EXPECT_EQ(relay_->forwarded_count() - before, 4u);
+}
+
+TEST_F(EndpointTest, DroppedPeerConnectionIsReestablished) {
+  auto ep_a = start_endpoint("a-login", "epG");
+  auto ep_b = start_endpoint("b-login", "epH");
+  proc::ProcessScope scope(*client_a_);
+  ep_a->handle(EndpointRequest{.op = "exists", .object_id = "x",
+                               .endpoint_id = ep_b->uuid(), .data = {}});
+  ep_a->drop_peer(ep_b->uuid());
+  ep_b->drop_peer(ep_a->uuid());
+  EXPECT_FALSE(ep_a->has_peer(ep_b->uuid()));
+  ep_a->handle(EndpointRequest{.op = "exists", .object_id = "x",
+                               .endpoint_id = ep_b->uuid(), .data = {}});
+  EXPECT_TRUE(ep_a->has_peer(ep_b->uuid()));
+  EXPECT_EQ(ep_a->handshakes_completed(), 2u);
+}
+
+TEST_F(EndpointTest, ForwardToStoppedPeerThrows) {
+  auto ep_a = start_endpoint("a-login", "epI");
+  auto ep_b = start_endpoint("b-login", "epJ");
+  const Uuid b_id = ep_b->uuid();
+  ep_b->stop();
+  proc::ProcessScope scope(*client_a_);
+  EXPECT_THROW(ep_a->handle(EndpointRequest{.op = "get", .object_id = "x",
+                                            .endpoint_id = b_id, .data = {}}),
+               ProtocolError);
+}
+
+// ------------------------------------------------------------- timing ----
+
+TEST_F(EndpointTest, SingleThreadedQueueSerializesConcurrentClients) {
+  auto ep = start_endpoint("a-login", "epK");
+  // The Figure 8 effect: N same-instant requests are served FIFO, so the
+  // k-th response completes ~k service times after the first.
+  const double service = ep->service_time(1000);
+  const double t1 = ep->queue().schedule(0.0, service);
+  const double t4 = [&] {
+    double last = 0;
+    for (int i = 0; i < 3; ++i) last = ep->queue().schedule(0.0, service);
+    return last;
+  }();
+  EXPECT_NEAR(t4 - t1, 3.0 * service, 1e-12);
+}
+
+TEST_F(EndpointTest, WanForwardSlowerThanLocal) {
+  auto ep_a = start_endpoint("a-login", "epL");
+  auto ep_b = start_endpoint("b-login", "epM");
+  const Bytes data = pattern_bytes(5'000'000, 3);
+  {
+    proc::ProcessScope scope(*client_b_);
+    ep_b->handle(EndpointRequest{.op = "set", .object_id = "obj",
+                                 .endpoint_id = ep_b->uuid(), .data = data});
+  }
+  proc::ProcessScope scope(*client_a_);
+  sim::VtimeGuard guard;
+  // Warm the peer connection so we compare data-plane costs.
+  ep_a->handle(EndpointRequest{.op = "exists", .object_id = "obj",
+                               .endpoint_id = ep_b->uuid(), .data = {}});
+  sim::VtimeScope local_scope;
+  ep_a->handle(EndpointRequest{.op = "set", .object_id = "local-obj",
+                               .endpoint_id = ep_a->uuid(), .data = data});
+  const double local = local_scope.elapsed();
+  sim::VtimeScope remote_scope;
+  ep_a->handle(EndpointRequest{.op = "get", .object_id = "obj",
+                               .endpoint_id = ep_b->uuid(), .data = {}});
+  const double remote = remote_scope.elapsed();
+  EXPECT_GT(remote, 5.0 * local);
+  // The 10 MB/s WAN data-channel throttle dominates: ~0.5 s for 5 MB.
+  EXPECT_GT(remote, 0.4);
+}
+
+// ----------------------------------------------------------- datachannel ----
+
+TEST_F(EndpointTest, DataChannelThrottledOnWanOnly) {
+  DataChannelOptions options;
+  const std::size_t bytes = 50'000'000;
+  const double intra = data_channel_time(world_->fabric(), "a-login",
+                                         "a-login", bytes, options);
+  const double inter = data_channel_time(world_->fabric(), "a-login",
+                                         "b-login", bytes, options);
+  EXPECT_LT(intra, 0.1);
+  EXPECT_GT(inter, static_cast<double>(bytes) / options.wan_throttle_Bps *
+                       0.9);
+}
+
+TEST_F(EndpointTest, MultiplexingHelpsOnlyUpToTwoChannels) {
+  DataChannelOptions one;
+  DataChannelOptions two;
+  two.channels = 2;
+  DataChannelOptions eight;
+  eight.channels = 8;
+  const std::size_t bytes = 100'000'000;
+  const double t1 =
+      data_channel_time(world_->fabric(), "a-login", "b-login", bytes, one);
+  const double t2 =
+      data_channel_time(world_->fabric(), "a-login", "b-login", bytes, two);
+  const double t8 =
+      data_channel_time(world_->fabric(), "a-login", "b-login", bytes, eight);
+  EXPECT_LT(t2, t1);
+  EXPECT_NEAR(t8, t2, 1e-9);  // asyncio cannot drive more than ~2
+}
+
+}  // namespace
+}  // namespace ps::endpoint

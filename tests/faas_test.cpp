@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "connectors/local.hpp"
+#include "core/store.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "proc/world.hpp"
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::faas {
+namespace {
+
+class FaasTest : public ::testing::Test {
+ protected:
+  FaasTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_site("aws", net::hpc_interconnect(50e-6, 10e9));
+    world_->fabric().connect_sites("site", "aws", net::wan_tcp(35e-3, 0.6e9));
+    world_->fabric().add_host("login", "site");
+    world_->fabric().add_host("compute", "site");
+    world_->fabric().add_host("cloud-host", "aws");
+    client_ = &world_->spawn("client", "login");
+    endpoint_proc_ = &world_->spawn("endpoint", "compute");
+    cloud_ = CloudService::start(*world_, "cloud-host");
+
+    FunctionRegistry::instance().register_function(
+        "echo", [](BytesView request) { return Bytes(request); });
+    FunctionRegistry::instance().register_function(
+        "fail", [](BytesView) -> Bytes { throw Error("boom"); });
+    FunctionRegistry::instance().register_function(
+        "sleep1", [](BytesView request) {
+          sim::vadvance(1.0);
+          return Bytes(request);
+        });
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* client_ = nullptr;
+  proc::Process* endpoint_proc_ = nullptr;
+  std::shared_ptr<CloudService> cloud_;
+};
+
+TEST_F(FaasTest, RoundTripEcho) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint.uuid());
+  const Bytes payload = pattern_bytes(1000, 1);
+  TaskFuture future = executor.submit("echo", payload);
+  EXPECT_EQ(future.get(), payload);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, ManyTasksAllComplete) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_, /*workers=*/4);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint.uuid());
+  std::vector<TaskFuture> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(
+        executor.submit("echo", serde::to_bytes(i)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get_as<int>(), i);
+  }
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, RemoteErrorsPropagate) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint.uuid());
+  TaskFuture future = executor.submit("fail", "");
+  EXPECT_THROW(future.get(), Error);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, UnknownFunctionFailsRemotely) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint.uuid());
+  TaskFuture future = executor.submit("no-such-function", "");
+  EXPECT_THROW(future.get(), Error);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, PayloadLimitEnforcedOnSubmit) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint.uuid());
+  EXPECT_THROW(executor.submit("echo", pattern_bytes(6'000'000)),
+               PayloadTooLargeError);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, OversizedResultBecomesRemoteFailure) {
+  FunctionRegistry::instance().register_function(
+      "inflate", [](BytesView) { return pattern_bytes(6'000'000); });
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint.uuid());
+  TaskFuture future = executor.submit("inflate", "");
+  EXPECT_THROW(future.get(), Error);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, UnknownEndpointThrows) {
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, Uuid::random());
+  EXPECT_THROW(executor.submit("echo", ""), NotRegisteredError);
+}
+
+TEST_F(FaasTest, RoundTripChargesCloudLegs) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  sim::VtimeGuard guard;
+  Executor executor(cloud_, endpoint.uuid());
+  sim::VtimeScope vt;
+  executor.submit("echo", pattern_bytes(1'000'000)).get();
+  // 4 WAN legs (client->cloud->endpoint->cloud->client) with 35 ms latency
+  // each, plus storage handling: well over 140 ms.
+  EXPECT_GT(vt.elapsed(), 0.14);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, LargerPayloadsCostMore) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  sim::VtimeGuard guard;
+  Executor executor(cloud_, endpoint.uuid());
+  sim::VtimeScope small_scope;
+  executor.submit("echo", pattern_bytes(10)).get();
+  const double small = small_scope.elapsed();
+  sim::VtimeScope large_scope;
+  executor.submit("echo", pattern_bytes(4'000'000)).get();
+  EXPECT_GT(large_scope.elapsed(), small);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, VirtualSleepAddsOneSecond) {
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  sim::VtimeGuard guard;
+  Executor executor(cloud_, endpoint.uuid());
+  sim::VtimeScope noop_scope;
+  executor.submit("echo", pattern_bytes(10)).get();
+  const double noop = noop_scope.elapsed();
+  sim::VtimeScope sleep_scope;
+  executor.submit("sleep1", pattern_bytes(10)).get();
+  EXPECT_NEAR(sleep_scope.elapsed(), noop + 1.0, 0.05);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, ProxyInputBypassesPayloadLimit) {
+  // The headline ProxyStore-with-FaaS pattern (Listing 2): proxy a 10 MB
+  // object (over the 5 MB limit) and pass the tiny proxy as the payload.
+  FunctionRegistry::instance().register_function(
+      "consume-proxy", [](BytesView request) {
+        auto proxy = serde::from_bytes<core::Proxy<Bytes>>(request);
+        const Bytes& data = *proxy;  // transparent resolution on the worker
+        return serde::to_bytes(data.size());
+      });
+  ComputeEndpoint endpoint(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  auto store = std::make_shared<core::Store>(
+      "faas-store", std::make_shared<connectors::LocalConnector>());
+  core::register_store(store, /*overwrite=*/true);
+  Executor executor(cloud_, endpoint.uuid());
+  auto proxy = store->proxy(pattern_bytes(10'000'000));
+  TaskFuture future = executor.submit("consume-proxy", serde::to_bytes(proxy));
+  EXPECT_EQ(future.get_as<std::size_t>(), 10'000'000u);
+  endpoint.stop();
+}
+
+TEST_F(FaasTest, EndpointStopDrainsCleanly) {
+  auto endpoint = std::make_unique<ComputeEndpoint>(cloud_, *endpoint_proc_);
+  proc::ProcessScope scope(*client_);
+  Executor executor(cloud_, endpoint->uuid());
+  TaskFuture future = executor.submit("echo", "x");
+  EXPECT_EQ(future.get(), "x");
+  endpoint->stop();
+  endpoint->stop();  // idempotent
+  EXPECT_THROW(executor.submit("echo", "y"), NotRegisteredError);
+}
+
+}  // namespace
+}  // namespace ps::faas

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "globus/transfer.hpp"
+#include "proc/world.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::globus {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GlobusTest : public ::testing::Test {
+ protected:
+  GlobusTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("anl", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_site("tacc", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().connect_sites("anl", "tacc", net::wan_tcp(25e-3, 1.25e9));
+    world_->fabric().add_host("theta-login", "anl");
+    world_->fabric().add_host("frontera-login", "tacc");
+    process_ = &world_->spawn("client", "theta-login");
+    service_ = TransferService::start(*world_);
+    dir_a_ = fs::temp_directory_path() / ("ps_globus_a_" + Uuid::random().str());
+    dir_b_ = fs::temp_directory_path() / ("ps_globus_b_" + Uuid::random().str());
+    ep_a_ = service_->register_endpoint("theta-login", dir_a_);
+    ep_b_ = service_->register_endpoint("frontera-login", dir_b_);
+  }
+
+  ~GlobusTest() override {
+    fs::remove_all(dir_a_);
+    fs::remove_all(dir_b_);
+  }
+
+  void write_file(const fs::path& dir, const std::string& name,
+                  const Bytes& data) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  Bytes read_file(const fs::path& dir, const std::string& name) {
+    std::ifstream in(dir / name, std::ios::binary);
+    return Bytes((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* process_ = nullptr;
+  std::shared_ptr<TransferService> service_;
+  fs::path dir_a_, dir_b_;
+  Uuid ep_a_, ep_b_;
+};
+
+TEST_F(GlobusTest, TransferCopiesFiles) {
+  proc::ProcessScope scope(*process_);
+  const Bytes data = pattern_bytes(10000, 1);
+  write_file(dir_a_, "obj1", data);
+  const Uuid task = service_->submit(ep_a_, ep_b_, {"obj1"});
+  service_->wait(task);
+  EXPECT_EQ(read_file(dir_b_, "obj1"), data);
+}
+
+TEST_F(GlobusTest, TaskStatusProgressesWithVirtualTime) {
+  proc::ProcessScope scope(*process_);
+  sim::VtimeGuard guard;
+  write_file(dir_a_, "obj2", pattern_bytes(1000));
+  const Uuid task = service_->submit(ep_a_, ep_b_, {"obj2"});
+  EXPECT_EQ(service_->status(task), TaskStatus::kActive);
+  sim::vadvance(60.0);
+  EXPECT_EQ(service_->status(task), TaskStatus::kSucceeded);
+}
+
+TEST_F(GlobusTest, WaitAdvancesToCompletion) {
+  proc::ProcessScope scope(*process_);
+  sim::VtimeGuard guard;
+  write_file(dir_a_, "obj3", pattern_bytes(1000));
+  sim::VtimeScope vt;
+  const Uuid task = service_->submit(ep_a_, ep_b_, {"obj3"});
+  service_->wait(task);
+  // Dominated by the per-task SaaS overhead (default 2 s).
+  EXPECT_GE(vt.elapsed(), 2.0);
+  EXPECT_LT(vt.elapsed(), 5.0);
+}
+
+TEST_F(GlobusTest, BulkBandwidthIsHigh) {
+  // The hybrid SaaS model: large transfers approach link bandwidth.
+  proc::ProcessScope scope(*process_);
+  sim::VtimeGuard guard;
+  const std::size_t bytes = 200'000'000;
+  write_file(dir_a_, "big", pattern_bytes(bytes));
+  sim::VtimeScope vt;
+  service_->wait(service_->submit(ep_a_, ep_b_, {"big"}));
+  const double wire_floor = static_cast<double>(bytes) / 1.25e9;
+  EXPECT_LT(vt.elapsed(), 2.0 /*overhead*/ + 3.0 * wire_floor);
+}
+
+TEST_F(GlobusTest, MissingSourceFileFailsTask) {
+  proc::ProcessScope scope(*process_);
+  const Uuid task = service_->submit(ep_a_, ep_b_, {"does-not-exist"});
+  EXPECT_EQ(service_->status(task), TaskStatus::kFailed);
+  EXPECT_THROW(service_->wait(task), TransferError);
+}
+
+TEST_F(GlobusTest, FailingEndpointFailsTask) {
+  proc::ProcessScope scope(*process_);
+  write_file(dir_a_, "obj4", pattern_bytes(100));
+  service_->set_endpoint_failing(ep_b_, true);
+  const Uuid task = service_->submit(ep_a_, ep_b_, {"obj4"});
+  EXPECT_THROW(service_->wait(task), TransferError);
+  service_->set_endpoint_failing(ep_b_, false);
+  const Uuid retry = service_->submit(ep_a_, ep_b_, {"obj4"});
+  EXPECT_NO_THROW(service_->wait(retry));
+}
+
+TEST_F(GlobusTest, UnknownTaskOrEndpointThrows) {
+  proc::ProcessScope scope(*process_);
+  EXPECT_THROW(service_->status(Uuid::random()), TransferError);
+  EXPECT_THROW(service_->wait(Uuid::random()), TransferError);
+  EXPECT_THROW(service_->submit(Uuid::random(), ep_b_, {}), TransferError);
+  EXPECT_THROW(service_->endpoint_host(Uuid::random()), TransferError);
+}
+
+TEST_F(GlobusTest, BatchCheaperThanIndividualTransfers) {
+  proc::ProcessScope scope(*process_);
+  sim::VtimeGuard guard;
+  for (int i = 0; i < 8; ++i) {
+    write_file(dir_a_, "batch" + std::to_string(i), pattern_bytes(1000));
+  }
+  sim::VtimeScope batch_scope;
+  std::vector<std::string> files;
+  for (int i = 0; i < 8; ++i) files.push_back("batch" + std::to_string(i));
+  service_->wait(service_->submit(ep_a_, ep_b_, files));
+  const double batch = batch_scope.elapsed();
+
+  sim::VtimeScope individual_scope;
+  for (const std::string& f : files) {
+    service_->wait(service_->submit(ep_a_, ep_b_, {f}));
+  }
+  EXPECT_LT(batch, individual_scope.elapsed() / 2.0);
+}
+
+TEST_F(GlobusTest, ConnectResolvesRunningService) {
+  proc::ProcessScope scope(*process_);
+  EXPECT_EQ(TransferService::connect(), service_);
+}
+
+}  // namespace
+}  // namespace ps::globus

@@ -1,0 +1,306 @@
+// Cross-substrate integration tests: proxies travelling through the FaaS
+// fabric, across NATs via PS-endpoints, over Globus transfers, and through
+// MultiConnector policies — plus failure injection at each layer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "connectors/endpoint.hpp"
+#include "connectors/file.hpp"
+#include "connectors/globus.hpp"
+#include "connectors/redis.hpp"
+#include "core/multi.hpp"
+#include "core/store.hpp"
+#include "endpoint/endpoint.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "globus/transfer.hpp"
+#include "kv/server.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+namespace ps {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : tb_(testbed::build()) {}
+
+  testbed::Testbed tb_;
+};
+
+// ---------------------------------------------------------- globus flows ----
+
+TEST_F(IntegrationTest, ProxyAcrossSitesViaGlobus) {
+  proc::Process& producer = tb_.world->spawn("producer", tb_.midway_login);
+  proc::Process& consumer = tb_.world->spawn("consumer", tb_.theta_login);
+  auto transfer = globus::TransferService::start(*tb_.world);
+  const fs::path base = fs::temp_directory_path() /
+                        ("ps_int_globus_" + Uuid::random().str());
+  const Uuid ep_midway =
+      transfer->register_endpoint(tb_.midway_login, base / "midway");
+  const Uuid ep_theta =
+      transfer->register_endpoint(tb_.theta_login, base / "theta");
+
+  Bytes wire;
+  {
+    proc::ProcessScope scope(producer);
+    auto store = std::make_shared<core::Store>(
+        "globus-int",
+        std::make_shared<connectors::GlobusConnector>(
+            std::vector<connectors::GlobusEndpointSpec>{
+                {"^midway2", ep_midway}, {"^theta", ep_theta}}));
+    core::register_store(store);
+    wire = serde::to_bytes(store->proxy(pattern_bytes(100'000, 5)));
+  }
+  {
+    proc::ProcessScope scope(consumer);
+    auto proxy = serde::from_bytes<core::Proxy<Bytes>>(wire);
+    // Resolution waits for the Globus transfer task, then reads the file.
+    sim::VtimeScope vt;
+    EXPECT_TRUE(check_pattern(*proxy, 5));
+    EXPECT_GE(vt.elapsed(), 2.0);  // the per-task SaaS overhead
+  }
+  fs::remove_all(base);
+}
+
+TEST_F(IntegrationTest, GlobusTransferFailureSurfacesThroughProxy) {
+  proc::Process& producer = tb_.world->spawn("producer", tb_.midway_login);
+  proc::Process& consumer = tb_.world->spawn("consumer", tb_.theta_login);
+  auto transfer = globus::TransferService::start(*tb_.world);
+  const fs::path base = fs::temp_directory_path() /
+                        ("ps_int_globusfail_" + Uuid::random().str());
+  const Uuid ep_midway =
+      transfer->register_endpoint(tb_.midway_login, base / "midway");
+  const Uuid ep_theta =
+      transfer->register_endpoint(tb_.theta_login, base / "theta");
+  transfer->set_endpoint_failing(ep_theta, true);
+
+  Bytes wire;
+  {
+    proc::ProcessScope scope(producer);
+    auto store = std::make_shared<core::Store>(
+        "globus-fail",
+        std::make_shared<connectors::GlobusConnector>(
+            std::vector<connectors::GlobusEndpointSpec>{
+                {"^midway2", ep_midway}, {"^theta", ep_theta}}));
+    core::register_store(store);
+    wire = serde::to_bytes(store->proxy(pattern_bytes(1000)));
+  }
+  {
+    proc::ProcessScope scope(consumer);
+    auto proxy = serde::from_bytes<core::Proxy<Bytes>>(wire);
+    // "A proxy will ... raise an error if there is a Globus transfer
+    // failure" (paper section 4.2.1).
+    EXPECT_THROW(proxy.resolve(), TransferError);
+  }
+  fs::remove_all(base);
+}
+
+// --------------------------------------------------------- endpoint flows ----
+
+TEST_F(IntegrationTest, ProxyAcrossDoubleNatViaEndpoints) {
+  // Producer and consumer both behind NAT (edge sites): data can only flow
+  // through hole-punched peer connections brokered by the relay.
+  proc::Process& producer = tb_.world->spawn("producer", tb_.edge_devices[0]);
+  proc::Process& consumer = tb_.world->spawn("consumer", tb_.edge_devices[1]);
+  ASSERT_FALSE(tb_.world->fabric().can_connect_direct(tb_.edge_devices[0],
+                                                      tb_.edge_devices[1]));
+  relay::RelayServer::start(*tb_.world, tb_.relay_host, "int-relay");
+  endpoint::Endpoint::start(*tb_.world, tb_.edge_devices[0], "int-ep-0",
+                            "relay://" + tb_.relay_host + "/int-relay");
+  endpoint::Endpoint::start(*tb_.world, tb_.edge_devices[1], "int-ep-1",
+                            "relay://" + tb_.relay_host + "/int-relay");
+  const std::vector<std::string> addresses = {
+      endpoint::endpoint_address(tb_.edge_devices[0], "int-ep-0"),
+      endpoint::endpoint_address(tb_.edge_devices[1], "int-ep-1")};
+
+  Bytes wire;
+  {
+    proc::ProcessScope scope(producer);
+    auto store = std::make_shared<core::Store>(
+        "nat-store",
+        std::make_shared<connectors::EndpointConnector>(addresses));
+    core::register_store(store);
+    wire = serde::to_bytes(store->proxy(pattern_bytes(50'000, 6)));
+  }
+  {
+    proc::ProcessScope scope(consumer);
+    auto proxy = serde::from_bytes<core::Proxy<Bytes>>(wire);
+    EXPECT_TRUE(check_pattern(*proxy, 6));
+  }
+}
+
+TEST_F(IntegrationTest, StoppedEndpointFailsResolution) {
+  proc::Process& producer = tb_.world->spawn("producer", tb_.theta_login);
+  proc::Process& consumer = tb_.world->spawn("consumer", tb_.midway_login);
+  relay::RelayServer::start(*tb_.world, tb_.relay_host, "int-relay2");
+  auto ep_theta = endpoint::Endpoint::start(
+      *tb_.world, tb_.theta_login, "int2-theta",
+      "relay://" + tb_.relay_host + "/int-relay2");
+  endpoint::Endpoint::start(*tb_.world, tb_.midway_login, "int2-midway",
+                            "relay://" + tb_.relay_host + "/int-relay2");
+  const std::vector<std::string> addresses = {
+      endpoint::endpoint_address(tb_.theta_login, "int2-theta"),
+      endpoint::endpoint_address(tb_.midway_login, "int2-midway")};
+
+  Bytes wire;
+  {
+    proc::ProcessScope scope(producer);
+    auto store = std::make_shared<core::Store>(
+        "dead-ep-store",
+        std::make_shared<connectors::EndpointConnector>(addresses));
+    core::register_store(store);
+    wire = serde::to_bytes(store->proxy(pattern_bytes(1000)));
+  }
+  ep_theta->stop();  // the owner goes away
+  {
+    proc::ProcessScope scope(consumer);
+    auto proxy = serde::from_bytes<core::Proxy<Bytes>>(wire);
+    EXPECT_THROW(proxy.resolve(), ProtocolError);
+  }
+}
+
+// ------------------------------------------------------------- faas flows ----
+
+TEST_F(IntegrationTest, ProxyChainThroughTwoTasks) {
+  // f() produces x on one machine; g(x) consumes it on another — the
+  // paper's introduction scenario: x moves f -> g without the cloud.
+  faas::FunctionRegistry::instance().register_function(
+      "int-produce", [](BytesView) {
+        auto store = core::get_store("chain-store");
+        return serde::to_bytes(store->proxy(pattern_bytes(200'000, 7)));
+      });
+  faas::FunctionRegistry::instance().register_function(
+      "int-consume", [](BytesView request) {
+        auto proxy = serde::from_bytes<core::Proxy<Bytes>>(request);
+        return serde::to_bytes(check_pattern(*proxy, 7));
+      });
+
+  proc::Process& client = tb_.world->spawn("client", tb_.midway_login);
+  proc::Process& site_a = tb_.world->spawn("site-a", tb_.theta_compute0);
+  proc::Process& site_b = tb_.world->spawn("site-b", tb_.theta_compute1);
+  auto cloud = faas::CloudService::start(*tb_.world, tb_.cloud);
+  faas::ComputeEndpoint ep_a(cloud, site_a);
+  faas::ComputeEndpoint ep_b(cloud, site_b);
+
+  kv::KvServer::start(*tb_.world, tb_.theta_login, "chain");
+  std::shared_ptr<core::Store> store;
+  {
+    proc::ProcessScope scope(site_a);
+    store = std::make_shared<core::Store>(
+        "chain-store", std::make_shared<connectors::RedisConnector>(
+                           kv::kv_address(tb_.theta_login, "chain")));
+  }
+  {
+    proc::ProcessScope scope_a(site_a);
+    core::register_store(store);
+  }
+
+  proc::ProcessScope scope(client);
+  faas::Executor exec_a(cloud, ep_a.uuid());
+  faas::Executor exec_b(cloud, ep_b.uuid());
+  // The proxy produced by f() passes through the client untouched.
+  const Bytes proxy_wire = exec_a.submit("int-produce", "").get();
+  EXPECT_LT(proxy_wire.size(), 1000u);
+  const Bytes verdict = exec_b.submit("int-consume", proxy_wire).get();
+  EXPECT_TRUE(serde::from_bytes<bool>(verdict));
+  ep_a.stop();
+  ep_b.stop();
+}
+
+// ------------------------------------------------------------ multi flows ----
+
+TEST_F(IntegrationTest, MultiConnectorRoutesAndResolvesAcrossSites) {
+  proc::Process& producer = tb_.world->spawn("producer", tb_.theta_login);
+  proc::Process& gpu = tb_.world->spawn("gpu", tb_.remote_gpu);
+  kv::KvServer::start(*tb_.world, tb_.theta_login, "int-multi");
+  relay::RelayServer::start(*tb_.world, tb_.relay_host, "int-relay3");
+  endpoint::Endpoint::start(*tb_.world, tb_.theta_login, "int3-theta",
+                            "relay://" + tb_.relay_host + "/int-relay3");
+  endpoint::Endpoint::start(*tb_.world, tb_.remote_gpu, "int3-gpu",
+                            "relay://" + tb_.relay_host + "/int-relay3");
+
+  Bytes sim_wire, weights_wire;
+  {
+    proc::ProcessScope scope(producer);
+    auto redis = std::make_shared<connectors::RedisConnector>(
+        kv::kv_address(tb_.theta_login, "int-multi"));
+    auto ep = std::make_shared<connectors::EndpointConnector>(
+        std::vector<std::string>{
+            endpoint::endpoint_address(tb_.theta_login, "int3-theta"),
+            endpoint::endpoint_address(tb_.remote_gpu, "int3-gpu")});
+    core::Policy redis_policy;
+    redis_policy.tags = {"theta"};
+    redis_policy.priority = 1;
+    core::Policy ep_policy;
+    ep_policy.tags = {"theta", "gpu-lab"};
+    auto store = std::make_shared<core::Store>(
+        "int-multi-store",
+        std::make_shared<core::MultiConnector>(
+            std::vector<core::MultiConnector::Entry>{
+                {"redis", redis, redis_policy}, {"ep", ep, ep_policy}}));
+    core::register_store(store);
+
+    const core::Key sim_key = store->put(pattern_bytes(1000, 8));
+    EXPECT_EQ(sim_key.field("multi_connector"), "redis");
+    sim_wire = serde::to_bytes(store->proxy_from_key<Bytes>(sim_key));
+
+    core::PutHints hints;
+    hints.required_tags = {"gpu-lab"};
+    const core::Key weights_key = store->put(pattern_bytes(2000, 9), hints);
+    EXPECT_EQ(weights_key.field("multi_connector"), "ep");
+    weights_wire = serde::to_bytes(store->proxy_from_key<Bytes>(weights_key));
+  }
+  {
+    proc::ProcessScope scope(gpu);
+    // The GPU can resolve the endpoint-routed object across the NAT...
+    auto weights = serde::from_bytes<core::Proxy<Bytes>>(weights_wire);
+    EXPECT_TRUE(check_pattern(*weights, 9));
+  }
+}
+
+// ----------------------------------------------------------- store caching ----
+
+TEST_F(IntegrationTest, RepeatedResolvesHitTheStoreCache) {
+  // The molecular-design pattern: a static inference dataset proxied each
+  // round resolves from the consumer's cache after the first round.
+  proc::Process& producer = tb_.world->spawn("producer", tb_.theta_login);
+  proc::Process& gpu = tb_.world->spawn("gpu", tb_.remote_gpu);
+  relay::RelayServer::start(*tb_.world, tb_.relay_host, "int-relay4");
+  endpoint::Endpoint::start(*tb_.world, tb_.theta_login, "int4-theta",
+                            "relay://" + tb_.relay_host + "/int-relay4");
+  endpoint::Endpoint::start(*tb_.world, tb_.remote_gpu, "int4-gpu",
+                            "relay://" + tb_.relay_host + "/int-relay4");
+  const std::vector<std::string> addresses = {
+      endpoint::endpoint_address(tb_.theta_login, "int4-theta"),
+      endpoint::endpoint_address(tb_.remote_gpu, "int4-gpu")};
+
+  Bytes wire;
+  {
+    proc::ProcessScope scope(producer);
+    auto store = std::make_shared<core::Store>(
+        "cache-store",
+        std::make_shared<connectors::EndpointConnector>(addresses));
+    core::register_store(store);
+    wire = serde::to_bytes(store->proxy(pattern_bytes(5'000'000, 10)));
+  }
+  proc::ProcessScope scope(gpu);
+  auto first = serde::from_bytes<core::Proxy<Bytes>>(wire);
+  sim::VtimeScope cold;
+  first.resolve();
+  const double cold_time = cold.elapsed();
+
+  auto second = serde::from_bytes<core::Proxy<Bytes>>(wire);
+  sim::VtimeScope warm;
+  second.resolve();
+  // Same key, same process: served from the deserialized-object cache.
+  EXPECT_LT(warm.elapsed(), 0.05 * cold_time);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/bytes.hpp"
+#include "common/uuid.hpp"
+#include "ipfs/ipfs.hpp"
+#include "proc/world.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::ipfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IpfsTest : public ::testing::Test {
+ protected:
+  IpfsTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("uc", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_site("anl", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().connect_sites("uc", "anl", net::wan_tcp(6e-3, 1.25e9));
+    world_->fabric().add_host("midway", "uc");
+    world_->fabric().add_host("theta", "anl");
+    process_ = &world_->spawn("p", "midway");
+    base_ = fs::temp_directory_path() / ("ps_ipfs_" + Uuid::random().str());
+    node_a_ = IpfsNode::start(*world_, "midway", "a", base_ / "a");
+    node_b_ = IpfsNode::start(*world_, "theta", "b", base_ / "b");
+    node_a_->connect(node_b_);
+  }
+
+  ~IpfsTest() override { fs::remove_all(base_); }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* process_ = nullptr;
+  fs::path base_;
+  std::shared_ptr<IpfsNode> node_a_, node_b_;
+};
+
+TEST_F(IpfsTest, AddThenGetLocally) {
+  proc::ProcessScope scope(*process_);
+  const Bytes data = pattern_bytes(1000, 1);
+  const Cid cid = node_a_->add(data);
+  EXPECT_EQ(node_a_->get(cid), data);
+  EXPECT_TRUE(node_a_->has_local(cid));
+}
+
+TEST_F(IpfsTest, ContentAddressingIsDeterministic) {
+  proc::ProcessScope scope(*process_);
+  const Bytes data = pattern_bytes(5000, 2);
+  const Cid a = node_a_->add(data);
+  const Cid b = node_b_->add(data);
+  EXPECT_EQ(a, b);  // same content, same CID, regardless of node
+  EXPECT_NE(node_a_->add(pattern_bytes(5000, 3)), a);
+}
+
+TEST_F(IpfsTest, MultiBlockContentRoundTrips) {
+  proc::ProcessScope scope(*process_);
+  IpfsOptions options;
+  options.block_size = 1024;
+  auto node = IpfsNode::start(*world_, "midway", "small-blocks",
+                              base_ / "small", options);
+  const Bytes data = pattern_bytes(10'000, 4);  // ~10 blocks
+  const Cid cid = node->add(data);
+  EXPECT_GT(node->block_count(), 9u);
+  EXPECT_EQ(node->get(cid), data);
+}
+
+TEST_F(IpfsTest, PeerFetchAcrossSites) {
+  proc::ProcessScope scope(*process_);
+  const Bytes data = pattern_bytes(500'000, 5);
+  const Cid cid = node_a_->add(data);
+  EXPECT_FALSE(node_b_->has_local(cid));
+  EXPECT_EQ(node_b_->get(cid), data);
+  // Bitswap caches fetched blocks locally.
+  EXPECT_TRUE(node_b_->has_local(cid));
+}
+
+TEST_F(IpfsTest, PeerFetchChargesWanTime) {
+  proc::ProcessScope scope(*process_);
+  sim::VtimeGuard guard;
+  const Bytes data = pattern_bytes(10'000'000, 6);
+  const Cid cid = node_a_->add(data);
+  sim::VtimeScope vt;
+  node_b_->get(cid);
+  // At least the wire time across the 1.25 GB/s WAN.
+  EXPECT_GT(vt.elapsed(), 10e6 / 1.25e9);
+}
+
+TEST_F(IpfsTest, GetUnknownCidReturnsNullopt) {
+  proc::ProcessScope scope(*process_);
+  EXPECT_EQ(node_a_->get(Cid{"deadbeef"}), std::nullopt);
+}
+
+TEST_F(IpfsTest, DisconnectedNodeCannotFetch) {
+  proc::ProcessScope scope(*process_);
+  auto loner = IpfsNode::start(*world_, "theta", "loner", base_ / "loner");
+  const Cid cid = node_a_->add(pattern_bytes(100, 7));
+  EXPECT_EQ(loner->get(cid), std::nullopt);
+}
+
+TEST_F(IpfsTest, RemoveLocalDropsBlocks) {
+  proc::ProcessScope scope(*process_);
+  const Cid cid = node_a_->add(pattern_bytes(1000, 8));
+  node_a_->remove_local(cid);
+  EXPECT_FALSE(node_a_->has_local(cid));
+  EXPECT_EQ(node_a_->block_count(), 0u);
+}
+
+TEST_F(IpfsTest, RemovedContentRecoverableFromPeers) {
+  proc::ProcessScope scope(*process_);
+  const Bytes data = pattern_bytes(1000, 9);
+  const Cid cid = node_a_->add(data);
+  node_b_->get(cid);  // replicate to B
+  node_a_->remove_local(cid);
+  EXPECT_EQ(node_a_->get(cid), data);  // fetched back from B
+}
+
+TEST_F(IpfsTest, DeduplicatesIdenticalBlocks) {
+  proc::ProcessScope scope(*process_);
+  IpfsOptions options;
+  options.block_size = 1000;
+  auto node =
+      IpfsNode::start(*world_, "midway", "dedup", base_ / "dedup", options);
+  // Content = the same 1000-byte block repeated 10 times.
+  Bytes block = pattern_bytes(1000, 10);
+  Bytes data;
+  for (int i = 0; i < 10; ++i) data += block;
+  const Cid cid = node->add(data);
+  // 1 unique data block + 1 manifest block.
+  EXPECT_EQ(node->block_count(), 2u);
+  EXPECT_EQ(node->get(cid), data);
+}
+
+TEST_F(IpfsTest, EmptyContentHasCid) {
+  proc::ProcessScope scope(*process_);
+  const Cid cid = node_a_->add("");
+  const auto got = node_a_->get(cid);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace ps::ipfs

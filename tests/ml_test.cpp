@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/data.hpp"
+#include "ml/layers.hpp"
+#include "ml/model.hpp"
+#include "ml/tensor.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::ml {
+namespace {
+
+// --------------------------------------------------------------- tensor ----
+
+TEST(Tensor, ZerosShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < 12; ++i) t.at(i) = static_cast<float>(i);
+  t.reshape({3, 4});
+  EXPECT_EQ(t.at(2, 3), 11.0f);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({2, 2});
+  Tensor b({2, 2});
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.at(i) = static_cast<float>(i);
+    b.at(i) = 1.0f;
+  }
+  a += b;
+  EXPECT_EQ(a.at(3), 4.0f);
+  a -= b;
+  EXPECT_EQ(a.at(3), 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a.at(3), 6.0f);
+  Tensor c({3, 1});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  for (std::size_t i = 0; i < 6; ++i) {
+    a.at(i) = static_cast<float>(i + 1);
+    b.at(i) = static_cast<float>(i + 7);
+  }
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Tensor, MatmulTransposedVariantsAgree) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn({4, 6}, rng, 1.0f);
+  const Tensor b = Tensor::randn({6, 3}, rng, 1.0f);
+  const Tensor c = matmul(a, b);
+  // matmul_bt(a, b') with b' = b^T (3x6) must equal c.
+  Tensor bt({3, 6});
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Tensor c2 = matmul_bt(a, bt);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.at(i), c2.at(i), 1e-4f);
+  }
+  // matmul_at(a', b) with a' = a^T must equal c as well.
+  Tensor at({6, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Tensor c3 = matmul_at(at, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.at(i), c3.at(i), 1e-4f);
+  }
+}
+
+TEST(Tensor, MatmulShapeChecks) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, SerdeRoundTrip) {
+  Rng rng(2);
+  const Tensor t = Tensor::randn({3, 5}, rng, 1.0f);
+  EXPECT_EQ(serde::from_bytes<Tensor>(serde::to_bytes(t)), t);
+}
+
+// --------------------------------------------------------------- layers ----
+
+TEST(Layers, DenseForwardMatchesManual) {
+  Rng rng(1);
+  Dense dense(2, 2, rng);
+  // Overwrite weights for a deterministic check.
+  Tensor* w = dense.parameters()[0];
+  Tensor* b = dense.parameters()[1];
+  w->at(0, 0) = 1.0f;
+  w->at(0, 1) = 2.0f;
+  w->at(1, 0) = 3.0f;
+  w->at(1, 1) = 4.0f;
+  b->at(0) = 0.5f;
+  b->at(1) = -0.5f;
+  Tensor x({1, 2});
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 2.0f;
+  const Tensor y = dense.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 6 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 8 - 0.5f);
+}
+
+TEST(Layers, DenseGradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Dense dense(4, 3, rng);
+  Tensor x = Tensor::randn({2, 4}, rng, 1.0f);
+  const std::vector<std::size_t> labels{1, 2};
+
+  // Analytic gradient of loss w.r.t. W[0][0].
+  dense.zero_gradients();
+  Tensor out = dense.forward(x);
+  auto [loss, grad] = softmax_cross_entropy(out, labels);
+  dense.backward(grad);
+  const float analytic = dense.gradients()[0]->at(0, 0);
+
+  const float eps = 1e-3f;
+  Tensor* w = dense.parameters()[0];
+  w->at(0, 0) += eps;
+  auto [loss_plus, g1] = softmax_cross_entropy(dense.forward(x), labels);
+  w->at(0, 0) -= 2 * eps;
+  auto [loss_minus, g2] = softmax_cross_entropy(dense.forward(x), labels);
+  const float numeric = (loss_plus - loss_minus) / (2 * eps);
+  EXPECT_NEAR(analytic, numeric, 5e-3f);
+}
+
+TEST(Layers, ReluZeroesNegativesAndGradients) {
+  ReLU relu;
+  Tensor x({1, 4});
+  x.at(0) = -1.0f;
+  x.at(1) = 2.0f;
+  x.at(2) = 0.0f;
+  x.at(3) = -3.0f;
+  const Tensor y = relu.forward(x);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 2.0f);
+  Tensor g({1, 4});
+  for (std::size_t i = 0; i < 4; ++i) g.at(i) = 1.0f;
+  const Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx.at(0), 0.0f);
+  EXPECT_EQ(gx.at(1), 1.0f);
+  EXPECT_EQ(gx.at(2), 0.0f);
+}
+
+TEST(Layers, FlattenRoundTrips) {
+  Flatten flatten;
+  Tensor x({2, 3, 4, 4});
+  const Tensor y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  const Tensor back = flatten.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Layers, Conv2DIdentityKernel) {
+  Rng rng(4);
+  Conv2D conv(1, 1, 3, 5, 5, rng);
+  Tensor* w = conv.parameters()[0];
+  Tensor* b = conv.parameters()[1];
+  std::fill(w->values().begin(), w->values().end(), 0.0f);
+  w->at(4) = 1.0f;  // center tap of the 3x3 kernel
+  b->at(0) = 0.0f;
+  const Tensor x = Tensor::randn({1, 1, 5, 5}, rng, 1.0f);
+  const Tensor y = conv.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y.at(i), x.at(i), 1e-5f);
+  }
+}
+
+TEST(Layers, Conv2DRequiresOddKernel) {
+  Rng rng(4);
+  EXPECT_THROW(Conv2D(1, 1, 4, 5, 5, rng), std::invalid_argument);
+}
+
+TEST(Layers, MaxPoolSelectsWindowMaxima) {
+  MaxPool2D pool;
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x.at(i) = static_cast<float>(i);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+  EXPECT_EQ(y.at(0), 5.0f);   // max of {0,1,4,5}
+  EXPECT_EQ(y.at(1), 7.0f);   // max of {2,3,6,7}
+  EXPECT_EQ(y.at(2), 13.0f);
+  EXPECT_EQ(y.at(3), 15.0f);
+}
+
+TEST(Layers, MaxPoolBackwardRoutesGradToArgmax) {
+  MaxPool2D pool;
+  Tensor x({1, 1, 2, 2});
+  x.at(0) = 1.0f;
+  x.at(1) = 9.0f;  // window max
+  x.at(2) = 3.0f;
+  x.at(3) = 2.0f;
+  pool.forward(x);
+  Tensor g({1, 1, 1, 1});
+  g.at(0) = 2.5f;
+  const Tensor gx = pool.backward(g);
+  EXPECT_EQ(gx.at(0), 0.0f);
+  EXPECT_EQ(gx.at(1), 2.5f);
+  EXPECT_EQ(gx.at(2), 0.0f);
+}
+
+TEST(Layers, MaxPoolRejectsOddDimensions) {
+  MaxPool2D pool;
+  Tensor x({1, 1, 3, 4});
+  EXPECT_THROW(pool.forward(x), std::invalid_argument);
+}
+
+TEST(Layers, CnnWithPoolingTrains) {
+  // A genuine conv -> pool -> dense pipeline learns the synthetic set.
+  Rng rng(21);
+  const Dataset train = fashion_like(64, rng);
+  Rng init(22);
+  Model model;
+  model.add(std::make_unique<Conv2D>(1, 4, 3, 28, 28, init));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>());
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(4 * 14 * 14, 10, init));
+  float first = 0, last = 0;
+  for (int step = 0; step < 30; ++step) {
+    model.zero_gradients();
+    const Tensor out = model.forward(train.images);
+    auto [loss, grad] = softmax_cross_entropy(out, train.labels);
+    model.backward(grad);
+    model.sgd_step(0.05f);
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+  // Architecture round-trips through the spec factory.
+  Model restored = Model::deserialize(model.serialize());
+  const Tensor a = model.forward(train.images);
+  const Tensor b = restored.forward(train.images);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.at(i), b.at(i));
+}
+
+TEST(Layers, SpecRoundTripsThroughFactory) {
+  Rng rng(6);
+  Dense dense(8, 4, rng);
+  auto rebuilt = layer_from_spec(dense.spec(), rng);
+  EXPECT_EQ(rebuilt->spec(), dense.spec());
+  Conv2D conv(2, 3, 3, 8, 8, rng);
+  EXPECT_EQ(layer_from_spec(conv.spec(), rng)->spec(), conv.spec());
+}
+
+// ---------------------------------------------------------------- model ----
+
+TEST(Model, TrainingReducesLoss) {
+  Rng rng(7);
+  Model model;
+  model.add(std::make_unique<Dense>(8, 16, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(16, 3, rng));
+
+  // Learnable toy problem: class = argmax of first 3 features.
+  Tensor x = Tensor::randn({64, 8}, rng, 1.0f);
+  std::vector<std::size_t> labels(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < 3; ++j) {
+      if (x.at(i, j) > x.at(i, best)) best = j;
+    }
+    labels[i] = best;
+  }
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    model.zero_gradients();
+    const Tensor out = model.forward(x);
+    auto [loss, grad] = softmax_cross_entropy(out, labels);
+    model.backward(grad);
+    model.sgd_step(0.1f);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, 0.5f * first_loss);
+  EXPECT_GT(accuracy(model.forward(x), labels), 0.8);
+}
+
+TEST(Model, StateRoundTripPreservesOutputs) {
+  Rng rng(8);
+  Model model;
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(16, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 4, rng));
+  const Tensor x = Tensor::randn({3, 1, 4, 4}, rng, 1.0f);
+  const Tensor y = model.forward(x);
+  Model restored = Model::deserialize(model.serialize());
+  const Tensor y2 = restored.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), y2.at(i));
+  }
+}
+
+TEST(Model, SetStateRejectsMismatchedArchitecture) {
+  Rng rng(9);
+  Model a;
+  a.add(std::make_unique<Dense>(4, 4, rng));
+  Model b;
+  b.add(std::make_unique<Dense>(4, 5, rng));
+  EXPECT_THROW(b.set_state(a.state()), std::invalid_argument);
+}
+
+TEST(Model, ParameterCountMatchesArchitecture) {
+  Rng rng(10);
+  Model model;
+  model.add(std::make_unique<Dense>(10, 20, rng));  // 10*20 + 20
+  model.add(std::make_unique<Dense>(20, 5, rng));   // 20*5 + 5
+  EXPECT_EQ(model.parameter_count(), 200u + 20u + 100u + 5u);
+}
+
+TEST(Model, FederatedAverageAveragesWeights) {
+  Rng rng(11);
+  Model a;
+  a.add(std::make_unique<Dense>(2, 2, rng));
+  Model b = Model::from_state(a.state());
+  // Shift b's weights by +2.
+  ModelState bs = b.state();
+  for (Tensor& w : bs.weights) {
+    for (float& v : w.values()) v += 2.0f;
+  }
+  const ModelState avg = federated_average({a.state(), bs});
+  for (std::size_t w = 0; w < avg.weights.size(); ++w) {
+    for (std::size_t i = 0; i < avg.weights[w].size(); ++i) {
+      EXPECT_NEAR(avg.weights[w].at(i), a.state().weights[w].at(i) + 1.0f,
+                  1e-5f);
+    }
+  }
+}
+
+TEST(Model, FederatedAverageRejectsMismatch) {
+  Rng rng(12);
+  Model a;
+  a.add(std::make_unique<Dense>(2, 2, rng));
+  Model b;
+  b.add(std::make_unique<Dense>(2, 3, rng));
+  EXPECT_THROW(federated_average({a.state(), b.state()}),
+               std::invalid_argument);
+  EXPECT_THROW(federated_average({}), std::invalid_argument);
+}
+
+TEST(Model, MseLossGradient) {
+  Tensor out({2, 1});
+  out.at(0, 0) = 1.0f;
+  out.at(1, 0) = 3.0f;
+  auto [loss, grad] = mse_loss(out, {0.0f, 3.0f});
+  EXPECT_FLOAT_EQ(loss, 0.5f);  // (1 + 0) / 2
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 0), 0.0f);
+}
+
+// ----------------------------------------------------------------- data ----
+
+TEST(Data, FashionLikeShapesAndLabels) {
+  Rng rng(13);
+  const Dataset ds = fashion_like(32, rng);
+  EXPECT_EQ(ds.images.shape(), (std::vector<std::size_t>{32, 1, 28, 28}));
+  EXPECT_EQ(ds.labels.size(), 32u);
+  for (const std::size_t label : ds.labels) EXPECT_LT(label, 10u);
+}
+
+TEST(Data, FashionLikeIsLearnable) {
+  Rng rng(14);
+  const Dataset train = fashion_like(256, rng);
+  Rng init(15);
+  Model model;
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(784, 32, init));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(32, 10, init));
+  for (int step = 0; step < 100; ++step) {
+    model.zero_gradients();
+    const Tensor out = model.forward(train.images);
+    auto [loss, grad] = softmax_cross_entropy(out, train.labels);
+    model.backward(grad);
+    model.sgd_step(0.1f);
+  }
+  // Much better than the 10% random baseline.
+  EXPECT_GT(accuracy(model.forward(train.images), train.labels), 0.5);
+}
+
+TEST(Data, MicrographHasSeededDefects) {
+  Rng rng(16);
+  const Micrograph m = micrograph(64, 64, 5, rng);
+  EXPECT_EQ(m.image.shape(), (std::vector<std::size_t>{1, 1, 64, 64}));
+  EXPECT_GT(m.defect_count, 0u);
+  EXPECT_EQ(m.defect_mask.size(), 64u * 64u);
+}
+
+TEST(Data, MoleculesDeterministicIp) {
+  Rng rng(17);
+  const auto mols = molecules(10, 8, rng);
+  for (const Molecule& mol : mols) {
+    EXPECT_FLOAT_EQ(simulate_ionization_potential(mol.features),
+                    mol.ionization_potential);
+  }
+}
+
+}  // namespace
+}  // namespace ps::ml

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/fabric.hpp"
+#include "net/link.hpp"
+
+namespace ps::net {
+namespace {
+
+Fabric make_test_fabric() {
+  Fabric f;
+  f.add_site("alpha", hpc_interconnect(10e-6, 10e9));
+  f.add_site("beta", hpc_interconnect(10e-6, 10e9));
+  f.add_site("edge", wan_tcp(1e-3, 100e6), /*behind_nat=*/true);
+  f.add_host("alpha-login", "alpha");
+  f.add_host("alpha-compute", "alpha");
+  f.add_host("beta-login", "beta");
+  f.add_host("edge-device", "edge");
+  f.connect_sites("alpha", "beta", wan_tcp(10e-3, 1.25e9));
+  f.connect_sites("alpha", "edge", wan_tcp(25e-3, 12.5e6));
+  return f;
+}
+
+// ----------------------------------------------------------------- link ----
+
+TEST(LinkProfile, LanUsesFullBandwidth) {
+  const LinkProfile p = hpc_interconnect(10e-6, 1e9);
+  EXPECT_DOUBLE_EQ(p.effective_bandwidth(100), 1e9);
+  EXPECT_DOUBLE_EQ(p.effective_bandwidth(1u << 30), 1e9);
+}
+
+TEST(LinkProfile, TcpRampPenalizesSmallTransfers) {
+  const LinkProfile p = wan_tcp(10e-3, 1e9);
+  // Small transfers finish inside slow start (far below peak bandwidth);
+  // bulk transfers amortize the ramp and approach line rate.
+  EXPECT_LT(p.effective_bandwidth(10'000), 0.05 * 1e9);
+  EXPECT_GT(p.effective_bandwidth(100'000'000), 0.4 * 1e9);
+  EXPECT_GT(p.effective_bandwidth(1'000'000'000), 0.8 * 1e9);
+}
+
+TEST(LinkProfile, ThrottleCapsBandwidth) {
+  const LinkProfile p = wan_udp_throttled(10e-3, 1e9, /*throttle=*/10e6);
+  EXPECT_LE(p.effective_bandwidth(1u << 30), 10e6);
+}
+
+TEST(LinkProfile, TransferTimeMonotonicInSize) {
+  const LinkProfile p = wan_tcp(5e-3, 1e9);
+  double prev = 0.0;
+  for (std::size_t bytes = 1; bytes <= 100'000'000; bytes *= 10) {
+    const double t = p.transfer_time(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LinkProfile, LatencyDominatesSmallTransfers) {
+  const LinkProfile p = wan_tcp(50e-3, 1e9);
+  EXPECT_NEAR(p.transfer_time(10), 50e-3, 5e-3);
+}
+
+TEST(LinkProfile, ThrottledThrowsOnBadArg) {
+  EXPECT_THROW(wan_udp_throttled(1e-3, 1e9, 0.0), std::invalid_argument);
+}
+
+TEST(LinkProfile, CongestionNames) {
+  EXPECT_EQ(to_string(Congestion::kLan), "lan");
+  EXPECT_EQ(to_string(Congestion::kUdpThrottled), "udp-throttled");
+}
+
+// --------------------------------------------------------------- fabric ----
+
+TEST(Fabric, LoopbackRouteIsCheapest) {
+  const Fabric f = make_test_fabric();
+  const double loop = f.transfer_time("alpha-login", "alpha-login", 1000);
+  const double intra = f.transfer_time("alpha-login", "alpha-compute", 1000);
+  const double inter = f.transfer_time("alpha-login", "beta-login", 1000);
+  EXPECT_LT(loop, intra);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(Fabric, RouteIsSymmetricInTime) {
+  const Fabric f = make_test_fabric();
+  for (const std::size_t bytes : {10u, 100000u, 10000000u}) {
+    EXPECT_DOUBLE_EQ(f.transfer_time("alpha-login", "beta-login", bytes),
+                     f.transfer_time("beta-login", "alpha-login", bytes));
+  }
+}
+
+TEST(Fabric, UnknownHostThrows) {
+  const Fabric f = make_test_fabric();
+  EXPECT_THROW(f.route("alpha-login", "nowhere"), ConnectorError);
+  EXPECT_THROW(f.host("nowhere"), ConnectorError);
+}
+
+TEST(Fabric, TransitRoutesThroughCommonNeighbor) {
+  const Fabric f = make_test_fabric();
+  // beta <-> edge has no direct link but both connect to alpha.
+  const Route r = f.route("beta-login", "edge-device");
+  ASSERT_EQ(r.hops.size(), 2u);
+  EXPECT_EQ(f.host(r.hops[0].to).site, "alpha");
+  // Transit is never cheaper than the worse of its two legs.
+  EXPECT_GE(r.rtt(), 2 * (10e-3 + 100e-6));
+}
+
+TEST(Fabric, TransitPicksLowestLatencyNeighbor) {
+  Fabric f;
+  f.add_site("a", loopback_profile());
+  f.add_site("b", loopback_profile());
+  f.add_site("slow-hub", loopback_profile());
+  f.add_site("fast-hub", loopback_profile());
+  f.add_host("ha", "a");
+  f.add_host("hb", "b");
+  f.add_host("h-slow", "slow-hub");
+  f.add_host("h-fast", "fast-hub");
+  f.connect_sites("a", "slow-hub", wan_tcp(50e-3, 1e9));
+  f.connect_sites("slow-hub", "b", wan_tcp(50e-3, 1e9));
+  f.connect_sites("a", "fast-hub", wan_tcp(5e-3, 1e9));
+  f.connect_sites("fast-hub", "b", wan_tcp(5e-3, 1e9));
+  const Route r = f.route("ha", "hb");
+  ASSERT_EQ(r.hops.size(), 2u);
+  EXPECT_EQ(r.hops[0].to, "h-fast");
+}
+
+TEST(Fabric, FullyDisconnectedSitesThrow) {
+  Fabric f;
+  f.add_site("a", loopback_profile());
+  f.add_site("island", loopback_profile());
+  f.add_host("ha", "a");
+  f.add_host("hi", "island");
+  EXPECT_THROW(f.route("ha", "hi"), ConnectorError);
+}
+
+TEST(Fabric, DuplicateSiteOrHostThrows) {
+  Fabric f;
+  f.add_site("s", loopback_profile());
+  EXPECT_THROW(f.add_site("s", loopback_profile()), ConnectorError);
+  f.add_host("h", "s");
+  EXPECT_THROW(f.add_host("h", "s"), ConnectorError);
+  EXPECT_THROW(f.add_host("h2", "missing"), ConnectorError);
+}
+
+TEST(Fabric, DirectConnectivityRespectsNat) {
+  const Fabric f = make_test_fabric();
+  // Same site: always direct.
+  EXPECT_TRUE(f.can_connect_direct("alpha-login", "alpha-compute"));
+  // Open site is reachable from the NAT'd edge (outbound).
+  EXPECT_TRUE(f.can_connect_direct("edge-device", "alpha-login"));
+  // NAT'd edge is not reachable inbound.
+  EXPECT_FALSE(f.can_connect_direct("alpha-login", "edge-device"));
+}
+
+TEST(Fabric, NatTraversalFlaggedOnlyForDoubleNat) {
+  Fabric f;
+  f.add_site("n1", loopback_profile(), /*behind_nat=*/true);
+  f.add_site("n2", loopback_profile(), /*behind_nat=*/true);
+  f.add_host("h1", "n1");
+  f.add_host("h2", "n2");
+  f.connect_sites("n1", "n2", wan_tcp(20e-3, 1e9));
+  EXPECT_TRUE(f.route("h1", "h2").requires_nat_traversal);
+
+  const Fabric open = make_test_fabric();
+  EXPECT_FALSE(open.route("alpha-login", "beta-login").requires_nat_traversal);
+}
+
+TEST(Fabric, HostsInSite) {
+  const Fabric f = make_test_fabric();
+  const auto hosts = f.hosts_in_site("alpha");
+  EXPECT_EQ(hosts.size(), 2u);
+}
+
+TEST(Fabric, DiskAndMemCosts) {
+  Fabric f;
+  f.add_site("s", loopback_profile());
+  Host traits;
+  traits.disk_write_Bps = 1e9;
+  traits.disk_read_Bps = 2e9;
+  traits.file_latency_s = 1e-3;
+  traits.mem_Bps = 10e9;
+  f.add_host("h", "s", traits);
+  EXPECT_DOUBLE_EQ(f.disk_write_time("h", 1'000'000'000), 1e-3 + 1.0);
+  EXPECT_DOUBLE_EQ(f.disk_read_time("h", 1'000'000'000), 1e-3 + 0.5);
+  EXPECT_DOUBLE_EQ(f.mem_copy_time("h", 1'000'000'000), 0.1);
+}
+
+TEST(Fabric, RouteRttCountsBothDirections) {
+  const Fabric f = make_test_fabric();
+  const Route r = f.route("alpha-login", "beta-login");
+  EXPECT_NEAR(r.rtt(), 2 * (10e-3 + 100e-6), 1e-9);
+}
+
+TEST(Fabric, TransferTimeGrowsWithPayload) {
+  const Fabric f = make_test_fabric();
+  EXPECT_LT(f.transfer_time("alpha-login", "beta-login", 1000),
+            f.transfer_time("alpha-login", "beta-login", 100'000'000));
+}
+
+// ------------------------------------------------------------ sshtunnel ----
+
+TEST(SshTunnel, AddsOverheadOverPlainRoute) {
+  const Fabric f = make_test_fabric();
+  const SshTunnel tunnel;
+  const double plain = f.transfer_time("alpha-login", "beta-login", 1000);
+  const double tunneled =
+      tunnel.transfer_time(f, "alpha-login", "beta-login", 1000);
+  EXPECT_GT(tunneled, plain);
+}
+
+TEST(SshTunnel, StillDeliversHighBandwidthForBulk) {
+  // The paper found Redis+SSH outperforms PS-endpoints at large sizes
+  // because ssh/TCP is not UDP-throttled; verify bulk remains fast.
+  const Fabric f = make_test_fabric();
+  const SshTunnel tunnel;
+  const std::size_t bytes = 100'000'000;
+  const double t = tunnel.transfer_time(f, "alpha-login", "beta-login", bytes);
+  // Effective bandwidth within 2x of the 1.25 GB/s link peak.
+  EXPECT_LT(t, 2.0 * static_cast<double>(bytes) / 1.25e9 + 0.1);
+}
+
+}  // namespace
+}  // namespace ps::net

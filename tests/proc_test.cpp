@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "proc/process.hpp"
+#include "proc/services.hpp"
+#include "proc/world.hpp"
+
+namespace ps::proc {
+namespace {
+
+// ------------------------------------------------------------- services ----
+
+struct FakeServer {
+  int id = 0;
+};
+
+TEST(ServiceDirectory, BindAndResolve) {
+  ServiceDirectory dir;
+  auto server = std::make_shared<FakeServer>();
+  server->id = 7;
+  dir.bind<FakeServer>("kv://host:6379", server);
+  EXPECT_EQ(dir.resolve<FakeServer>("kv://host:6379")->id, 7);
+  EXPECT_TRUE(dir.contains("kv://host:6379"));
+}
+
+TEST(ServiceDirectory, ResolveMissingThrows) {
+  ServiceDirectory dir;
+  EXPECT_THROW(dir.resolve<FakeServer>("nope"), NotRegisteredError);
+  EXPECT_EQ(dir.try_resolve<FakeServer>("nope"), nullptr);
+}
+
+TEST(ServiceDirectory, TypeMismatchThrows) {
+  ServiceDirectory dir;
+  dir.bind<FakeServer>("addr", std::make_shared<FakeServer>());
+  EXPECT_THROW(dir.resolve<std::string>("addr"), NotRegisteredError);
+  EXPECT_EQ(dir.try_resolve<std::string>("addr"), nullptr);
+}
+
+TEST(ServiceDirectory, RebindReplaces) {
+  ServiceDirectory dir;
+  auto a = std::make_shared<FakeServer>();
+  a->id = 1;
+  auto b = std::make_shared<FakeServer>();
+  b->id = 2;
+  dir.bind<FakeServer>("addr", a);
+  dir.bind<FakeServer>("addr", b);
+  EXPECT_EQ(dir.resolve<FakeServer>("addr")->id, 2);
+}
+
+TEST(ServiceDirectory, UnbindRemoves) {
+  ServiceDirectory dir;
+  dir.bind<FakeServer>("addr", std::make_shared<FakeServer>());
+  dir.unbind("addr");
+  EXPECT_FALSE(dir.contains("addr"));
+  dir.unbind("addr");  // idempotent
+}
+
+TEST(ServiceDirectory, AddressesSorted) {
+  ServiceDirectory dir;
+  dir.bind<FakeServer>("b", std::make_shared<FakeServer>());
+  dir.bind<FakeServer>("a", std::make_shared<FakeServer>());
+  EXPECT_EQ(dir.addresses(), (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------- world ----
+
+TEST(World, MakeLocalHasMainProcess) {
+  auto world = World::make_local();
+  Process& main = world->process("main");
+  EXPECT_EQ(main.host(), "localhost");
+  EXPECT_EQ(&main.world(), world.get());
+}
+
+TEST(World, SpawnRequiresKnownHost) {
+  auto world = World::make_local();
+  EXPECT_THROW(world->spawn("p", "mars"), NotRegisteredError);
+}
+
+TEST(World, SpawnRejectsDuplicateName) {
+  auto world = World::make_local();
+  world->spawn("p", "localhost");
+  EXPECT_THROW(world->spawn("p", "localhost"), NotRegisteredError);
+}
+
+TEST(World, UnknownProcessThrows) {
+  auto world = World::make_local();
+  EXPECT_THROW(world->process("ghost"), NotRegisteredError);
+}
+
+// -------------------------------------------------------------- process ----
+
+struct Counter {
+  int value = 0;
+};
+
+TEST(Process, LocalSlotsAreProcessIsolated) {
+  auto world = World::make_local();
+  Process& a = world->spawn("a", "localhost");
+  Process& b = world->spawn("b", "localhost");
+  a.local<Counter>().value = 10;
+  b.local<Counter>().value = 20;
+  EXPECT_EQ(a.local<Counter>().value, 10);
+  EXPECT_EQ(b.local<Counter>().value, 20);
+}
+
+TEST(Process, LocalSlotPersistsAcrossCalls) {
+  auto world = World::make_local();
+  Process& p = world->spawn("p", "localhost");
+  p.local<Counter>().value = 5;
+  EXPECT_EQ(p.local<Counter>().value, 5);
+}
+
+TEST(Process, CurrentDefaultsToMainOfDefaultWorld) {
+  Process& p = current_process();
+  EXPECT_EQ(p.name(), "main");
+}
+
+TEST(Process, ScopeSwitchesCurrent) {
+  auto world = World::make_local();
+  Process& p = world->spawn("worker", "localhost");
+  {
+    ProcessScope scope(p);
+    EXPECT_EQ(current_process().name(), "worker");
+    {
+      Process& q = world->spawn("nested", "localhost");
+      ProcessScope inner(q);
+      EXPECT_EQ(current_process().name(), "nested");
+    }
+    EXPECT_EQ(current_process().name(), "worker");
+  }
+  EXPECT_EQ(current_process().name(), "main");
+}
+
+TEST(Process, ScopeIsPerThread) {
+  auto world = World::make_local();
+  Process& p = world->spawn("worker", "localhost");
+  ProcessScope scope(p);
+  std::string other_thread_process;
+  std::thread t([&] { other_thread_process = current_process().name(); });
+  t.join();
+  EXPECT_EQ(current_process().name(), "worker");
+  EXPECT_EQ(other_thread_process, "main");
+}
+
+TEST(Process, WorldAccessors) {
+  auto world = World::make_local();
+  Process& p = world->spawn("p", "localhost");
+  EXPECT_NO_THROW(p.world().fabric().host("localhost"));
+  EXPECT_NO_THROW(p.world().services());
+}
+
+}  // namespace
+}  // namespace ps::proc

@@ -1,0 +1,145 @@
+// Protocol-level details: relay registration lifecycle, factory descriptor
+// wire format, key ordering, and connector config helpers.
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "core/key.hpp"
+#include "proc/world.hpp"
+#include "relay/relay.hpp"
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps {
+namespace {
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site", net::hpc_interconnect(1e-5, 1e9));
+    world_->fabric().add_host("host-a", "site");
+    world_->fabric().add_host("host-b", "site");
+    world_->fabric().add_host("relay-host", "site");
+    driver_ = &world_->spawn("driver", "host-a");
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* driver_ = nullptr;
+};
+
+// ---------------------------------------------------------------- relay ----
+
+TEST_F(ProtocolTest, RelayDeliversToRegisteredHandler) {
+  auto relay = relay::RelayServer::start(*world_, "relay-host", "r");
+  std::vector<std::string> received;
+  const Uuid a = relay->register_endpoint(
+      Uuid(), "host-a", [&](const relay::RelayMessage& m) {
+        received.push_back("a:" + m.kind);
+      });
+  const Uuid b = relay->register_endpoint(
+      Uuid(), "host-b", [&](const relay::RelayMessage& m) {
+        received.push_back("b:" + m.kind);
+      });
+  proc::ProcessScope scope(*driver_);
+  relay->forward({.from = a, .to = b, .kind = "offer", .payload = "x",
+                  .stamp = 0});
+  relay->forward({.from = b, .to = a, .kind = "answer", .payload = "y",
+                  .stamp = 0});
+  EXPECT_EQ(received,
+            (std::vector<std::string>{"b:offer", "a:answer"}));
+  EXPECT_EQ(relay->forwarded_count(), 2u);
+}
+
+TEST_F(ProtocolTest, RelayStampsMessagesWithArrivalTime) {
+  auto relay = relay::RelayServer::start(*world_, "relay-host", "r");
+  double stamp = -1;
+  const Uuid a = relay->register_endpoint(Uuid(), "host-a",
+                                          [](const relay::RelayMessage&) {});
+  const Uuid b = relay->register_endpoint(
+      Uuid(), "host-b",
+      [&](const relay::RelayMessage& m) { stamp = m.stamp; });
+  proc::ProcessScope scope(*driver_);
+  sim::VtimeGuard guard;
+  sim::vset(5.0);
+  relay->forward({.from = a, .to = b, .kind = "offer", .payload = "x",
+                  .stamp = 0});
+  EXPECT_GT(stamp, 5.0);  // two signaling legs after the send time
+}
+
+TEST_F(ProtocolTest, UnregisteredEndpointUnreachable) {
+  auto relay = relay::RelayServer::start(*world_, "relay-host", "r");
+  const Uuid a = relay->register_endpoint(Uuid(), "host-a",
+                                          [](const relay::RelayMessage&) {});
+  const Uuid b = relay->register_endpoint(Uuid(), "host-b",
+                                          [](const relay::RelayMessage&) {});
+  relay->unregister_endpoint(b);
+  EXPECT_FALSE(relay->is_registered(b));
+  proc::ProcessScope scope(*driver_);
+  EXPECT_THROW(relay->forward({.from = a, .to = b, .kind = "offer",
+                               .payload = "", .stamp = 0}),
+               ProtocolError);
+  EXPECT_THROW(relay->endpoint_host(b), ProtocolError);
+}
+
+TEST_F(ProtocolTest, ReRegistrationReplacesHandler) {
+  auto relay = relay::RelayServer::start(*world_, "relay-host", "r");
+  int old_hits = 0, new_hits = 0;
+  const Uuid a = relay->register_endpoint(Uuid(), "host-a",
+                                          [](const relay::RelayMessage&) {});
+  const Uuid b = relay->register_endpoint(
+      Uuid(), "host-b", [&](const relay::RelayMessage&) { ++old_hits; });
+  // The endpoint reconnects (e.g. after restart) keeping its UUID.
+  relay->register_endpoint(b, "host-b",
+                           [&](const relay::RelayMessage&) { ++new_hits; });
+  EXPECT_EQ(relay->endpoint_count(), 2u);
+  proc::ProcessScope scope(*driver_);
+  relay->forward({.from = a, .to = b, .kind = "ice", .payload = "",
+                  .stamp = 0});
+  EXPECT_EQ(old_hits, 0);
+  EXPECT_EQ(new_hits, 1);
+}
+
+// ----------------------------------------------------------- descriptors ----
+
+TEST_F(ProtocolTest, FactoryDescriptorWireRoundTrip) {
+  core::FactoryDescriptor d;
+  d.store_name = "store";
+  d.key = core::Key{.object_id = "obj", .meta = {{"endpoint_id", "e"}}};
+  d.connector = core::ConnectorConfig{.type = "endpoint",
+                                      .params = {{"count", "1"}}};
+  d.evict = true;
+  d.poll_interval_s = 0.25;
+  d.max_polls = 7;
+  d.ref_counted = true;
+  const auto restored = serde::from_bytes<core::FactoryDescriptor>(
+      serde::to_bytes(d));
+  EXPECT_EQ(restored, d);
+}
+
+TEST_F(ProtocolTest, EmptyFactoryIsInvalid) {
+  core::Factory<int> factory;
+  EXPECT_FALSE(factory.valid());
+  EXPECT_THROW(factory(), ProxyResolutionError);
+  EXPECT_FALSE(factory.descriptor().has_value());
+}
+
+// ----------------------------------------------------------------- keys ----
+
+TEST_F(ProtocolTest, KeysOrderDeterministically) {
+  core::Key a{.object_id = "a", .meta = {}};
+  core::Key a2{.object_id = "a", .meta = {{"x", "1"}}};
+  core::Key b{.object_id = "b", .meta = {}};
+  EXPECT_LT(a, a2);
+  EXPECT_LT(a2, b);
+  EXPECT_EQ(a, (core::Key{.object_id = "a", .meta = {}}));
+}
+
+TEST_F(ProtocolTest, ConnectorConfigParamHelpers) {
+  core::ConnectorConfig cfg{.type = "t", .params = {{"present", "yes"}}};
+  EXPECT_EQ(cfg.param("present"), "yes");
+  EXPECT_EQ(cfg.param_or("absent", "fallback"), "fallback");
+  EXPECT_THROW(cfg.param("absent"), ConnectorError);
+}
+
+}  // namespace
+}  // namespace ps

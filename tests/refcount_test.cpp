@@ -1,0 +1,120 @@
+// Wide-area reference counting (paper section 6 future work): the last of
+// N consumers to resolve an object evicts it from the channel.
+#include <gtest/gtest.h>
+
+#include "connectors/local.hpp"
+#include "core/refcount.hpp"
+#include "core/store.hpp"
+#include "proc/world.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::core {
+namespace {
+
+class RefcountTest : public ::testing::Test {
+ protected:
+  RefcountTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site", net::hpc_interconnect(1e-5, 1e9));
+    world_->fabric().add_host("host", "site");
+    producer_ = &world_->spawn("producer", "host");
+    for (int i = 0; i < 3; ++i) {
+      consumers_.push_back(
+          &world_->spawn("consumer-" + std::to_string(i), "host"));
+    }
+  }
+
+  std::shared_ptr<Store> make_store(const std::string& name) {
+    proc::ProcessScope scope(*producer_);
+    auto store = std::make_shared<Store>(
+        name, std::make_shared<connectors::LocalConnector>());
+    register_store(store);
+    return store;
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* producer_ = nullptr;
+  std::vector<proc::Process*> consumers_;
+};
+
+TEST_F(RefcountTest, LastConsumerEvicts) {
+  auto store = make_store("rc1");
+  Bytes wire;
+  Key key;
+  {
+    proc::ProcessScope scope(*producer_);
+    auto proxy = proxy_with_refs(*store, std::string("shared-value"), 3);
+    key = proxy.factory().descriptor()->key;
+    wire = serde::to_bytes(proxy);
+  }
+  for (int c = 0; c < 3; ++c) {
+    proc::ProcessScope scope(*consumers_[static_cast<std::size_t>(c)]);
+    auto proxy = serde::from_bytes<Proxy<std::string>>(wire);
+    EXPECT_EQ(*proxy, "shared-value") << "consumer " << c;
+  }
+  // The third resolve exhausted the references: the channel is clean.
+  proc::ProcessScope scope(*producer_);
+  EXPECT_FALSE(store->connector().exists(key));
+}
+
+TEST_F(RefcountTest, ObjectSurvivesUntilCountExhausted) {
+  auto store = make_store("rc2");
+  proc::ProcessScope scope(*producer_);
+  auto proxy = proxy_with_refs(*store, 42, 2);
+  const Key key = proxy.factory().descriptor()->key;
+  const Bytes wire = serde::to_bytes(proxy);
+
+  auto first = serde::from_bytes<Proxy<int>>(wire);
+  EXPECT_EQ(*first, 42);
+  EXPECT_TRUE(store->connector().exists(key));  // one reference left
+
+  store->cache().clear();  // force the second resolve through the channel
+  auto second = serde::from_bytes<Proxy<int>>(wire);
+  EXPECT_EQ(*second, 42);
+  EXPECT_FALSE(store->connector().exists(key));
+}
+
+TEST_F(RefcountTest, ExhaustedProxyFailsClearly) {
+  auto store = make_store("rc3");
+  proc::ProcessScope scope(*producer_);
+  auto proxy = proxy_with_refs(*store, std::string("once"), 1);
+  const Bytes wire = serde::to_bytes(proxy);
+  {
+    auto first = serde::from_bytes<Proxy<std::string>>(wire);
+    EXPECT_EQ(*first, "once");
+  }
+  store->cache().clear();
+  auto late = serde::from_bytes<Proxy<std::string>>(wire);
+  EXPECT_THROW(late.resolve(), ProxyResolutionError);
+}
+
+TEST_F(RefcountTest, ZeroConsumersRejected) {
+  auto store = make_store("rc4");
+  proc::ProcessScope scope(*producer_);
+  EXPECT_THROW(proxy_with_refs(*store, 1, 0), ProxyResolutionError);
+}
+
+TEST_F(RefcountTest, RegistryBasics) {
+  proc::ProcessScope scope(*producer_);
+  auto registry = RefCountRegistry::for_store("rc-reg");
+  EXPECT_EQ(RefCountRegistry::for_store("rc-reg"), registry);  // shared
+  registry->set("k", 2);
+  EXPECT_EQ(registry->remaining("k"), 2u);
+  EXPECT_EQ(registry->decrement("k"), 1u);
+  EXPECT_EQ(registry->decrement("k"), 0u);
+  EXPECT_EQ(registry->remaining("k"), std::nullopt);
+  EXPECT_EQ(registry->decrement("k"), 0u);  // idempotent at zero
+  EXPECT_EQ(registry->decrement("unknown"), 0u);
+}
+
+TEST_F(RefcountTest, DescriptorFlagSurvivesSerde) {
+  auto store = make_store("rc5");
+  proc::ProcessScope scope(*producer_);
+  auto proxy = proxy_with_refs(*store, 7, 2);
+  const auto descriptor = serde::from_bytes<FactoryDescriptor>(
+      serde::to_bytes(*proxy.factory().descriptor()));
+  EXPECT_TRUE(descriptor.ref_counted);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "net/fabric.hpp"
+#include "proc/world.hpp"
+#include "rpc/peer_store.hpp"
+#include "rpc/rpc.hpp"
+#include "rpc/transport.hpp"
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::rpc {
+namespace {
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() {
+    world_ = std::make_unique<proc::World>();
+    // "hpc" models a Slingshot-like RDMA fabric, "cloud" a 40GbE cluster.
+    world_->fabric().add_site("hpc", net::rdma_fabric(2e-6, 25e9));
+    world_->fabric().add_site("cloud", net::hpc_interconnect(20e-6, 5e9));
+    world_->fabric().add_host("hpc-0", "hpc");
+    world_->fabric().add_host("hpc-1", "hpc");
+    world_->fabric().add_host("cloud-0", "cloud");
+    world_->fabric().add_host("cloud-1", "cloud");
+    p_hpc0_ = &world_->spawn("p0", "hpc-0");
+    p_hpc1_ = &world_->spawn("p1", "hpc-1");
+    p_cloud0_ = &world_->spawn("c0", "cloud-0");
+    p_cloud1_ = &world_->spawn("c1", "cloud-1");
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* p_hpc0_ = nullptr;
+  proc::Process* p_hpc1_ = nullptr;
+  proc::Process* p_cloud0_ = nullptr;
+  proc::Process* p_cloud1_ = nullptr;
+};
+
+// ------------------------------------------------------------ transport ----
+
+TEST(Transport, LookupByName) {
+  EXPECT_EQ(transport_by_name("margo").name, "margo");
+  EXPECT_EQ(transport_by_name("ucx").name, "ucx");
+  EXPECT_EQ(transport_by_name("zmq").name, "zmq");
+  EXPECT_THROW(transport_by_name("tcp"), NotRegisteredError);
+}
+
+TEST_F(RpcTest, MargoAndUcxEquivalentOnRdmaFabric) {
+  const std::size_t bytes = 100'000'000;
+  const double margo = margo_transport().transfer_time(world_->fabric(),
+                                                       "hpc-0", "hpc-1", bytes);
+  const double ucx =
+      ucx_transport().transfer_time(world_->fabric(), "hpc-0", "hpc-1", bytes);
+  EXPECT_NEAR(margo, ucx, 0.1 * margo);
+}
+
+TEST_F(RpcTest, UcxDegradesOnCommodityLan) {
+  // The Chameleon observation: UCX measurably worse than Margo on 40GbE.
+  const std::size_t bytes = 100'000'000;
+  const double margo = margo_transport().transfer_time(
+      world_->fabric(), "cloud-0", "cloud-1", bytes);
+  const double ucx = ucx_transport().transfer_time(world_->fabric(), "cloud-0",
+                                                   "cloud-1", bytes);
+  EXPECT_GT(ucx, 1.5 * margo);
+}
+
+TEST_F(RpcTest, ZmqSlowerThanMargoEverywhere) {
+  for (const auto& [a, b] : std::vector<std::pair<std::string, std::string>>{
+           {"hpc-0", "hpc-1"}, {"cloud-0", "cloud-1"}}) {
+    const double margo =
+        margo_transport().transfer_time(world_->fabric(), a, b, 10'000'000);
+    const double zmq =
+        zmq_transport().transfer_time(world_->fabric(), a, b, 10'000'000);
+    EXPECT_GT(zmq, margo);
+  }
+}
+
+// ------------------------------------------------------------------ rpc ----
+
+TEST_F(RpcTest, CallInvokesHandler) {
+  auto server = RpcServer::start(*world_, "hpc-0", "svc", margo_transport());
+  server->register_handler("echo", [](BytesView request) {
+    return Bytes(request) + "!";
+  });
+  proc::ProcessScope scope(*p_hpc1_);
+  RpcClient client(rpc_address("margo", "hpc-0", "svc"));
+  EXPECT_EQ(client.call("echo", "hello"), "hello!");
+}
+
+TEST_F(RpcTest, UnknownOpThrows) {
+  RpcServer::start(*world_, "hpc-0", "svc", margo_transport());
+  proc::ProcessScope scope(*p_hpc1_);
+  RpcClient client(rpc_address("margo", "hpc-0", "svc"));
+  EXPECT_THROW(client.call("nope", ""), ProtocolError);
+}
+
+TEST_F(RpcTest, CallChargesVirtualTime) {
+  auto server = RpcServer::start(*world_, "hpc-0", "svc", margo_transport());
+  server->register_handler("echo", [](BytesView r) { return Bytes(r); });
+  proc::ProcessScope scope(*p_hpc1_);
+  sim::VtimeGuard guard;
+  RpcClient client(rpc_address("margo", "hpc-0", "svc"));
+  sim::VtimeScope small_scope;
+  client.call("echo", pattern_bytes(100));
+  const double small = small_scope.elapsed();
+  sim::VtimeScope big_scope;
+  client.call("echo", pattern_bytes(50'000'000));
+  const double big = big_scope.elapsed();
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, 50.0 * small);
+}
+
+TEST_F(RpcTest, ServerQueueSerializesRequests) {
+  auto server = RpcServer::start(*world_, "hpc-0", "svc", margo_transport());
+  server->register_handler("noop", [](BytesView) { return Bytes(); });
+  const double s = server->service_time(1000);
+  const double a = server->handle("noop", pattern_bytes(1000), 0.0).second;
+  const double b = server->handle("noop", pattern_bytes(1000), 0.0).second;
+  EXPECT_NEAR(b - a, s, 1e-9);
+}
+
+// ----------------------------------------------------------- peer store ----
+
+TEST_F(RpcTest, PutLocalGetLocal) {
+  proc::ProcessScope scope(*p_hpc0_);
+  PeerStoreClient client("store-a", margo_transport());
+  const std::string owner = client.put("obj", "data");
+  EXPECT_EQ(owner, "hpc-0");
+  EXPECT_EQ(client.get(owner, "obj"), "data");
+  EXPECT_TRUE(client.exists(owner, "obj"));
+}
+
+TEST_F(RpcTest, RemoteGetAcrossNodes) {
+  std::string owner;
+  {
+    proc::ProcessScope scope(*p_hpc0_);
+    PeerStoreClient producer("store-b", margo_transport());
+    owner = producer.put("obj", pattern_bytes(1000, 4));
+  }
+  {
+    proc::ProcessScope scope(*p_hpc1_);
+    PeerStoreClient consumer("store-b", margo_transport());
+    const auto data = consumer.get(owner, "obj");
+    ASSERT_TRUE(data.has_value());
+    EXPECT_TRUE(check_pattern(*data, 4));
+  }
+}
+
+TEST_F(RpcTest, ElasticServersSpawnPerNode) {
+  {
+    proc::ProcessScope scope(*p_hpc0_);
+    PeerStoreClient a("store-c", margo_transport());
+  }
+  EXPECT_TRUE(world_->services().contains(
+      PeerStoreServer::address("margo", "store-c", "hpc-0")));
+  EXPECT_FALSE(world_->services().contains(
+      PeerStoreServer::address("margo", "store-c", "hpc-1")));
+  {
+    proc::ProcessScope scope(*p_hpc1_);
+    PeerStoreClient b("store-c", margo_transport());
+  }
+  EXPECT_TRUE(world_->services().contains(
+      PeerStoreServer::address("margo", "store-c", "hpc-1")));
+}
+
+TEST_F(RpcTest, SameNodeClientsShareServer) {
+  proc::ProcessScope scope(*p_hpc0_);
+  PeerStoreClient a("store-d", margo_transport());
+  const std::string owner = a.put("obj", "x");
+  PeerStoreClient b("store-d", margo_transport());
+  EXPECT_EQ(b.get(owner, "obj"), "x");
+}
+
+TEST_F(RpcTest, EvictRemovesEverywhere) {
+  std::string owner;
+  {
+    proc::ProcessScope scope(*p_hpc0_);
+    PeerStoreClient producer("store-e", margo_transport());
+    owner = producer.put("obj", "x");
+  }
+  proc::ProcessScope scope(*p_hpc1_);
+  PeerStoreClient consumer("store-e", margo_transport());
+  consumer.evict(owner, "obj");
+  EXPECT_FALSE(consumer.exists(owner, "obj"));
+  EXPECT_EQ(consumer.get(owner, "obj"), std::nullopt);
+}
+
+TEST_F(RpcTest, MissingRemoteServerThrows) {
+  proc::ProcessScope scope(*p_hpc0_);
+  PeerStoreClient client("store-f", margo_transport());
+  EXPECT_THROW(client.get("hpc-1", "obj"), ConnectorError);
+}
+
+TEST_F(RpcTest, DistinctStoreIdsAreIsolated) {
+  proc::ProcessScope scope(*p_hpc0_);
+  PeerStoreClient a("store-g", margo_transport());
+  PeerStoreClient b("store-h", margo_transport());
+  const std::string owner = a.put("obj", "x");
+  EXPECT_FALSE(b.exists(owner, "obj"));
+}
+
+TEST_F(RpcTest, RemoteGetCostExceedsLocal) {
+  sim::VtimeGuard guard;
+  std::string owner;
+  {
+    proc::ProcessScope scope(*p_hpc0_);
+    PeerStoreClient producer("store-i", margo_transport());
+    owner = producer.put("obj", pattern_bytes(10'000'000));
+    sim::VtimeScope local_scope;
+    producer.get(owner, "obj");
+    const double local = local_scope.elapsed();
+    EXPECT_GT(local, 0.0);
+  }
+  proc::ProcessScope scope(*p_hpc1_);
+  PeerStoreClient consumer("store-i", margo_transport());
+  sim::VtimeScope remote_scope;
+  consumer.get(owner, "obj");
+  EXPECT_GT(remote_scope.elapsed(), 10'000'000.0 / 25e9);
+}
+
+}  // namespace
+}  // namespace ps::rpc

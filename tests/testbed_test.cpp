@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "testbed/testbed.hpp"
+
+namespace ps::testbed {
+namespace {
+
+class TestbedTest : public ::testing::Test {
+ protected:
+  TestbedTest() : tb_(build()) {}
+  Testbed tb_;
+};
+
+TEST_F(TestbedTest, AllNamedHostsExist) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  for (const std::string& host :
+       {tb_.theta_login, tb_.theta_compute0, tb_.theta_compute1,
+        tb_.polaris_login, tb_.polaris_compute0, tb_.perlmutter_login,
+        tb_.perlmutter_compute, tb_.midway_login, tb_.frontera_login,
+        tb_.chameleon0, tb_.chameleon1, tb_.cloud, tb_.relay_host,
+        tb_.remote_gpu}) {
+    EXPECT_TRUE(fabric.has_host(host)) << host;
+  }
+  for (const std::string& edge : tb_.edge_devices) {
+    EXPECT_TRUE(fabric.has_host(edge)) << edge;
+  }
+}
+
+TEST_F(TestbedTest, IntraSiteFasterThanInterSite) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  const std::size_t bytes = 1'000'000;
+  const double intra =
+      fabric.transfer_time(tb_.theta_login, tb_.theta_compute0, bytes);
+  const double inter =
+      fabric.transfer_time(tb_.midway_login, tb_.theta_login, bytes);
+  EXPECT_LT(intra, inter);
+}
+
+TEST_F(TestbedTest, FronteraFartherThanMidwayFromTheta) {
+  // Packets travel ~1500 km Frontera->Theta vs tens of km Midway->Theta.
+  const net::Fabric& fabric = tb_.world->fabric();
+  EXPECT_GT(fabric.route(tb_.frontera_login, tb_.theta_login).rtt(),
+            5.0 * fabric.route(tb_.midway_login, tb_.theta_login).rtt());
+}
+
+TEST_F(TestbedTest, PolarisFasterFabricThanChameleon) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  const std::size_t bytes = 1'000'000'000;
+  EXPECT_LT(
+      fabric.transfer_time(tb_.polaris_compute0, tb_.polaris_compute1, bytes),
+      fabric.transfer_time(tb_.chameleon0, tb_.chameleon1, bytes));
+}
+
+TEST_F(TestbedTest, EdgeDevicesBehindNat) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  for (const std::string& edge : tb_.edge_devices) {
+    EXPECT_FALSE(fabric.can_connect_direct(tb_.cloud, edge)) << edge;
+    EXPECT_TRUE(fabric.can_connect_direct(edge, tb_.cloud)) << edge;
+  }
+}
+
+TEST_F(TestbedTest, RemoteGpuBehindNat) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  EXPECT_FALSE(fabric.can_connect_direct(tb_.theta_login, tb_.remote_gpu));
+}
+
+TEST_F(TestbedTest, EdgeUplinkIsSlow) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  const std::size_t bytes = 10'000'000;
+  // 100 Mb/s consumer uplink: 10 MB takes most of a second.
+  EXPECT_GT(fabric.transfer_time(tb_.edge_devices[0], tb_.cloud, bytes), 0.5);
+}
+
+TEST_F(TestbedTest, EveryHostReachesTheCloud) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  for (const std::string& host :
+       {tb_.theta_login, tb_.polaris_login, tb_.perlmutter_login,
+        tb_.midway_login, tb_.frontera_login, tb_.chameleon0,
+        tb_.remote_gpu, tb_.edge_devices[0]}) {
+    EXPECT_NO_THROW(fabric.route(host, tb_.cloud)) << host;
+  }
+}
+
+TEST_F(TestbedTest, EdgePeersCanRouteToEachOther) {
+  const net::Fabric& fabric = tb_.world->fabric();
+  EXPECT_NO_THROW(
+      fabric.route(tb_.edge_devices[0], tb_.edge_devices[3]));
+  EXPECT_TRUE(fabric.route(tb_.edge_devices[0], tb_.edge_devices[3])
+                  .requires_nat_traversal);
+}
+
+}  // namespace
+}  // namespace ps::testbed

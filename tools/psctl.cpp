@@ -1,0 +1,140 @@
+// psctl — explore the simulated federation from the command line.
+//
+//   psctl connectors              list registered connector types + traits
+//   psctl hosts                   list testbed hosts and their sites
+//   psctl route <from> <to>       show the route between two hosts
+//   psctl transfer <from> <to> <size>
+//                                 estimate one-way transfer time for a
+//                                 payload (e.g. `psctl transfer
+//                                 midway2-login theta-login 100MB`)
+//   psctl handshake <siteA-host> <siteB-host>
+//                                 walk the Figure 4 peer handshake between
+//                                 two fresh PS-endpoints and report costs
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "connectors/file.hpp"
+#include "connectors/local.hpp"
+#include "core/connector.hpp"
+#include "endpoint/endpoint.hpp"
+#include "relay/relay.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace ps;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psctl <connectors|hosts|route|transfer|handshake> "
+               "[args...]\n");
+  return 2;
+}
+
+int cmd_connectors() {
+  const auto types = core::ConnectorRegistry::instance().types();
+  std::printf("%zu connector types registered:\n", types.size());
+  for (const std::string& type : types) {
+    std::printf("  %s\n", type.c_str());
+  }
+  return 0;
+}
+
+int cmd_hosts(testbed::Testbed& tb) {
+  for (const std::string& host :
+       {tb.theta_login, tb.theta_compute0, tb.theta_compute1,
+        tb.polaris_login, tb.polaris_compute0, tb.polaris_compute1,
+        tb.perlmutter_login, tb.perlmutter_compute, tb.midway_login,
+        tb.frontera_login, tb.chameleon0, tb.chameleon1, tb.cloud,
+        tb.relay_host, tb.remote_gpu, tb.edge_devices[0], tb.edge_devices[1],
+        tb.edge_devices[2], tb.edge_devices[3]}) {
+    const net::Host& h = tb.world->fabric().host(host);
+    std::printf("  %-22s site=%-14s disk=%5.1f GB/s%s\n", host.c_str(),
+                h.site.c_str(), h.disk_write_Bps / 1e9,
+                tb.world->fabric().site(h.site).behind_nat ? "  [NAT]" : "");
+  }
+  return 0;
+}
+
+int cmd_route(testbed::Testbed& tb, const std::string& from,
+              const std::string& to) {
+  const net::Route route = tb.world->fabric().route(from, to);
+  std::printf("route %s -> %s (%zu hop%s%s):\n", from.c_str(), to.c_str(),
+              route.hops.size(), route.hops.size() == 1 ? "" : "s",
+              route.requires_nat_traversal ? ", NAT traversal required" : "");
+  for (const net::Hop& hop : route.hops) {
+    std::printf("  %-20s -> %-20s  %7.2f ms  %6.2f GB/s  [%s]\n",
+                hop.from.c_str(), hop.to.c_str(), hop.profile.latency_s * 1e3,
+                hop.profile.bandwidth_Bps / 1e9,
+                net::to_string(hop.profile.congestion).c_str());
+  }
+  std::printf("  rtt: %.2f ms\n", route.rtt() * 1e3);
+  return 0;
+}
+
+int cmd_transfer(testbed::Testbed& tb, const std::string& from,
+                 const std::string& to, const std::string& size_text) {
+  const std::size_t bytes = parse_size(size_text);
+  const double t = tb.world->fabric().transfer_time(from, to, bytes);
+  std::printf("%s of payload %s -> %s: %.3f s  (%.2f MB/s effective)\n",
+              size_text.c_str(), from.c_str(), to.c_str(), t,
+              static_cast<double>(bytes) / t / 1e6);
+  return 0;
+}
+
+int cmd_handshake(testbed::Testbed& tb, const std::string& host_a,
+                  const std::string& host_b) {
+  auto relay = relay::RelayServer::start(*tb.world, tb.relay_host, "psctl");
+  auto ep_a = endpoint::Endpoint::start(
+      *tb.world, host_a, "psctl-a", "relay://" + tb.relay_host + "/psctl");
+  auto ep_b = endpoint::Endpoint::start(
+      *tb.world, host_b, "psctl-b", "relay://" + tb.relay_host + "/psctl");
+  proc::Process& driver = tb.world->spawn("psctl", host_a);
+  proc::ProcessScope scope(driver);
+  sim::VtimeScope vt;
+  ep_a->handle(endpoint::EndpointRequest{.op = "exists",
+                                         .object_id = "probe",
+                                         .endpoint_id = ep_b->uuid(),
+                                         .data = {}});
+  std::printf("peer connection %s <-> %s established\n", host_a.c_str(),
+              host_b.c_str());
+  std::printf("  relay (%s) forwarded %llu signaling messages\n",
+              tb.relay_host.c_str(),
+              static_cast<unsigned long long>(relay->forwarded_count()));
+  std::printf("  handshake + first forwarded request: %.1f ms\n",
+              vt.elapsed() * 1e3);
+  sim::VtimeScope warm;
+  ep_a->handle(endpoint::EndpointRequest{.op = "exists",
+                                         .object_id = "probe",
+                                         .endpoint_id = ep_b->uuid(),
+                                         .data = {}});
+  std::printf("  warm forwarded request: %.1f ms\n", warm.elapsed() * 1e3);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "connectors") return cmd_connectors();
+
+  testbed::Testbed tb = testbed::build();
+  try {
+    if (command == "hosts") return cmd_hosts(tb);
+    if (command == "route" && argc == 4) return cmd_route(tb, argv[2], argv[3]);
+    if (command == "transfer" && argc == 5) {
+      return cmd_transfer(tb, argv[2], argv[3], argv[4]);
+    }
+    if (command == "handshake" && argc == 4) {
+      return cmd_handshake(tb, argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psctl: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -3,6 +3,11 @@
 // Each bench binary prints the same rows/series its paper figure reports,
 // using deterministic virtual time. Keep the output plain and columnar so
 // EXPERIMENTS.md can quote it directly.
+//
+// Measurements flow through the process-wide obs::MetricsRegistry: a bench
+// observes every repetition into a named histogram (`series()`) and renders
+// table cells from the registry (`fmt_series`), so the numbers printed are
+// exactly the ones `dump_json()` would export.
 #pragma once
 
 #include <cstdio>
@@ -11,8 +16,20 @@
 
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace ps::bench {
+
+/// Named measurement series in the process-wide registry. Call
+/// obs::set_enabled(true) once at bench startup so store/connector
+/// instrumentation along the measured path records too.
+inline obs::Histogram& series(const std::string& name) {
+  return obs::MetricsRegistry::global().histogram(name);
+}
+
+/// Table cell for a registry series: mean over its repetitions, "-" when the
+/// series is empty or unknown.
+inline std::string fmt_series(const std::string& name);
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
@@ -38,6 +55,13 @@ inline std::string fmt_seconds(double s) {
     std::snprintf(buf, sizeof(buf), "%.3f s", s);
   }
   return buf;
+}
+
+inline std::string fmt_series(const std::string& name) {
+  const obs::Histogram* h =
+      obs::MetricsRegistry::global().find_histogram(name);
+  if (h == nullptr || h->count() == 0) return "-";
+  return fmt_seconds(h->mean());
 }
 
 inline std::string fmt_mean_stdev(const Stats& stats) {

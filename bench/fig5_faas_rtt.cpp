@@ -271,17 +271,22 @@ void run_scenario(Scenario& scenario, bool sleep) {
     std::vector<std::string> row = {ps::bench::fmt_size(size)};
     for (const Method& method : scenario.methods) {
       constexpr int kReps = 3;
-      Stats stats;
+      // Repetitions accumulate in a per-cell registry series; the printed
+      // cell reads back from the registry.
+      const std::string cell = "fig5." + scenario.name + "." + method.name +
+                               "." + std::to_string(size) +
+                               (sleep ? ".sleep" : ".noop");
+      obs::Histogram& rtts = ps::bench::series(cell);
       bool over_limit = false;
       for (int rep = 0; rep < kReps && !over_limit; ++rep) {
         const double rtt = method.run(size, sleep);
         if (rtt < 0) {
           over_limit = true;
         } else {
-          stats.add(rtt);
+          rtts.observe(rtt);
         }
       }
-      row.push_back(over_limit ? "limit" : ps::bench::fmt_seconds(stats.mean()));
+      row.push_back(over_limit ? "limit" : ps::bench::fmt_series(cell));
     }
     ps::bench::print_row(row);
   }
@@ -290,6 +295,7 @@ void run_scenario(Scenario& scenario, bool sleep) {
 }  // namespace
 
 int main() {
+  ps::obs::set_enabled(true);
   register_tasks();
   struct Spec {
     std::string name;

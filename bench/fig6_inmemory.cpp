@@ -132,29 +132,39 @@ void run_machine(const std::string& title, const std::string& client_host,
     faas::Executor executor(cloud, endpoint.uuid());
     const Bytes payload = pattern_bytes(size, seed++);
 
+    // Per-cell registry series; printed cells read back from the registry.
+    const auto cell_name = [&](const std::string& method) {
+      return "fig6." + title + "." + method + "." + std::to_string(size);
+    };
+
     // Baseline.
     {
+      const std::string cell = cell_name("GlobusCompute");
       BenchTaskRequest request;
       request.data = payload;
       try {
         sim::VtimeScope rtt;
         executor.submit("fig6-task", serde::to_bytes(request)).get();
-        row.push_back(ps::bench::fmt_seconds(rtt.elapsed()));
+        ps::bench::series(cell).observe(rtt.elapsed());
+        row.push_back(ps::bench::fmt_series(cell));
       } catch (const PayloadTooLargeError&) {
         row.push_back("limit");
       }
     }
     // ProxyStore stores.
     for (const StoreMethod& method : stores) {
+      const std::string cell = cell_name(method.name);
       core::register_store(method.store, /*overwrite=*/true);
       BenchTaskRequest request;
       sim::VtimeScope rtt;
       request.data = method.store->proxy(payload, /*evict=*/true);
       executor.submit("fig6-task", serde::to_bytes(request)).get();
-      row.push_back(ps::bench::fmt_seconds(rtt.elapsed()));
+      ps::bench::series(cell).observe(rtt.elapsed());
+      row.push_back(ps::bench::fmt_series(cell));
     }
     // DataSpaces.
     {
+      const std::string cell = cell_name("DataSpaces");
       dataspaces::DataSpacesClient producer(client_host, "fig6");
       DsTaskRequest request;
       request.object_name = "obj";
@@ -164,7 +174,8 @@ void run_machine(const std::string& title, const std::string& client_host,
       sim::VtimeScope rtt;
       producer.put(request.object_name, request.version, payload);
       executor.submit("fig6-ds-task", serde::to_bytes(request)).get();
-      row.push_back(ps::bench::fmt_seconds(rtt.elapsed()));
+      ps::bench::series(cell).observe(rtt.elapsed());
+      row.push_back(ps::bench::fmt_series(cell));
     }
     ps::bench::print_row(row);
   }
@@ -174,6 +185,7 @@ void run_machine(const std::string& title, const std::string& client_host,
 }  // namespace
 
 int main() {
+  ps::obs::set_enabled(true);
   register_tasks();
   testbed::Testbed names;
   run_machine("Polaris (Slingshot 11)", names.polaris_compute0,

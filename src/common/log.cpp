@@ -2,12 +2,33 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace ps {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Startup threshold: PROXYSTORE_LOG=debug|info|warn|error|off (read once;
+/// set_log_level still overrides at runtime). Unset or unrecognized values
+/// keep the quiet default.
+LogLevel level_from_env() {
+  const char* env = std::getenv("PROXYSTORE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  std::fprintf(stderr,
+               "[warn] log: unrecognized PROXYSTORE_LOG value '%s' "
+               "(expected debug|info|warn|error|off)\n",
+               env);
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
 std::mutex g_log_mutex;
 
 const char* level_name(LogLevel level) {

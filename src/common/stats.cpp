@@ -8,7 +8,14 @@
 
 namespace ps {
 
-void Stats::add(double x) { samples_.push_back(x); }
+void Stats::add(double x) {
+  if (samples_.size() == samples_.capacity()) {
+    samples_.reserve(samples_.empty() ? 64 : samples_.capacity() * 2);
+  }
+  samples_.push_back(x);
+}
+
+void Stats::reserve(std::size_t n) { samples_.reserve(n); }
 
 double Stats::sum() const {
   return std::accumulate(samples_.begin(), samples_.end(), 0.0);

@@ -12,6 +12,10 @@ class Stats {
  public:
   void add(double x);
 
+  /// Pre-sizes the sample buffer (add() also grows it in doubling chunks,
+  /// so tight accumulation loops never reallocate per sample).
+  void reserve(std::size_t n);
+
   std::size_t count() const { return samples_.size(); }
   double mean() const;
   double stdev() const;  // sample standard deviation
@@ -19,6 +23,9 @@ class Stats {
   double max() const;
   double median() const;
   double percentile(double p) const;  // p in [0, 100]
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
   double sum() const;
 
   /// "123.4 ± 5.6" formatted with the given unit scale (e.g. 1e3 for ms

@@ -18,6 +18,7 @@ void ObjectCache::insert(const std::string& key, std::type_index type,
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
   }
 }
 
@@ -67,6 +68,11 @@ std::size_t ObjectCache::hits() const {
 std::size_t ObjectCache::misses() const {
   std::lock_guard lock(mu_);
   return misses_;
+}
+
+std::size_t ObjectCache::evictions() const {
+  std::lock_guard lock(mu_);
+  return evictions_;
 }
 
 }  // namespace ps::core

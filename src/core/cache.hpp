@@ -45,6 +45,9 @@ class ObjectCache {
   std::size_t hits() const;
   std::size_t misses() const;
 
+  /// Entries dropped by LRU capacity pressure (never counts erase/clear).
+  std::size_t evictions() const;
+
  private:
   struct Entry {
     std::string key;
@@ -63,6 +66,7 @@ class ObjectCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace ps::core

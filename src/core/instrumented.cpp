@@ -1,0 +1,83 @@
+#include "core/instrumented.hpp"
+
+#include "obs/timer.hpp"
+
+namespace ps::core {
+
+InstrumentedConnector::Op InstrumentedConnector::make_op(
+    const std::string& type, const char* op) {
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string base = "connector." + type + "." + op;
+  return Op{registry.counter(base), registry.histogram(base + ".vtime"),
+            registry.histogram(base + ".wall")};
+}
+
+InstrumentedConnector::InstrumentedConnector(std::shared_ptr<Connector> inner)
+    : inner_(std::move(inner)),
+      put_(make_op(inner_->type(), "put")),
+      get_(make_op(inner_->type(), "get")),
+      exists_(make_op(inner_->type(), "exists")),
+      evict_(make_op(inner_->type(), "evict")),
+      put_batch_(make_op(inner_->type(), "put_batch")) {}
+
+std::shared_ptr<Connector> InstrumentedConnector::wrap(
+    std::shared_ptr<Connector> inner) {
+  if (std::dynamic_pointer_cast<InstrumentedConnector>(inner)) return inner;
+  return std::make_shared<InstrumentedConnector>(std::move(inner));
+}
+
+Key InstrumentedConnector::put(BytesView data) {
+  if (!obs::enabled()) return inner_->put(data);
+  put_.count.inc();
+  obs::Timer timer(&put_.vtime, &put_.wall);
+  return inner_->put(data);
+}
+
+Key InstrumentedConnector::put_hinted(BytesView data, const PutHints& hints) {
+  if (!obs::enabled()) return inner_->put_hinted(data, hints);
+  put_.count.inc();
+  obs::Timer timer(&put_.vtime, &put_.wall);
+  return inner_->put_hinted(data, hints);
+}
+
+bool InstrumentedConnector::put_at(const Key& key, BytesView data) {
+  if (!obs::enabled()) return inner_->put_at(key, data);
+  put_.count.inc();
+  obs::Timer timer(&put_.vtime, &put_.wall);
+  return inner_->put_at(key, data);
+}
+
+Key InstrumentedConnector::reserve_key() { return inner_->reserve_key(); }
+
+std::vector<Key> InstrumentedConnector::put_batch(
+    const std::vector<Bytes>& items) {
+  if (!obs::enabled()) return inner_->put_batch(items);
+  put_batch_.count.inc();
+  obs::Timer timer(&put_batch_.vtime, &put_batch_.wall);
+  return inner_->put_batch(items);
+}
+
+std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
+  if (!obs::enabled()) return inner_->get(key);
+  get_.count.inc();
+  obs::Timer timer(&get_.vtime, &get_.wall);
+  return inner_->get(key);
+}
+
+bool InstrumentedConnector::exists(const Key& key) {
+  if (!obs::enabled()) return inner_->exists(key);
+  exists_.count.inc();
+  obs::Timer timer(&exists_.vtime, &exists_.wall);
+  return inner_->exists(key);
+}
+
+void InstrumentedConnector::evict(const Key& key) {
+  if (!obs::enabled()) return inner_->evict(key);
+  evict_.count.inc();
+  obs::Timer timer(&evict_.vtime, &evict_.wall);
+  inner_->evict(key);
+}
+
+void InstrumentedConnector::close() { inner_->close(); }
+
+}  // namespace ps::core

@@ -1,0 +1,66 @@
+// InstrumentedConnector: metrics decorator over any Connector.
+//
+// Wraps a connector and times put/get/exists/evict/put_batch per connector
+// *type* into the process-wide MetricsRegistry — counters
+// "connector.<type>.<op>" plus latency histograms ".vtime" (virtual seconds,
+// deterministic) and ".wall" (real seconds). Everything else — config,
+// traits, hints, addressed writes — passes through untouched, so a wrapped
+// connector is substitutable anywhere the raw one is: proxies minted against
+// it reconstruct the *raw* connector type from config() in other processes.
+// Metric references are resolved once at construction; per-op overhead when
+// the global obs switch is off is a single relaxed load.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/connector.hpp"
+#include "obs/metrics.hpp"
+
+namespace ps::core {
+
+class InstrumentedConnector : public Connector {
+ public:
+  explicit InstrumentedConnector(std::shared_ptr<Connector> inner);
+
+  /// Wraps `inner` unless it is already instrumented (idempotent).
+  static std::shared_ptr<Connector> wrap(std::shared_ptr<Connector> inner);
+
+  std::string type() const override { return inner_->type(); }
+  ConnectorConfig config() const override { return inner_->config(); }
+  ConnectorTraits traits() const override { return inner_->traits(); }
+
+  Key put(BytesView data) override;
+  Key put_hinted(BytesView data, const PutHints& hints) override;
+  bool put_at(const Key& key, BytesView data) override;
+  Key reserve_key() override;
+  std::vector<Key> put_batch(const std::vector<Bytes>& items) override;
+  std::optional<Bytes> get(const Key& key) override;
+  bool exists(const Key& key) override;
+  void evict(const Key& key) override;
+  void close() override;
+
+  Connector& inner() { return *inner_; }
+  const Connector& inner() const { return *inner_; }
+
+ private:
+  /// Metric handles for one operation, resolved once.
+  struct Op {
+    obs::Counter& count;
+    obs::Histogram& vtime;
+    obs::Histogram& wall;
+  };
+
+  static Op make_op(const std::string& type, const char* op);
+
+  std::shared_ptr<Connector> inner_;
+  Op put_;
+  Op get_;
+  Op exists_;
+  Op evict_;
+  Op put_batch_;
+};
+
+}  // namespace ps::core

@@ -30,10 +30,20 @@
 #include "core/factory.hpp"
 #include "core/key.hpp"
 #include "core/proxy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "proc/process.hpp"
 #include "serde/serde.hpp"
 
 namespace ps::core {
+
+/// Trace subject naming a (store, key) pair; every lifecycle event of a
+/// proxy over that object records under this subject.
+inline std::string trace_subject(const std::string& store_name,
+                                 const Key& key) {
+  return store_name + "/" + key.canonical();
+}
 
 class Store : public std::enable_shared_from_this<Store> {
  public:
@@ -47,8 +57,12 @@ class Store : public std::enable_shared_from_this<Store> {
   struct Metrics {
     std::uint64_t puts = 0;
     std::uint64_t gets = 0;
+    std::uint64_t exists_calls = 0;
     std::uint64_t cache_hits = 0;
-    std::uint64_t evictions = 0;
+    /// Explicit evict() calls against this store.
+    std::uint64_t evicts = 0;
+    /// LRU evictions inside the deserialized-object cache.
+    std::uint64_t cache_evictions = 0;
     std::uint64_t bytes_put = 0;
     std::uint64_t bytes_got = 0;
   };
@@ -74,6 +88,7 @@ class Store : public std::enable_shared_from_this<Store> {
   template <typename T>
   Key put(const T& value) {
     check_open();
+    obs::Timer timer(&put_metrics().vtime, &put_metrics().wall);
     const Bytes data = serialize_value(value);
     metrics_bytes_put_ += data.size();
     ++metrics_puts_;
@@ -85,6 +100,7 @@ class Store : public std::enable_shared_from_this<Store> {
   template <typename T>
   Key put(const T& value, const PutHints& hints) {
     check_open();
+    obs::Timer timer(&put_metrics().vtime, &put_metrics().wall);
     const Bytes data = serialize_value(value);
     metrics_bytes_put_ += data.size();
     ++metrics_puts_;
@@ -106,34 +122,44 @@ class Store : public std::enable_shared_from_this<Store> {
   }
 
   /// Retrieves and deserializes the object, consulting the cache first.
-  /// Returns nullopt when the object does not exist.
+  /// Returns nullopt when the object does not exist. With tracing enabled,
+  /// emits the get-side lifecycle events (connector.get -> deserialize ->
+  /// cache.insert, or cache.hit) under the (store, key) trace subject.
   template <typename T>
   std::optional<T> get(const Key& key) {
     check_open();
     ++metrics_gets_;
+    obs::Timer timer(&get_metrics().vtime, &get_metrics().wall);
+    obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+    const bool tracing = tracer.enabled();
     const std::string cache_key = key.canonical();
     if (auto cached = cache_.get<T>(cache_key)) {
       ++metrics_cache_hits_;
+      if (tracing) tracer.record(trace_subject(name_, key), "cache.hit");
       return *cached;
     }
     std::optional<Bytes> data = connector_->get(key);
+    if (tracing) tracer.record(trace_subject(name_, key), "connector.get");
     if (!data) return std::nullopt;
     metrics_bytes_got_ += data->size();
     auto value = std::make_shared<const T>(deserialize_value<T>(*data));
+    if (tracing) tracer.record(trace_subject(name_, key), "deserialize");
     cache_.put<T>(cache_key, value);
+    if (tracing) tracer.record(trace_subject(name_, key), "cache.insert");
     return *value;
   }
 
   /// True when the object is cached locally or present in the channel.
   bool exists(const Key& key) {
     check_open();
+    ++metrics_exists_;
     return cache_.contains(key.canonical()) || connector_->exists(key);
   }
 
   /// Removes the object from the channel and the local cache.
   void evict(const Key& key) {
     check_open();
-    ++metrics_evictions_;
+    ++metrics_evicts_;
     cache_.erase(key.canonical());
     connector_->evict(key);
   }
@@ -172,6 +198,11 @@ class Store : public std::enable_shared_from_this<Store> {
   template <typename T>
   Proxy<T> proxy_from_key(const Key& key, bool evict = false) {
     check_open();
+    obs::MetricsRegistry::global().counter("store.proxies").inc();
+    obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+    if (tracer.enabled()) {
+      tracer.record(trace_subject(name_, key), "proxy.created");
+    }
     FactoryDescriptor descriptor{name_, key, connector_->config(), evict};
     return Proxy<T>(make_factory<T>(std::move(descriptor)));
   }
@@ -287,6 +318,24 @@ class Store : public std::enable_shared_from_this<Store> {
   template <typename T>
   Factory<T> make_factory(FactoryDescriptor descriptor);
 
+  /// Process-wide op histograms (shared across stores), resolved once.
+  struct OpHistograms {
+    obs::Histogram& vtime;
+    obs::Histogram& wall;
+  };
+  static OpHistograms& put_metrics() {
+    static OpHistograms h{
+        obs::MetricsRegistry::global().histogram("store.put.vtime"),
+        obs::MetricsRegistry::global().histogram("store.put.wall")};
+    return h;
+  }
+  static OpHistograms& get_metrics() {
+    static OpHistograms h{
+        obs::MetricsRegistry::global().histogram("store.get.vtime"),
+        obs::MetricsRegistry::global().histogram("store.get.wall")};
+    return h;
+  }
+
   std::string name_;
   std::shared_ptr<Connector> connector_;
   Options options_;
@@ -296,8 +345,9 @@ class Store : public std::enable_shared_from_this<Store> {
   std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> metrics_puts_{0};
   std::atomic<std::uint64_t> metrics_gets_{0};
+  std::atomic<std::uint64_t> metrics_exists_{0};
   std::atomic<std::uint64_t> metrics_cache_hits_{0};
-  std::atomic<std::uint64_t> metrics_evictions_{0};
+  std::atomic<std::uint64_t> metrics_evicts_{0};
   std::atomic<std::uint64_t> metrics_bytes_put_{0};
   std::atomic<std::uint64_t> metrics_bytes_got_{0};
 };
@@ -336,6 +386,15 @@ std::uint32_t refcount_decrement(const std::string& store_name,
 template <typename T>
 Factory<T> make_descriptor_factory(FactoryDescriptor descriptor) {
   auto fn = [descriptor]() -> T {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("proxy.resolves").inc();
+    obs::Timer timer(&registry.histogram("proxy.resolve.vtime"),
+                     &registry.histogram("proxy.resolve.wall"));
+    obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+    const bool tracing = tracer.enabled();
+    const std::string subject =
+        trace_subject(descriptor.store_name, descriptor.key);
+    if (tracing) tracer.record(subject, "resolve.start");
     std::shared_ptr<Store> store = get_or_register_store(descriptor);
     std::optional<T> value = store->get<T>(descriptor.key);
     // Data-flow proxies poll until the producer writes the object.
@@ -346,6 +405,7 @@ Factory<T> make_descriptor_factory(FactoryDescriptor descriptor) {
       value = store->get<T>(descriptor.key);
     }
     if (!value) {
+      registry.counter("proxy.resolve_failures").inc();
       throw ProxyResolutionError("proxy target '" +
                                  descriptor.key.canonical() +
                                  "' not found in store '" +
@@ -357,6 +417,7 @@ Factory<T> make_descriptor_factory(FactoryDescriptor descriptor) {
                            descriptor.key.canonical()) == 0) {
       store->evict(descriptor.key);
     }
+    if (tracing) tracer.record(subject, "resolve.done");
     return std::move(*value);
   };
   return Factory<T>(std::move(fn), std::move(descriptor));
@@ -385,11 +446,23 @@ struct Codec<ps::core::Proxy<T>> {
       throw SerializationError(
           "Proxy: only store-backed proxies are serializable");
     }
+    auto& tracer = ps::obs::TraceRecorder::global();
+    if (tracer.enabled()) {
+      tracer.record(
+          ps::core::trace_subject(descriptor->store_name, descriptor->key),
+          "factory.serialized");
+    }
     serde::encode(w, *descriptor);
   }
 
   static ps::core::Proxy<T> decode(Reader& r) {
     auto descriptor = serde::decode<ps::core::FactoryDescriptor>(r);
+    auto& tracer = ps::obs::TraceRecorder::global();
+    if (tracer.enabled()) {
+      tracer.record(
+          ps::core::trace_subject(descriptor.store_name, descriptor.key),
+          "factory.deserialized");
+    }
     return ps::core::Proxy<T>(
         ps::core::make_descriptor_factory<T>(std::move(descriptor)));
   }

@@ -3,11 +3,38 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "sim/vtime.hpp"
 
 namespace ps::endpoint {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Request-path metric handles, resolved once per process.
+struct EndpointMetrics {
+  obs::Counter& requests;
+  obs::Counter& forwards;
+  obs::Counter& handshakes;
+  obs::Histogram& handle_vtime;
+  obs::Histogram& handle_wall;
+  obs::Histogram& forward_vtime;
+
+  static EndpointMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static EndpointMetrics m{r.counter("endpoint.requests"),
+                             r.counter("endpoint.forwards"),
+                             r.counter("endpoint.handshakes"),
+                             r.histogram("endpoint.handle.vtime"),
+                             r.histogram("endpoint.handle.wall"),
+                             r.histogram("endpoint.forward.vtime")};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string endpoint_address(const std::string& host,
                              const std::string& name) {
@@ -85,6 +112,7 @@ void Endpoint::on_relay_message(const relay::RelayMessage& message) {
       // connected (the initiator completes the punch).
       peer.phase = PeerPhase::kConnected;
       ++handshakes_;
+      if (obs::enabled()) EndpointMetrics::get().handshakes.inc();
       lock.unlock();
       relay_->forward(relay::RelayMessage{
           .from = uuid_, .to = message.from, .kind = "ice",
@@ -122,6 +150,7 @@ void Endpoint::connect_peer(const Uuid& peer_id) {
   if (peer.phase != PeerPhase::kConnected) {
     peer.phase = PeerPhase::kConnected;
     ++handshakes_;
+    if (obs::enabled()) EndpointMetrics::get().handshakes.inc();
   }
 }
 
@@ -131,6 +160,9 @@ EndpointResponse Endpoint::handle(const EndpointRequest& request) {
     if (stopped_) throw ProtocolError("Endpoint " + name_ + " is stopped");
     ++requests_;
   }
+  EndpointMetrics& metrics = EndpointMetrics::get();
+  if (obs::enabled()) metrics.requests.inc();
+  obs::Timer timer(&metrics.handle_vtime, &metrics.handle_wall);
   if (request.endpoint_id == uuid_ || request.endpoint_id.is_nil()) {
     // Single-threaded event loop: FIFO over all client requests, with the
     // service time covering both the request and the response payloads
@@ -142,6 +174,9 @@ EndpointResponse Endpoint::handle(const EndpointRequest& request) {
     sim::vset(done);
     return response;
   }
+
+  if (obs::enabled()) metrics.forwards.inc();
+  obs::Timer forward_timer(&metrics.forward_vtime);
 
   // Dispatching a forwarded request costs the loop the request handling.
   const double done = queue_.schedule(

@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "faas/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "proc/process.hpp"
 #include "sim/vtime.hpp"
 
@@ -60,7 +62,13 @@ double CloudService::ingest(double arrival, std::size_t bytes) {
 
 Uuid CloudService::submit(const Uuid& endpoint, const std::string& function,
                           Bytes payload) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Histogram& submit_vtime = registry.histogram("faas.submit.vtime");
+  static obs::Histogram& submit_wall = registry.histogram("faas.submit.wall");
+  static obs::Counter& rejections = registry.counter("faas.payload_rejections");
+  obs::Timer timer(&submit_vtime, &submit_wall);
   if (payload.size() > options_.max_payload_bytes) {
+    if (obs::enabled()) rejections.inc();
     throw PayloadTooLargeError(
         "task payload of " + std::to_string(payload.size()) +
         " bytes exceeds the " + std::to_string(options_.max_payload_bytes) +
@@ -183,15 +191,25 @@ void ComputeEndpoint::worker_loop() {
                                                 process_.host(),
                                                 task->payload.size());
     sim::vset(std::max(arrival, last_done));
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Histogram& exec_vtime =
+        registry.histogram("faas.task.exec.vtime");
+    static obs::Histogram& exec_wall = registry.histogram("faas.task.exec.wall");
+    static obs::Counter& executed = registry.counter("faas.tasks.executed");
+    static obs::Counter& errored = registry.counter("faas.tasks.errored");
     Bytes output;
     std::string error;
-    try {
-      const TaskFunction fn = FunctionRegistry::instance().lookup(
-          task->function);
-      output = fn(task->payload);
-    } catch (const std::exception& e) {
-      error = e.what();
+    {
+      obs::Timer timer(&exec_vtime, &exec_wall);
+      try {
+        const TaskFunction fn = FunctionRegistry::instance().lookup(
+            task->function);
+        output = fn(task->payload);
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
     }
+    if (obs::enabled()) (error.empty() ? executed : errored).inc();
     cloud_->post_result(uuid_, task->id, std::move(output), std::move(error));
   }
 }

@@ -1,8 +1,25 @@
 #include "faas/executor.hpp"
 
-// Header-only templates; TU anchors the library.
-namespace ps::faas {
-namespace {
-[[maybe_unused]] constexpr int kAnchor = 0;
+namespace ps::faas::detail {
+
+// Resolved once; the registry owns the metrics for the process lifetime.
+
+obs::Counter& submits_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("faas.submits");
+  return counter;
 }
-}  // namespace ps::faas
+
+obs::Counter& failures_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("faas.task_failures");
+  return counter;
+}
+
+obs::Histogram& rtt_vtime_histogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("faas.rtt.vtime");
+  return histogram;
+}
+
+}  // namespace ps::faas::detail

@@ -14,21 +14,38 @@
 #include "common/error.hpp"
 #include "common/uuid.hpp"
 #include "faas/cloud.hpp"
+#include "obs/metrics.hpp"
 #include "serde/serde.hpp"
+#include "sim/vtime.hpp"
 
 namespace ps::faas {
+
+namespace detail {
+/// Executor-path metric handles (defined in executor.cpp).
+obs::Counter& submits_counter();
+obs::Counter& failures_counter();
+obs::Histogram& rtt_vtime_histogram();
+}  // namespace detail
 
 /// Handle to a submitted task's eventual result.
 class TaskFuture {
  public:
-  TaskFuture(std::shared_ptr<CloudService> cloud, Uuid task)
-      : cloud_(std::move(cloud)), task_(task) {}
+  /// `submit_vtime` is the submitter's virtual time just before submission
+  /// (negative to skip round-trip accounting).
+  TaskFuture(std::shared_ptr<CloudService> cloud, Uuid task,
+             double submit_vtime = -1.0)
+      : cloud_(std::move(cloud)), task_(task), submit_vtime_(submit_vtime) {}
 
   /// Blocks for the result, merges its virtual completion time, and
-  /// rethrows remote task errors as ps::Error.
+  /// rethrows remote task errors as ps::Error. Records the task's
+  /// submit-to-result round trip into "faas.rtt.vtime".
   Bytes get() {
     TaskResult result = cloud_->retrieve(task_);
+    if (submit_vtime_ >= 0.0 && obs::enabled()) {
+      detail::rtt_vtime_histogram().observe(sim::vnow() - submit_vtime_);
+    }
     if (result.failed()) {
+      detail::failures_counter().inc();
       throw Error("task failed remotely: " + result.error);
     }
     return std::move(result.data);
@@ -45,6 +62,7 @@ class TaskFuture {
  private:
   std::shared_ptr<CloudService> cloud_;
   Uuid task_;
+  double submit_vtime_ = -1.0;
 };
 
 class Executor {
@@ -59,8 +77,11 @@ class Executor {
 
   /// Byte-level submission.
   TaskFuture submit(const std::string& function, Bytes payload) {
-    return TaskFuture(cloud_, cloud_->submit(endpoint_, function,
-                                             std::move(payload)));
+    if (obs::enabled()) detail::submits_counter().inc();
+    const double submit_vtime = sim::vnow();
+    return TaskFuture(cloud_,
+                      cloud_->submit(endpoint_, function, std::move(payload)),
+                      submit_vtime);
   }
 
   /// Typed submission: the argument is serialized into the task payload.

@@ -1,0 +1,331 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace ps::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Bucket bounds: 100 ns .. 1000 s, four per decade (10 decades).
+std::array<double, Histogram::kBuckets> make_bounds() {
+  std::array<double, Histogram::kBuckets> bounds{};
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    bounds[i] = 1e-7 * std::pow(10.0, static_cast<double>(i + 1) / 4.0);
+  }
+  return bounds;
+}
+
+std::uint64_t to_ns(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  // Shortest form that survives a JSON round trip for our value range.
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fmt_latency(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+// ------------------------------------------------------------ histogram ----
+
+const std::array<double, Histogram::kBuckets>& Histogram::bounds() {
+  static const std::array<double, kBuckets> kBounds = make_bounds();
+  return kBounds;
+}
+
+std::size_t Histogram::bucket_index(double seconds) {
+  const auto& b = bounds();
+  const auto it = std::lower_bound(b.begin(), b.end(), seconds);
+  if (it == b.end()) return kBuckets - 1;
+  return static_cast<std::size_t>(it - b.begin());
+}
+
+void Histogram::observe(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t ns = to_ns(seconds);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t idx = count_.fetch_add(1, std::memory_order_relaxed);
+  if (idx < kReservoir) {
+    reservoir_[idx].store(seconds, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  const std::uint64_t ns = min_ns_.load(std::memory_order_relaxed);
+  if (ns == UINT64_MAX) return 0.0;
+  return static_cast<double>(ns) * 1e-9;
+}
+
+double Histogram::max() const {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (n <= kReservoir) {
+    // Exact path: the whole series is in the reservoir.
+    Stats stats;
+    stats.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      stats.add(reservoir_[i].load(std::memory_order_relaxed));
+    }
+    return stats.percentile(p);
+  }
+  // Interpolated path: walk the cumulative bucket counts.
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) > rank) {
+      const double lower = i == 0 ? 0.0 : bounds()[i - 1];
+      const double upper = bounds()[i];
+      const double frac = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) out.emplace_back(bounds()[i], n);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- registry ----
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) out.push_back(name);
+  return out;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::dump_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape_into(out, name);
+    out += "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape_into(out, name);
+    out += "\":" + fmt_double(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    json_escape_into(out, name);
+    out += "\":{\"count\":" + std::to_string(hist->count());
+    out += ",\"sum_s\":" + fmt_double(hist->sum());
+    out += ",\"mean_s\":" + fmt_double(hist->mean());
+    out += ",\"min_s\":" + fmt_double(hist->min());
+    out += ",\"max_s\":" + fmt_double(hist->max());
+    out += ",\"p50_s\":" + fmt_double(hist->p50());
+    out += ",\"p95_s\":" + fmt_double(hist->p95());
+    out += ",\"p99_s\":" + fmt_double(hist->p99());
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [le, n] : hist->nonzero_buckets()) {
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "[" + fmt_double(le) + "," + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::dump_table() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  char line[256];
+  if (!counters_.empty()) {
+    out += "-- counters ------------------------------------------------\n";
+    for (const auto& [name, counter] : counters_) {
+      std::snprintf(line, sizeof(line), "%-44s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(counter->value()));
+      out += line;
+    }
+  }
+  if (!gauges_.empty()) {
+    out += "-- gauges --------------------------------------------------\n";
+    for (const auto& [name, gauge] : gauges_) {
+      std::snprintf(line, sizeof(line), "%-44s %12.3f\n", name.c_str(),
+                    gauge->value());
+      out += line;
+    }
+  }
+  if (!histograms_.empty()) {
+    out += "-- histograms ----------------------------------------------\n";
+    std::snprintf(line, sizeof(line), "%-44s %8s %10s %10s %10s %10s %10s\n",
+                  "name", "count", "mean", "p50", "p95", "p99", "max");
+    out += line;
+    for (const auto& [name, hist] : histograms_) {
+      std::snprintf(line, sizeof(line),
+                    "%-44s %8llu %10s %10s %10s %10s %10s\n", name.c_str(),
+                    static_cast<unsigned long long>(hist->count()),
+                    fmt_latency(hist->mean()).c_str(),
+                    fmt_latency(hist->p50()).c_str(),
+                    fmt_latency(hist->p95()).c_str(),
+                    fmt_latency(hist->p99()).c_str(),
+                    fmt_latency(hist->max()).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace ps::obs

@@ -1,0 +1,150 @@
+// Process-wide metrics registry.
+//
+// Named counters, gauges, and fixed-bucket latency histograms with lock-free
+// hot-path updates. Registration (name -> metric) takes a mutex once; callers
+// cache the returned reference, after which every increment/observe is a
+// handful of relaxed atomic operations. Histograms keep a bounded reservoir of
+// raw samples so percentiles are exact for small series (benches) and
+// bucket-interpolated beyond that. Exported as a human-readable table or JSON
+// (`dump_table()` / `dump_json()`, surfaced by `psctl metrics`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ps::obs {
+
+/// Global instrumentation switch. Hot-path helpers (InstrumentedConnector,
+/// Timer) check this once per operation; disabling reduces instrumentation to
+/// a single relaxed load.
+bool enabled();
+void set_enabled(bool on);
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (queue depths, bytes held).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram over seconds.
+///
+/// Buckets are log-spaced upper bounds from 100 ns to 1000 s (four per
+/// decade); values past the last bound land in the final bucket. All updates
+/// are relaxed atomics. The first kReservoir raw samples are additionally
+/// retained so percentiles over short series are exact (computed through
+/// ps::Stats); longer series fall back to within-bucket linear interpolation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+  static constexpr std::size_t kReservoir = 1024;
+
+  /// Upper bounds (seconds) of each bucket, strictly increasing.
+  static const std::array<double, kBuckets>& bounds();
+
+  /// Index of the bucket `seconds` falls into.
+  static std::size_t bucket_index(double seconds);
+
+  void observe(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Sum of observed values in seconds (nanosecond resolution).
+  double sum() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// p in [0, 100]. Exact while count() <= kReservoir, else interpolated
+  /// from bucket boundaries.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
+  /// (upper_bound, count) for buckets with at least one sample.
+  std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns_{0};
+  std::array<std::atomic<double>, kReservoir> reservoir_{};
+};
+
+/// Process-wide named-metric registry.
+///
+/// Lookup registers on first use and returns a reference that stays valid for
+/// the life of the process (reset() zeroes values, never destroys metrics).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshots for export and tests.
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::vector<std::string> histogram_names() const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Machine-readable export: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum_s, mean_s, min_s, max_s, p50_s,
+  /// p95_s, p99_s, buckets: [[le, n], ...]}}}.
+  std::string dump_json() const;
+
+  /// Columnar export: counters, then per-histogram count/mean/p50/p95/p99/max.
+  std::string dump_table() const;
+
+  /// Zeroes every registered metric (names and references survive).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ps::obs

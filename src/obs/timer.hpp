@@ -1,0 +1,65 @@
+// Scoped timing into registry histograms.
+//
+// A Timer measures an operation in both clocks the reproduction cares about:
+// the calling thread's virtual time (deterministic, what the benches report)
+// and the wall clock (what real instrumentation overhead shows up in). It
+// records into the histograms it was given on stop()/destruction — pass
+// nullptr to skip a clock. When the global obs switch is off the timer does
+// nothing beyond reading one atomic.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::obs {
+
+class Timer {
+ public:
+  explicit Timer(Histogram* vtime_hist, Histogram* wall_hist = nullptr)
+      : vtime_hist_(vtime_hist), wall_hist_(wall_hist), armed_(enabled()) {
+    if (!armed_) return;
+    vstart_ = sim::vnow();
+    wstart_ = std::chrono::steady_clock::now();
+  }
+
+  ~Timer() {
+    if (armed_ && !stopped_) stop();
+  }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Records once into the configured histograms; returns the virtual-time
+  /// duration in seconds (0 when instrumentation is disabled).
+  double stop() {
+    if (!armed_ || stopped_) return 0.0;
+    stopped_ = true;
+    const double velapsed = vtime_elapsed();
+    if (vtime_hist_ != nullptr) vtime_hist_->observe(velapsed);
+    if (wall_hist_ != nullptr) wall_hist_->observe(wall_elapsed());
+    return velapsed;
+  }
+
+  double vtime_elapsed() const {
+    return armed_ ? sim::vnow() - vstart_ : 0.0;
+  }
+
+  double wall_elapsed() const {
+    if (!armed_) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wstart_)
+        .count();
+  }
+
+ private:
+  Histogram* vtime_hist_;
+  Histogram* wall_hist_;
+  bool armed_;
+  bool stopped_ = false;
+  double vstart_ = 0.0;
+  std::chrono::steady_clock::time_point wstart_;
+};
+
+}  // namespace ps::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "sim/vtime.hpp"
+
+namespace ps::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+void TraceRecorder::record(const std::string& subject,
+                           const std::string& event) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.subject = subject;
+  e.name = event;
+  e.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           origin_)
+                 .count();
+  e.vtime_s = sim::vnow();
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<TraceEvent> TraceRecorder::timeline(
+    const std::string& subject) const {
+  std::lock_guard lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.subject == subject) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::string TraceRecorder::dump_json() const {
+  std::lock_guard lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"subject\":\"" + e.subject + "\",\"event\":\"" + e.name + "\"";
+    std::snprintf(buf, sizeof(buf), ",\"wall_s\":%.9f,\"vtime_s\":%.9f}",
+                  e.wall_s, e.vtime_s);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+Span::Span(std::string subject, std::string name)
+    : subject_(std::move(subject)), name_(std::move(name)) {
+  active_ = TraceRecorder::global().enabled();
+  if (active_) TraceRecorder::global().record(subject_, name_ + ".start");
+}
+
+Span::~Span() {
+  if (active_) TraceRecorder::global().record(subject_, name_ + ".done");
+}
+
+}  // namespace ps::obs

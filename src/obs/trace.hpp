@@ -1,0 +1,80 @@
+// Proxy lifecycle tracing.
+//
+// A TraceRecorder captures per-subject event timelines (a subject is a
+// "<store>/<key>" string minted when a proxy is created), each event stamped
+// with both wall time (steady-clock seconds since recorder construction) and
+// the recording thread's virtual time. Disabled by default: the hot-path cost
+// when off is one relaxed load. The Store and descriptor-factory resolve path
+// emit the canonical lifecycle — proxy.created -> factory.serialized ->
+// factory.deserialized -> resolve.start -> connector.get -> deserialize ->
+// cache.insert -> resolve.done — so `timeline()` reconstructs where a
+// resolve spent its time across processes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ps::obs {
+
+struct TraceEvent {
+  std::string subject;  // e.g. "store-name/key-canonical"
+  std::string name;     // e.g. "resolve.start"
+  double wall_s = 0.0;  // steady seconds since the recorder's origin
+  double vtime_s = 0.0;  // recording thread's sim::vnow()
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends an event (no-op while disabled). Oldest events are dropped
+  /// once the buffer exceeds capacity.
+  void record(const std::string& subject, const std::string& event);
+
+  /// All events for one subject, in record order.
+  std::vector<TraceEvent> timeline(const std::string& subject) const;
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  void set_capacity(std::size_t capacity);
+
+  /// [{"subject": ..., "event": ..., "wall_s": ..., "vtime_s": ...}, ...]
+  std::string dump_json() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = 65536;
+  std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII trace span: records "<name>.start" on construction and "<name>.done"
+/// on destruction. Cheap no-op while tracing is disabled.
+class Span {
+ public:
+  Span(std::string subject, std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string subject_;
+  std::string name_;
+  bool active_ = false;
+};
+
+}  // namespace ps::obs

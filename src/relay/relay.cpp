@@ -1,6 +1,7 @@
 #include "relay/relay.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "proc/process.hpp"
 #include "sim/vtime.hpp"
 
@@ -52,6 +53,11 @@ void RelayServer::forward(RelayMessage message) {
     sender = from_it->second;
     target = to_it->second;
     ++forwarded_;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& forwarded =
+        obs::MetricsRegistry::global().counter("relay.forwarded");
+    forwarded.inc();
   }
   // Two signaling legs: sender -> relay, relay -> target. Messages are
   // O(KB) session descriptions.

@@ -339,6 +339,30 @@ TEST(Stats, SingleSampleStdevZero) {
   EXPECT_DOUBLE_EQ(s.median(), 3.5);
 }
 
+TEST(Stats, ReserveAndDoublingGrowthKeepSamples) {
+  Stats s;
+  s.reserve(1000);
+  const double* data_before = s.samples().data();
+  for (int i = 0; i < 1000; ++i) s.add(i);
+  // Pre-sized accumulation never reallocated.
+  EXPECT_EQ(s.samples().data(), data_before);
+  EXPECT_EQ(s.count(), 1000u);
+  // Growth past the reservation doubles rather than reallocating per add.
+  for (int i = 1000; i < 5000; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 5000u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4999.0);
+}
+
+TEST(Stats, NamedPercentileShortcuts) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.p50(), s.percentile(50.0));
+  EXPECT_DOUBLE_EQ(s.p95(), s.percentile(95.0));
+  EXPECT_DOUBLE_EQ(s.p99(), s.percentile(99.0));
+  EXPECT_NEAR(s.p99(), 99.01, 1e-9);
+}
+
 TEST(Stats, FormatsMeanPmStdev) {
   Stats s;
   s.add(0.001);

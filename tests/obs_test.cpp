@@ -1,0 +1,559 @@
+// Observability subsystem: metrics registry, histograms, tracing, and the
+// InstrumentedConnector decorator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+#include "connectors/local.hpp"
+#include "core/instrumented.hpp"
+#include "core/proxy.hpp"
+#include "core/store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "proc/world.hpp"
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::obs {
+namespace {
+
+using core::InstrumentedConnector;
+using core::Key;
+using core::Proxy;
+using core::Store;
+using connectors::LocalConnector;
+
+// ------------------------------------------------- minimal JSON reader ----
+// Just enough JSON to round-trip dump_json() output in tests: objects,
+// arrays, strings (registry names never need full escape handling), and
+// numbers.
+
+struct JsonValue {
+  std::variant<std::nullptr_t, double, std::string,
+               std::map<std::string, JsonValue>, std::vector<JsonValue>>
+      v = nullptr;
+
+  const JsonValue& at(const std::string& key) const {
+    return std::get<std::map<std::string, JsonValue>>(v).at(key);
+  }
+  bool has(const std::string& key) const {
+    return std::get<std::map<std::string, JsonValue>>(v).contains(key);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::vector<JsonValue>& arr() const {
+    return std::get<std::vector<JsonValue>>(v);
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing JSON content";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a JSON number";
+    return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue> out;
+    if (peek() != '}') {
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        out[std::move(key)] = parse_value();
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    expect('}');
+    return JsonValue{std::move(out)};
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> out;
+    if (peek() != ']') {
+      while (true) {
+        out.push_back(parse_value());
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    expect(']');
+    return JsonValue{std::move(out)};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------- histogram ----
+
+TEST(Histogram, BucketBoundsAreLogSpaced) {
+  const auto& bounds = Histogram::bounds();
+  ASSERT_EQ(bounds.size(), Histogram::kBuckets);
+  EXPECT_NEAR(bounds.front(), 1.778e-7, 1e-10);  // 1e-7 * 10^(1/4)
+  EXPECT_NEAR(bounds[3], 1e-6, 1e-12);           // decade boundary
+  EXPECT_NEAR(bounds.back(), 1000.0, 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    // Four buckets per decade.
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], std::pow(10.0, 0.25), 1e-9);
+  }
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  const auto& bounds = Histogram::bounds();
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-1.0), 0u);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{7}, std::size_t{20},
+                              Histogram::kBuckets - 1}) {
+    // A value exactly at an upper bound belongs to that bucket...
+    EXPECT_EQ(Histogram::bucket_index(bounds[i]), i);
+    // ...and just above it to the next.
+    if (i + 1 < Histogram::kBuckets) {
+      EXPECT_EQ(Histogram::bucket_index(bounds[i] * 1.0001), i + 1);
+    }
+  }
+  // Values beyond the last bound land in the final bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e9), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveFillsTheRightBucket) {
+  Histogram h;
+  const auto& bounds = Histogram::bounds();
+  h.observe(bounds[5]);          // exactly at the bound -> bucket 5
+  h.observe(bounds[5] * 1.001);  // just above -> bucket 6
+  h.observe(1e9);                // clamped into the last bucket
+  const auto nonzero = h.nonzero_buckets();
+  ASSERT_EQ(nonzero.size(), 3u);
+  EXPECT_EQ(nonzero[0].first, bounds[5]);
+  EXPECT_EQ(nonzero[0].second, 1u);
+  EXPECT_EQ(nonzero[1].first, bounds[6]);
+  EXPECT_EQ(nonzero[1].second, 1u);
+  EXPECT_EQ(nonzero[2].first, bounds.back());
+  EXPECT_EQ(nonzero[2].second, 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, ExactPercentilesMatchStatsForShortSeries) {
+  Histogram h;
+  ps::Stats reference;
+  for (int i = 1; i <= 200; ++i) {
+    const double v = static_cast<double>(i) * 1e-3;
+    h.observe(v);
+    reference.add(v);
+  }
+  // While the series fits the reservoir, percentiles are computed through
+  // ps::Stats and are exact — not bucket-interpolated.
+  EXPECT_DOUBLE_EQ(h.p50(), reference.p50());
+  EXPECT_DOUBLE_EQ(h.p95(), reference.p95());
+  EXPECT_DOUBLE_EQ(h.p99(), reference.p99());
+  EXPECT_NEAR(h.mean(), reference.mean(), 1e-8);
+  EXPECT_NEAR(h.min(), 1e-3, 1e-9);
+  EXPECT_NEAR(h.max(), 0.2, 1e-9);
+}
+
+TEST(Histogram, InterpolatedPercentilesBeyondReservoir) {
+  Histogram h;
+  for (std::size_t i = 0; i < Histogram::kReservoir + 1000; ++i) {
+    h.observe(1e-3);
+  }
+  ASSERT_GT(h.count(), Histogram::kReservoir);
+  // Interpolation can only place the percentile inside the 1 ms bucket.
+  const std::size_t bucket = Histogram::bucket_index(1e-3);
+  const double lower = Histogram::bounds()[bucket - 1];
+  const double upper = Histogram::bounds()[bucket];
+  for (const double p : {50.0, 95.0, 99.0}) {
+    EXPECT_GE(h.percentile(p), lower);
+    EXPECT_LE(h.percentile(p), upper);
+  }
+}
+
+TEST(Histogram, ConcurrentObserves) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const auto& [le, n] : h.nonzero_buckets()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_NEAR(h.min(), 1e-6, 1e-12);
+  EXPECT_NEAR(h.max(), 8e-6, 1e-12);
+}
+
+// ----------------------------------------------------- counters/gauges ----
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 4.75);
+  g.add(-4.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(9.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  auto& registry = MetricsRegistry::global();
+  EXPECT_EQ(&registry.counter("reg.same"), &registry.counter("reg.same"));
+  EXPECT_EQ(&registry.gauge("reg.same"), &registry.gauge("reg.same"));
+  EXPECT_EQ(&registry.histogram("reg.same"), &registry.histogram("reg.same"));
+  EXPECT_EQ(registry.find_histogram("reg.same"),
+            &registry.histogram("reg.same"));
+  EXPECT_EQ(registry.find_histogram("reg.no-such"), nullptr);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsReferences) {
+  auto& registry = MetricsRegistry::global();
+  Counter& c = registry.counter("reg.reset.count");
+  Histogram& h = registry.histogram("reg.reset.hist");
+  c.inc(7);
+  h.observe(0.5);
+  registry.reset();
+  EXPECT_EQ(&registry.counter("reg.reset.count"), &c);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, JsonExportRoundTrips) {
+  auto& registry = MetricsRegistry::global();
+  registry.counter("json.requests").inc(42);
+  registry.gauge("json.depth").set(2.5);
+  Histogram& h = registry.histogram("json.latency");
+  h.reset();
+  h.observe(1e-3);
+  h.observe(2e-3);
+  h.observe(3e-3);
+
+  const std::string text = registry.dump_json();
+  JsonValue root = JsonReader(text).parse();
+
+  EXPECT_EQ(root.at("counters").at("json.requests").num(), 42.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("json.depth").num(), 2.5);
+
+  const JsonValue& hist = root.at("histograms").at("json.latency");
+  EXPECT_EQ(hist.at("count").num(), 3.0);
+  EXPECT_NEAR(hist.at("sum_s").num(), 6e-3, 1e-9);
+  EXPECT_NEAR(hist.at("mean_s").num(), 2e-3, 1e-9);
+  EXPECT_NEAR(hist.at("min_s").num(), 1e-3, 1e-9);
+  EXPECT_NEAR(hist.at("max_s").num(), 3e-3, 1e-9);
+  EXPECT_NEAR(hist.at("p50_s").num(), h.p50(), 1e-9);
+  EXPECT_NEAR(hist.at("p99_s").num(), h.p99(), 1e-9);
+  std::uint64_t bucket_total = 0;
+  for (const JsonValue& bucket : hist.at("buckets").arr()) {
+    ASSERT_EQ(bucket.arr().size(), 2u);  // [upper_bound, count]
+    bucket_total += static_cast<std::uint64_t>(bucket.arr()[1].num());
+  }
+  EXPECT_EQ(bucket_total, 3u);
+
+  // The table export mentions every registered metric by name.
+  const std::string table = registry.dump_table();
+  EXPECT_NE(table.find("json.requests"), std::string::npos);
+  EXPECT_NE(table.find("json.depth"), std::string::npos);
+  EXPECT_NE(table.find("json.latency"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- timer ----
+
+TEST(TimerTest, RecordsVirtualElapsedOnce) {
+  ASSERT_TRUE(enabled());
+  Histogram vtime;
+  {
+    Timer timer(&vtime);
+    sim::vadvance(0.25);
+    EXPECT_NEAR(timer.stop(), 0.25, 1e-9);
+    sim::vadvance(1.0);  // after stop(): not measured, dtor must not re-add
+  }
+  ASSERT_EQ(vtime.count(), 1u);
+  EXPECT_NEAR(vtime.sum(), 0.25, 1e-9);
+}
+
+TEST(TimerTest, DisabledTimerRecordsNothing) {
+  Histogram vtime;
+  set_enabled(false);
+  {
+    Timer timer(&vtime);
+    sim::vadvance(0.25);
+  }
+  set_enabled(true);
+  EXPECT_EQ(vtime.count(), 0u);
+}
+
+// ---------------------------------------------------------------- trace ----
+
+TEST(Trace, RecordsDualTimestampsInOrder) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+  sim::vadvance(0.125);
+  recorder.record("subj", "first");
+  sim::vadvance(0.5);
+  {
+    Span span("subj", "work");
+  }
+  recorder.set_enabled(false);
+  recorder.record("subj", "dropped");  // disabled: must not record
+
+  const auto events = recorder.timeline("subj");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "work.start");
+  EXPECT_EQ(events[2].name, "work.done");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].wall_s, events[i - 1].wall_s);
+    EXPECT_GE(events[i].vtime_s, events[i - 1].vtime_s);
+  }
+  EXPECT_NEAR(events[1].vtime_s - events[0].vtime_s, 0.5, 1e-9);
+  recorder.clear();
+}
+
+// -------------------------------------------- instrumented connector ------
+
+/// World with two processes on different sites, as the store tests use.
+class ObsStoreTest : public ::testing::Test {
+ protected:
+  ObsStoreTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site-a", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_site("site-b", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().connect_sites("site-a", "site-b",
+                                   net::wan_tcp(20e-3, 1e9));
+    world_->fabric().add_host("host-a", "site-a");
+    world_->fabric().add_host("host-b", "site-b");
+    producer_ = &world_->spawn("producer", "host-a");
+    consumer_ = &world_->spawn("consumer", "host-b");
+    set_enabled(true);
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* producer_ = nullptr;
+  proc::Process* consumer_ = nullptr;
+};
+
+TEST_F(ObsStoreTest, InstrumentedConnectorPassesOperationsThrough) {
+  proc::ProcessScope scope(*producer_);
+  auto raw = std::make_shared<LocalConnector>();
+  auto wrapped = InstrumentedConnector::wrap(raw);
+  ASSERT_NE(wrapped, raw);
+  // Decorator is transparent: same type/config/traits as the raw connector.
+  EXPECT_EQ(wrapped->type(), raw->type());
+  EXPECT_EQ(wrapped->config(), raw->config());
+  // Idempotent: wrapping twice adds no second layer.
+  EXPECT_EQ(InstrumentedConnector::wrap(wrapped), wrapped);
+
+  const auto before = MetricsRegistry::global().counters();
+  const auto delta = [&before](const std::string& name) {
+    const auto now = MetricsRegistry::global().counters();
+    const auto it = before.find(name);
+    return now.at(name) - (it == before.end() ? 0 : it->second);
+  };
+
+  const Bytes data = pattern_bytes(64, 1);
+  const Key key = wrapped->put(data);
+  EXPECT_EQ(wrapped->get(key), data);       // visible through the decorator
+  EXPECT_EQ(raw->get(key), data);           // ...and on the raw connector
+  EXPECT_TRUE(wrapped->exists(key));
+  const auto keys =
+      wrapped->put_batch({pattern_bytes(8, 2), pattern_bytes(8, 3)});
+  EXPECT_EQ(keys.size(), 2u);
+  wrapped->evict(key);
+  EXPECT_FALSE(raw->exists(key));
+
+  EXPECT_EQ(delta("connector.local.put"), 1u);
+  EXPECT_EQ(delta("connector.local.get"), 1u);  // the raw get is not counted
+  EXPECT_EQ(delta("connector.local.exists"), 1u);
+  EXPECT_EQ(delta("connector.local.put_batch"), 1u);
+  EXPECT_EQ(delta("connector.local.evict"), 1u);
+  // The per-op latency histograms saw the same traffic.
+  const Histogram* put_vtime =
+      MetricsRegistry::global().find_histogram("connector.local.put.vtime");
+  ASSERT_NE(put_vtime, nullptr);
+  EXPECT_GE(put_vtime->count(), 1u);
+}
+
+TEST_F(ObsStoreTest, StoreMetricsSplitEvictionKinds) {
+  proc::ProcessScope scope(*producer_);
+  Store::Options options;
+  options.cache_size = 2;
+  auto store = std::make_shared<Store>(
+      "obs-split", InstrumentedConnector::wrap(
+                       std::make_shared<LocalConnector>()),
+      options);
+
+  // Three distinct cached objects overflow the 2-slot LRU cache.
+  std::vector<Key> keys;
+  for (int i = 0; i < 3; ++i) keys.push_back(store->put(i));
+  for (const Key& key : keys) store->get<int>(key);
+  store->exists(keys[0]);
+  store->evict(keys[0]);
+
+  const Store::Metrics m = store->metrics();
+  EXPECT_EQ(m.puts, 3u);
+  EXPECT_EQ(m.gets, 3u);
+  EXPECT_EQ(m.exists_calls, 1u);
+  EXPECT_EQ(m.evicts, 1u);           // the explicit evict() call
+  EXPECT_EQ(m.cache_evictions, 1u);  // the LRU overflow
+}
+
+TEST_F(ObsStoreTest, ProxyLifecycleTraceHasOrderedEvents) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  Bytes wire;
+  std::string subject;
+  {
+    proc::ProcessScope scope(*producer_);
+    auto store = std::make_shared<Store>(
+        "obs-trace", InstrumentedConnector::wrap(
+                         std::make_shared<LocalConnector>()));
+    core::register_store(store, /*overwrite=*/true);
+    Proxy<std::string> p = store->proxy(std::string("traced"));
+    subject = core::trace_subject(store->name(),
+                                  p.factory().descriptor()->key);
+    wire = serde::to_bytes(p);
+  }
+  {
+    proc::ProcessScope scope(*consumer_);
+    auto p = serde::from_bytes<Proxy<std::string>>(wire);
+    EXPECT_EQ(*p, "traced");  // resolve across the simulated WAN
+  }
+
+  const auto events = recorder.timeline(subject);
+  // The full store-backed lifecycle: proxy.created, factory.serialized,
+  // factory.deserialized, resolve.start, connector.get, deserialize,
+  // cache.insert, resolve.done.
+  ASSERT_GE(events.size(), 4u);
+  std::vector<std::string> names;
+  for (const TraceEvent& event : events) names.push_back(event.name);
+  for (const char* required :
+       {"proxy.created", "factory.serialized", "factory.deserialized",
+        "resolve.start", "connector.get", "resolve.done"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing lifecycle event " << required;
+  }
+  // Distinct event names, timestamps monotonically non-decreasing in both
+  // clocks.
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].wall_s, events[i - 1].wall_s);
+    EXPECT_GE(events[i].vtime_s, events[i - 1].vtime_s);
+  }
+
+  recorder.set_enabled(false);
+  recorder.clear();
+  core::unregister_store("obs-trace");
+}
+
+TEST(TraceCapacity, OldestEventsDropWhenFull) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("cap", "event-" + std::to_string(i));
+  }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "event-6");
+  EXPECT_EQ(events.back().name, "event-9");
+}
+
+}  // namespace
+}  // namespace ps::obs

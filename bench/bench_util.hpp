@@ -16,9 +16,36 @@
 
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ps::bench {
+
+/// Parses an optional `--trace <file>` flag: when present, enables the
+/// distributed trace recorder and returns the output path (empty string
+/// otherwise). Call once at the top of main().
+inline std::string init_trace(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      obs::TraceRecorder::global().set_enabled(true);
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// Writes the recorded spans as a Chrome trace-event / Perfetto JSON
+/// artifact when init_trace() returned a path. Call once before exiting.
+inline void finish_trace(const std::string& path) {
+  if (path.empty()) return;
+  if (!obs::write_perfetto_trace(path)) {
+    std::fprintf(stderr, "bench: cannot write trace to '%s'\n", path.c_str());
+    return;
+  }
+  std::printf("\ntrace: wrote %zu spans to %s (open in ui.perfetto.dev)\n",
+              obs::TraceRecorder::global().span_count(), path.c_str());
+}
 
 /// Named measurement series in the process-wide registry. Call
 /// obs::set_enabled(true) once at bench startup so store/connector

@@ -18,7 +18,8 @@ namespace {
 using namespace ps;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = ps::bench::init_trace(argc, argv);
   testbed::Testbed tb = testbed::build();
   auto relay = relay::RelayServer::start(*tb.world, tb.relay_host,
                                          "fig4-relay");
@@ -86,5 +87,6 @@ int main() {
                                          .data = {}});
   std::printf("re-establishment after a dropped connection: %s\n",
               ps::bench::fmt_seconds(recover.elapsed()).c_str());
+  ps::bench::finish_trace(trace_path);
   return 0;
 }

@@ -294,7 +294,8 @@ void run_scenario(Scenario& scenario, bool sleep) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = ps::bench::init_trace(argc, argv);
   ps::obs::set_enabled(true);
   register_tasks();
   struct Spec {
@@ -322,5 +323,6 @@ int main() {
       scenario->endpoint->stop();
     }
   }
+  ps::bench::finish_trace(trace_path);
   return 0;
 }

@@ -61,7 +61,8 @@ double mean_request_time(testbed::Testbed& tb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = ps::bench::init_trace(argc, argv);
   testbed::Testbed tb = testbed::build();
   relay::RelayServer::start(*tb.world, tb.relay_host, "fig8-relay");
   constexpr int kMaxClients = 16;
@@ -115,5 +116,6 @@ int main() {
       ps::bench::print_row(row);
     }
   }
+  ps::bench::finish_trace(trace_path);
   return 0;
 }

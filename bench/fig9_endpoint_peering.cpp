@@ -148,7 +148,8 @@ void run_scenario(const Scenario& spec, int index) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = ps::bench::init_trace(argc, argv);
   testbed::Testbed names;
   const std::vector<Scenario> scenarios = {
       {"Theta <-> Theta", names.theta_compute0, names.theta_compute1},
@@ -159,5 +160,6 @@ int main() {
   for (const Scenario& scenario : scenarios) {
     run_scenario(scenario, index++);
   }
+  ps::bench::finish_trace(trace_path);
   return 0;
 }

@@ -1,26 +1,32 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
+#include <string>
 
 namespace ps {
 
 namespace {
 
-/// Startup threshold: PROXYSTORE_LOG=debug|info|warn|error|off (read once;
-/// set_log_level still overrides at runtime). Unset or unrecognized values
-/// keep the quiet default.
+/// Startup threshold: PROXYSTORE_LOG=debug|info|warn|error|off, matched
+/// case-insensitively (read once; set_log_level still overrides at
+/// runtime). Unset or unrecognized values keep the quiet default; an
+/// unrecognized value warns once on stderr.
 LogLevel level_from_env() {
   const char* env = std::getenv("PROXYSTORE_LOG");
   if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  std::string value(env);
+  for (char& c : value) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off") return LogLevel::kOff;
   std::fprintf(stderr,
                "[warn] log: unrecognized PROXYSTORE_LOG value '%s' "
                "(expected debug|info|warn|error|off)\n",

@@ -3,46 +3,63 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <numeric>
 #include <stdexcept>
 
 namespace ps {
 
-void Stats::add(double x) {
-  if (samples_.size() == samples_.capacity()) {
-    samples_.reserve(samples_.empty() ? 64 : samples_.capacity() * 2);
+Stats::Stats(std::size_t reservoir_cap, std::uint64_t seed)
+    : reservoir_cap_(reservoir_cap), rng_(seed) {
+  if (reservoir_cap == 0) {
+    throw std::invalid_argument("Stats: reservoir capacity must be > 0");
   }
-  samples_.push_back(x);
+  samples_.reserve(reservoir_cap);
 }
 
-void Stats::reserve(std::size_t n) { samples_.reserve(n); }
+void Stats::add(double x) {
+  // Exact accumulators first: they never depend on what the reservoir keeps.
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - welford_mean_;
+  welford_mean_ += delta / static_cast<double>(count_);
+  welford_m2_ += delta * (x - welford_mean_);
 
-double Stats::sum() const {
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  if (reservoir_cap_ == 0 || samples_.size() < reservoir_cap_) {
+    if (samples_.size() == samples_.capacity()) {
+      samples_.reserve(samples_.empty() ? 64 : samples_.capacity() * 2);
+    }
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: the n-th observation replaces a random slot with
+  // probability cap/n, keeping every observation equally likely to survive.
+  const auto slot = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(count_) - 1));
+  if (slot < reservoir_cap_) samples_[slot] = x;
+}
+
+void Stats::reserve(std::size_t n) {
+  samples_.reserve(reservoir_cap_ == 0 ? n : std::min(n, reservoir_cap_));
 }
 
 double Stats::mean() const {
-  if (samples_.empty()) return 0.0;
-  return sum() / static_cast<double>(samples_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double Stats::stdev() const {
-  if (samples_.size() < 2) return 0.0;
-  const double m = mean();
-  double acc = 0.0;
-  for (const double x : samples_) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  if (count_ < 2) return 0.0;
+  return std::sqrt(welford_m2_ / static_cast<double>(count_ - 1));
 }
 
-double Stats::min() const {
-  if (samples_.empty()) return 0.0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
+double Stats::min() const { return count_ == 0 ? 0.0 : min_; }
 
-double Stats::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
+double Stats::max() const { return count_ == 0 ? 0.0 : max_; }
 
 std::vector<double> Stats::sorted() const {
   std::vector<double> s = samples_;

@@ -2,6 +2,7 @@
 
 #include "common/uuid.hpp"
 #include "connectors/costs.hpp"
+#include "obs/context.hpp"
 #include "sim/vtime.hpp"
 
 namespace ps::connectors {
@@ -55,6 +56,7 @@ core::ConnectorTraits EndpointConnector::traits() const {
 
 endpoint::EndpointResponse EndpointConnector::round_trip(
     endpoint::EndpointRequest request, std::size_t response_hint) {
+  request.trace = obs::current_context();
   // Client -> local endpoint leg.
   charge_transfer(current_host(), home_->host(), request.data.size() + 128);
   endpoint::EndpointResponse response = home_->handle(request);

@@ -14,6 +14,7 @@
 
 #include "core/connector.hpp"
 #include "core/key.hpp"
+#include "obs/context.hpp"
 #include "serde/serde.hpp"
 
 namespace ps::core {
@@ -36,16 +37,20 @@ struct FactoryDescriptor {
   /// decrements the store's shared counter for this key; the final
   /// reference evicts the object from the channel.
   bool ref_counted = false;
+  /// Trace context of the hop that minted this descriptor (invalid when
+  /// tracing was off). A remote resolve adopts it so its span is a child
+  /// of the proxy-creation span even across process/site boundaries.
+  obs::TraceContext trace{};
 
   bool operator==(const FactoryDescriptor&) const = default;
 
   auto serde_members() {
     return std::tie(store_name, key, connector, evict, poll_interval_s,
-                    max_polls, ref_counted);
+                    max_polls, ref_counted, trace);
   }
   auto serde_members() const {
     return std::tie(store_name, key, connector, evict, poll_interval_s,
-                    max_polls, ref_counted);
+                    max_polls, ref_counted, trace);
   }
 };
 

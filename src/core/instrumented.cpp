@@ -1,5 +1,6 @@
 #include "core/instrumented.hpp"
 
+#include "obs/context.hpp"
 #include "obs/timer.hpp"
 
 namespace ps::core {
@@ -9,7 +10,7 @@ InstrumentedConnector::Op InstrumentedConnector::make_op(
   auto& registry = obs::MetricsRegistry::global();
   const std::string base = "connector." + type + "." + op;
   return Op{registry.counter(base), registry.histogram(base + ".vtime"),
-            registry.histogram(base + ".wall")};
+            registry.histogram(base + ".wall"), base};
 }
 
 InstrumentedConnector::InstrumentedConnector(std::shared_ptr<Connector> inner)
@@ -27,6 +28,7 @@ std::shared_ptr<Connector> InstrumentedConnector::wrap(
 }
 
 Key InstrumentedConnector::put(BytesView data) {
+  obs::SpanScope span(put_.span_name);
   if (!obs::enabled()) return inner_->put(data);
   put_.count.inc();
   obs::Timer timer(&put_.vtime, &put_.wall);
@@ -34,6 +36,7 @@ Key InstrumentedConnector::put(BytesView data) {
 }
 
 Key InstrumentedConnector::put_hinted(BytesView data, const PutHints& hints) {
+  obs::SpanScope span(put_.span_name);
   if (!obs::enabled()) return inner_->put_hinted(data, hints);
   put_.count.inc();
   obs::Timer timer(&put_.vtime, &put_.wall);
@@ -41,6 +44,7 @@ Key InstrumentedConnector::put_hinted(BytesView data, const PutHints& hints) {
 }
 
 bool InstrumentedConnector::put_at(const Key& key, BytesView data) {
+  obs::SpanScope span(put_.span_name);
   if (!obs::enabled()) return inner_->put_at(key, data);
   put_.count.inc();
   obs::Timer timer(&put_.vtime, &put_.wall);
@@ -51,6 +55,7 @@ Key InstrumentedConnector::reserve_key() { return inner_->reserve_key(); }
 
 std::vector<Key> InstrumentedConnector::put_batch(
     const std::vector<Bytes>& items) {
+  obs::SpanScope span(put_batch_.span_name);
   if (!obs::enabled()) return inner_->put_batch(items);
   put_batch_.count.inc();
   obs::Timer timer(&put_batch_.vtime, &put_batch_.wall);
@@ -58,6 +63,7 @@ std::vector<Key> InstrumentedConnector::put_batch(
 }
 
 std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
+  obs::SpanScope span(get_.span_name);
   if (!obs::enabled()) return inner_->get(key);
   get_.count.inc();
   obs::Timer timer(&get_.vtime, &get_.wall);
@@ -65,6 +71,7 @@ std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
 }
 
 bool InstrumentedConnector::exists(const Key& key) {
+  obs::SpanScope span(exists_.span_name);
   if (!obs::enabled()) return inner_->exists(key);
   exists_.count.inc();
   obs::Timer timer(&exists_.vtime, &exists_.wall);
@@ -72,6 +79,7 @@ bool InstrumentedConnector::exists(const Key& key) {
 }
 
 void InstrumentedConnector::evict(const Key& key) {
+  obs::SpanScope span(evict_.span_name);
   if (!obs::enabled()) return inner_->evict(key);
   evict_.count.inc();
   obs::Timer timer(&evict_.vtime, &evict_.wall);

@@ -51,6 +51,8 @@ class InstrumentedConnector : public Connector {
     obs::Counter& count;
     obs::Histogram& vtime;
     obs::Histogram& wall;
+    /// "connector.<type>.<op>", reused as the trace span name.
+    std::string span_name;
   };
 
   static Op make_op(const std::string& type, const char* op);

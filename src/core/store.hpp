@@ -30,6 +30,7 @@
 #include "core/factory.hpp"
 #include "core/key.hpp"
 #include "core/proxy.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -199,11 +200,13 @@ class Store : public std::enable_shared_from_this<Store> {
   Proxy<T> proxy_from_key(const Key& key, bool evict = false) {
     check_open();
     obs::MetricsRegistry::global().counter("store.proxies").inc();
+    obs::SpanScope span("store.proxy", trace_subject(name_, key));
     obs::TraceRecorder& tracer = obs::TraceRecorder::global();
     if (tracer.enabled()) {
       tracer.record(trace_subject(name_, key), "proxy.created");
     }
     FactoryDescriptor descriptor{name_, key, connector_->config(), evict};
+    descriptor.trace = span.context();
     return Proxy<T>(make_factory<T>(std::move(descriptor)));
   }
 
@@ -228,8 +231,10 @@ class Store : public std::enable_shared_from_this<Store> {
                         std::uint32_t max_polls = 1000) {
     check_open();
     Key key = connector_->reserve_key();
+    obs::SpanScope span("store.future", trace_subject(name_, key));
     FactoryDescriptor descriptor{name_, key, connector_->config(),
                                  /*evict=*/false, poll_interval_s, max_polls};
+    descriptor.trace = span.context();
     return Future<T>{key, Proxy<T>(make_factory<T>(std::move(descriptor)))};
   }
 
@@ -394,6 +399,11 @@ Factory<T> make_descriptor_factory(FactoryDescriptor descriptor) {
     const bool tracing = tracer.enabled();
     const std::string subject =
         trace_subject(descriptor.store_name, descriptor.key);
+    // The descriptor carries the creating hop's context: adopt it so the
+    // resolve span parents to the proxy-creation span even when this code
+    // runs in a different simulated process/site.
+    obs::ContextScope adopt(descriptor.trace);
+    obs::SpanScope span("proxy.resolve", subject);
     if (tracing) tracer.record(subject, "resolve.start");
     std::shared_ptr<Store> store = get_or_register_store(descriptor);
     std::optional<T> value = store->get<T>(descriptor.key);

@@ -3,8 +3,10 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "sim/vtime.hpp"
 
 namespace ps::endpoint {
@@ -90,7 +92,21 @@ double Endpoint::service_time(std::size_t bytes) const {
          static_cast<double>(bytes) / options_.mem_Bps;
 }
 
+obs::SpanLocality Endpoint::span_locality() const {
+  std::string site;
+  try {
+    site = world_.fabric().host(host_).site;
+  } catch (...) {
+    site = "?";
+  }
+  return obs::SpanLocality{"endpoint:" + name_, host_, site};
+}
+
 void Endpoint::on_relay_message(const relay::RelayMessage& message) {
+  // Continue the sender's trace through the relay hop.
+  obs::ContextScope adopt(message.trace);
+  obs::SpanScope span("endpoint.signal", message.kind);
+  span.set_locality(span_locality());
   sim::vmerge(message.stamp);
   std::unique_lock lock(mu_);
   PeerConnection& peer = peers_[message.from];
@@ -160,10 +176,17 @@ EndpointResponse Endpoint::handle(const EndpointRequest& request) {
     if (stopped_) throw ProtocolError("Endpoint " + name_ + " is stopped");
     ++requests_;
   }
+  const bool local =
+      request.endpoint_id == uuid_ || request.endpoint_id.is_nil();
+  // Continue the caller's trace carried in the request header.
+  obs::ContextScope adopt(request.trace);
+  obs::SpanScope span(local ? "endpoint.handle" : "endpoint.forward",
+                      request.op);
+  span.set_locality(span_locality());
   EndpointMetrics& metrics = EndpointMetrics::get();
   if (obs::enabled()) metrics.requests.inc();
   obs::Timer timer(&metrics.handle_vtime, &metrics.handle_wall);
-  if (request.endpoint_id == uuid_ || request.endpoint_id.is_nil()) {
+  if (local) {
     // Single-threaded event loop: FIFO over all client requests, with the
     // service time covering both the request and the response payloads
     // (the loop copies the object out on gets).
@@ -194,7 +217,15 @@ EndpointResponse Endpoint::handle(const EndpointRequest& request) {
   sim::vadvance(data_channel_time(world_.fabric(), host_, target->host_,
                                   request.data.size() + 256,
                                   options_.data_channel));
-  EndpointResponse response = target->handle_from_peer(request);
+  EndpointResponse response;
+  if (obs::TraceRecorder::global().enabled()) {
+    // Re-stamp the header so the peer's span parents to this forward span.
+    EndpointRequest relayed = request;
+    relayed.trace = obs::current_context();
+    response = target->handle_from_peer(relayed);
+  } else {
+    response = target->handle_from_peer(request);
+  }
   const std::size_t response_bytes =
       (response.data ? response.data->size() : 0) + 64;
   sim::vadvance(data_channel_time(world_.fabric(), target->host_, host_,
@@ -208,6 +239,9 @@ EndpointResponse Endpoint::handle_from_peer(const EndpointRequest& request) {
     if (stopped_) throw ProtocolError("Endpoint " + name_ + " is stopped");
     ++requests_;
   }
+  obs::ContextScope adopt(request.trace);
+  obs::SpanScope span("endpoint.handle", request.op);
+  span.set_locality(span_locality());
   EndpointResponse response = local_op(request);
   const std::size_t payload =
       request.data.size() + (response.data ? response.data->size() : 0);

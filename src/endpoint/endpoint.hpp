@@ -22,6 +22,7 @@
 #include "common/bytes.hpp"
 #include "common/uuid.hpp"
 #include "endpoint/datachannel.hpp"
+#include "obs/context.hpp"
 #include "proc/world.hpp"
 #include "relay/relay.hpp"
 #include "sim/resource.hpp"
@@ -48,6 +49,9 @@ struct EndpointRequest {
   /// forwarded over a peer connection.
   Uuid endpoint_id;
   Bytes data;  // set payload
+  /// Caller's trace context; the serving (or peer) endpoint adopts it so
+  /// its handle/forward spans stitch into the caller's trace.
+  obs::TraceContext trace{};
 };
 
 struct EndpointResponse {
@@ -103,6 +107,10 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
 
   /// Service time of one request touching `bytes` of payload.
   double service_time(std::size_t bytes) const;
+
+  /// Locality endpoint spans record under: the endpoint is its own actor,
+  /// so spans attribute to its host/site rather than the calling process.
+  obs::SpanLocality span_locality() const;
 
   sim::Resource& queue() { return queue_; }
 

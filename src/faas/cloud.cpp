@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "faas/registry.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "proc/process.hpp"
@@ -98,6 +99,7 @@ Uuid CloudService::submit(const Uuid& endpoint, const std::string& function,
   record.function = function;
   record.payload = std::move(payload);
   record.ready_stamp = ready;
+  record.trace = obs::current_context();
   queue->push(std::move(record));
   return task_id;
 }
@@ -200,6 +202,10 @@ void ComputeEndpoint::worker_loop() {
     Bytes output;
     std::string error;
     {
+      // The worker runs on its own thread: stitch into the submitter's
+      // trace via the context carried in the task record.
+      obs::ContextScope adopt(task->trace);
+      obs::SpanScope dispatch("faas.dispatch", task->function);
       obs::Timer timer(&exec_vtime, &exec_wall);
       try {
         const TaskFunction fn = FunctionRegistry::instance().lookup(

@@ -21,6 +21,7 @@
 #include "common/bytes.hpp"
 #include "common/queue.hpp"
 #include "common/uuid.hpp"
+#include "obs/context.hpp"
 #include "proc/world.hpp"
 #include "sim/resource.hpp"
 
@@ -47,6 +48,10 @@ struct TaskRecord {
   Bytes payload;
   /// Virtual time the task becomes available to the endpoint.
   double ready_stamp = 0.0;
+  /// Submitter's trace context: the worker adopts it so the dispatch span
+  /// parents to the submit span across the cloud hop (a thread boundary
+  /// thread-local context cannot cross).
+  obs::TraceContext trace{};
 };
 
 struct TaskResult {

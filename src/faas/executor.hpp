@@ -14,6 +14,7 @@
 #include "common/error.hpp"
 #include "common/uuid.hpp"
 #include "faas/cloud.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "serde/serde.hpp"
 #include "sim/vtime.hpp"
@@ -40,6 +41,7 @@ class TaskFuture {
   /// rethrows remote task errors as ps::Error. Records the task's
   /// submit-to-result round trip into "faas.rtt.vtime".
   Bytes get() {
+    obs::SpanScope span("faas.result");
     TaskResult result = cloud_->retrieve(task_);
     if (submit_vtime_ >= 0.0 && obs::enabled()) {
       detail::rtt_vtime_histogram().observe(sim::vnow() - submit_vtime_);
@@ -79,6 +81,9 @@ class Executor {
   TaskFuture submit(const std::string& function, Bytes payload) {
     if (obs::enabled()) detail::submits_counter().inc();
     const double submit_vtime = sim::vnow();
+    // The span is the thread's current context while cloud_->submit runs,
+    // so the task record carries it to the remote worker.
+    obs::SpanScope span("faas.submit", function);
     return TaskFuture(cloud_,
                       cloud_->submit(endpoint_, function, std::move(payload)),
                       submit_vtime);

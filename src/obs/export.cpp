@@ -1,0 +1,203 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ps::obs {
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Microseconds with nanosecond resolution — the unit of trace-event ts/dur.
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+void append_metadata(std::string& out, bool& first, int pid, int tid,
+                     const char* what, const std::string& label) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  if (tid >= 0) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += ",\"name\":\"";
+  out += what;
+  out += "\",\"args\":{\"name\":\"";
+  json_escape_into(out, label);
+  out += "\"}}";
+}
+
+void append_slice(std::string& out, bool& first, const SpanRecord& span,
+                  int pid, int tid, double start_s, double end_s) {
+  if (!first) out += ",\n";
+  first = false;
+  double dur = end_s - start_s;
+  if (dur < 0.0) dur = 0.0;
+  out += "{\"ph\":\"X\",\"cat\":\"span\",\"name\":\"";
+  json_escape_into(out, span.name);
+  out += "\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  out += fmt_us(start_s);
+  out += ",\"dur\":";
+  out += fmt_us(dur);
+  out += ",\"args\":{\"trace_id\":\"";
+  out += span.ctx.trace_id_hex();
+  out += "\",\"span_id\":";
+  out += std::to_string(span.ctx.span_id);
+  out += ",\"parent_span_id\":";
+  out += std::to_string(span.ctx.parent_span_id);
+  out += ",\"process\":\"";
+  json_escape_into(out, span.process);
+  out += "\",\"host\":\"";
+  json_escape_into(out, span.host);
+  out += "\",\"site\":\"";
+  json_escape_into(out, span.site);
+  if (!span.subject.empty()) {
+    out += "\",\"subject\":\"";
+    json_escape_into(out, span.subject);
+  }
+  out += "\"}}";
+}
+
+/// Prometheus metric name: `ps_` + name with every non-[a-zA-Z0-9_:] byte
+/// replaced by '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "ps_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const TraceRecorder& recorder) {
+  const std::vector<SpanRecord> spans = recorder.spans();
+
+  // Sites become Perfetto processes; each gets a virtual-time pid (1-based)
+  // and a wall-clock pid offset by 1000. Simulated processes become threads.
+  std::map<std::string, int> site_pid;
+  std::map<std::pair<std::string, std::string>, int> actor_tid;
+  for (const SpanRecord& span : spans) {
+    site_pid.emplace(span.site, 0);
+    actor_tid.emplace(std::make_pair(span.site, span.process), 0);
+  }
+  int next_pid = 1;
+  for (auto& [site, pid] : site_pid) pid = next_pid++;
+  int next_tid = 1;
+  for (auto& [actor, tid] : actor_tid) tid = next_tid++;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [site, pid] : site_pid) {
+    append_metadata(out, first, pid, -1, "process_name", site + " [vtime]");
+    append_metadata(out, first, pid + 1000, -1, "process_name",
+                    site + " [wall]");
+  }
+  for (const auto& [actor, tid] : actor_tid) {
+    const int pid = site_pid[actor.first];
+    append_metadata(out, first, pid, tid, "thread_name", actor.second);
+    append_metadata(out, first, pid + 1000, tid, "thread_name", actor.second);
+  }
+  for (const SpanRecord& span : spans) {
+    const int pid = site_pid[span.site];
+    const int tid = actor_tid[std::make_pair(span.site, span.process)];
+    append_slice(out, first, span, pid, tid, span.vtime_start, span.vtime_end);
+    append_slice(out, first, span, pid + 1000, tid, span.wall_start,
+                 span.wall_end);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_perfetto_trace(const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << perfetto_trace_json(TraceRecorder::global());
+  return static_cast<bool>(file);
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::string out;
+
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string prom = prom_name(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string prom = prom_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + fmt_double(value) + "\n";
+  }
+
+  for (const std::string& name : registry.histogram_names()) {
+    const Histogram* h = registry.find_histogram(name);
+    if (h == nullptr) continue;
+    const std::string prom = prom_name(name) + "_seconds";
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [le, n] : h->nonzero_buckets()) {
+      cumulative += n;
+      out += prom + "_bucket{le=\"" + fmt_double(le) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+    out += prom + "_sum " + fmt_double(h->sum()) + "\n";
+    out += prom + "_count " + std::to_string(h->count()) + "\n";
+  }
+
+  return out;
+}
+
+}  // namespace ps::obs

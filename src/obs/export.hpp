@@ -1,0 +1,40 @@
+// Exporters: Chrome trace-event (Perfetto) JSON and Prometheus text format.
+//
+// `perfetto_trace_json` renders TraceRecorder spans as a Chrome
+// trace-event file (the JSON format Perfetto's UI and chrome://tracing
+// load natively). Each simulated site becomes a Perfetto "process" and each
+// simulated process a "thread" within it, so the cross-site causal path of
+// one trace reads as slices spread across site-labelled tracks. Every span
+// is emitted twice: once on a virtual-time track (pid = 1 + site index,
+// what the simulator says the distributed timing was) and once on a
+// wall-clock track (pid = 1001 + site index, what the host actually spent).
+// Slice args carry trace_id/span_id/parent_span_id so causal edges survive
+// the export.
+//
+// `prometheus_text` renders a MetricsRegistry snapshot in the Prometheus
+// text exposition format (counters, gauges, and histograms with cumulative
+// `_bucket{le=...}` series), suitable for a textfile collector or diffing
+// in tests.
+#pragma once
+
+#include <string>
+
+namespace ps::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+/// Chrome trace-event JSON ({"displayTimeUnit":"ms","traceEvents":[...]})
+/// of all spans currently held by `recorder`.
+std::string perfetto_trace_json(const TraceRecorder& recorder);
+
+/// Writes perfetto_trace_json(TraceRecorder::global()) to `path`.
+/// Returns false if the file cannot be written.
+bool write_perfetto_trace(const std::string& path);
+
+/// Prometheus text exposition of every registered metric. Metric names are
+/// sanitized (dots -> underscores) and prefixed `ps_`; histograms are
+/// exported in seconds with a `_seconds` suffix.
+std::string prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace ps::obs

@@ -235,7 +235,17 @@ const Histogram* MetricsRegistry::find_histogram(
 
 std::string MetricsRegistry::dump_json() const {
   std::lock_guard lock(mu_);
-  std::string out = "{\"counters\":{";
+  // schema_version 2: adds this field plus the shared "bucket_bounds_s"
+  // array (all histogram bucket upper bounds, so per-histogram "buckets"
+  // [le, count] pairs can be mapped back to raw bucket indices).
+  std::string out = "{\"schema_version\":2,\"bucket_bounds_s\":[";
+  bool first_bound = true;
+  for (const double bound : Histogram::bounds()) {
+    if (!first_bound) out += ",";
+    first_bound = false;
+    out += fmt_double(bound);
+  }
+  out += "],\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
     if (!first) out += ",";

@@ -129,7 +129,8 @@ class MetricsRegistry {
   std::vector<std::string> histogram_names() const;
   const Histogram* find_histogram(const std::string& name) const;
 
-  /// Machine-readable export: {"counters": {...}, "gauges": {...},
+  /// Machine-readable export: {"schema_version": 2,
+  /// "bucket_bounds_s": [...], "counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum_s, mean_s, min_s, max_s, p50_s,
   /// p95_s, p99_s, buckets: [[le, n], ...]}}}.
   std::string dump_json() const;

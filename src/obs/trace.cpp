@@ -17,13 +17,19 @@ void TraceRecorder::record(const std::string& subject,
   TraceEvent e;
   e.subject = subject;
   e.name = event;
-  e.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           origin_)
-                 .count();
+  e.wall_s = wall_now();
   e.vtime_s = sim::vnow();
+  e.ctx = current_context();
   std::lock_guard lock(mu_);
   events_.push_back(std::move(e));
   while (events_.size() > capacity_) events_.pop_front();
+}
+
+void TraceRecorder::record_span(SpanRecord span) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  spans_.push_back(std::move(span));
+  while (spans_.size() > capacity_) spans_.pop_front();
 }
 
 std::vector<TraceEvent> TraceRecorder::timeline(
@@ -41,20 +47,38 @@ std::vector<TraceEvent> TraceRecorder::events() const {
   return {events_.begin(), events_.end()};
 }
 
+std::vector<SpanRecord> TraceRecorder::spans() const {
+  std::lock_guard lock(mu_);
+  return {spans_.begin(), spans_.end()};
+}
+
 std::size_t TraceRecorder::size() const {
   std::lock_guard lock(mu_);
   return events_.size();
 }
 
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
 void TraceRecorder::clear() {
   std::lock_guard lock(mu_);
   events_.clear();
+  spans_.clear();
 }
 
 void TraceRecorder::set_capacity(std::size_t capacity) {
   std::lock_guard lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   while (events_.size() > capacity_) events_.pop_front();
+  while (spans_.size() > capacity_) spans_.pop_front();
+}
+
+double TraceRecorder::wall_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       origin_)
+      .count();
 }
 
 std::string TraceRecorder::dump_json() const {

@@ -1,14 +1,25 @@
-// Proxy lifecycle tracing.
+// Proxy lifecycle tracing and distributed span collection.
 //
-// A TraceRecorder captures per-subject event timelines (a subject is a
-// "<store>/<key>" string minted when a proxy is created), each event stamped
-// with both wall time (steady-clock seconds since recorder construction) and
-// the recording thread's virtual time. Disabled by default: the hot-path cost
-// when off is one relaxed load. The Store and descriptor-factory resolve path
-// emit the canonical lifecycle — proxy.created -> factory.serialized ->
-// factory.deserialized -> resolve.start -> connector.get -> deserialize ->
-// cache.insert -> resolve.done — so `timeline()` reconstructs where a
-// resolve spent its time across processes.
+// A TraceRecorder captures two kinds of records:
+//   * instant events — per-subject lifecycle points (a subject is a
+//     "<store>/<key>" string minted when a proxy is created), each stamped
+//     with wall time (steady-clock seconds since recorder construction) and
+//     the recording thread's virtual time, plus the thread's active
+//     TraceContext so events attribute to the span they occurred under;
+//   * spans — closed [start, end] intervals produced by obs::SpanScope,
+//     carrying a full TraceContext (128-bit trace id, span id, parent span
+//     id) and the simulated locality (process/host/site) they executed in.
+//     Because the context rides on the wire (factory descriptors, FaaS task
+//     records, relay messages, endpoint requests), spans recorded in
+//     different simulated processes/sites stitch into one causal trace.
+//
+// Disabled by default: the hot-path cost when off is one relaxed load.
+// The Store and descriptor-factory resolve path emit the canonical
+// lifecycle — proxy.created -> factory.serialized -> factory.deserialized ->
+// resolve.start -> connector.get -> deserialize -> cache.insert ->
+// resolve.done — so `timeline()` reconstructs where a resolve spent its
+// time across processes, and obs/export.hpp renders spans() as a
+// Perfetto-loadable Chrome trace.
 #pragma once
 
 #include <atomic>
@@ -19,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/context.hpp"
+
 namespace ps::obs {
 
 struct TraceEvent {
@@ -26,6 +39,24 @@ struct TraceEvent {
   std::string name;     // e.g. "resolve.start"
   double wall_s = 0.0;  // steady seconds since the recorder's origin
   double vtime_s = 0.0;  // recording thread's sim::vnow()
+  /// The thread's active trace context at record time (invalid when the
+  /// event occurred outside any span).
+  TraceContext ctx;
+};
+
+/// One closed span: a named interval executed in one simulated locality,
+/// causally positioned by its TraceContext.
+struct SpanRecord {
+  TraceContext ctx;
+  std::string name;     // e.g. "faas.submit", "proxy.resolve"
+  std::string subject;  // optional "<store>/<key>" attribution
+  std::string process;  // simulated process the span ran in
+  std::string host;     // fabric host
+  std::string site;     // fabric site
+  double wall_start = 0.0;
+  double wall_end = 0.0;
+  double vtime_start = 0.0;
+  double vtime_end = 0.0;
 };
 
 class TraceRecorder {
@@ -41,14 +72,24 @@ class TraceRecorder {
   /// once the buffer exceeds capacity.
   void record(const std::string& subject, const std::string& event);
 
+  /// Appends a closed span (no-op while disabled). Oldest spans are
+  /// dropped once the buffer exceeds capacity.
+  void record_span(SpanRecord span);
+
   /// All events for one subject, in record order.
   std::vector<TraceEvent> timeline(const std::string& subject) const;
 
   std::vector<TraceEvent> events() const;
+  std::vector<SpanRecord> spans() const;
   std::size_t size() const;
+  std::size_t span_count() const;
   void clear();
 
   void set_capacity(std::size_t capacity);
+
+  /// Wall seconds since the recorder's origin (the clock span timestamps
+  /// are expressed in).
+  double wall_now() const;
 
   /// [{"subject": ..., "event": ..., "wall_s": ..., "vtime_s": ...}, ...]
   std::string dump_json() const;
@@ -57,6 +98,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::deque<TraceEvent> events_;
+  std::deque<SpanRecord> spans_;
   std::size_t capacity_ = 65536;
   std::chrono::steady_clock::time_point origin_ =
       std::chrono::steady_clock::now();

@@ -1,11 +1,30 @@
 #include "proc/process.hpp"
 
+#include "net/fabric.hpp"
+#include "obs/context.hpp"
 #include "proc/world.hpp"
 
 namespace ps::proc {
 
 namespace {
 thread_local Process* t_current = nullptr;
+
+// Teach the obs layer (which cannot link against proc) where spans execute.
+// This TU defines current_process(), referenced by every simulated actor, so
+// the initializer always runs before any span is recorded.
+[[maybe_unused]] const bool g_locality_provider_installed = [] {
+  obs::set_locality_provider([]() -> obs::SpanLocality {
+    Process& process = current_process();
+    std::string site;
+    try {
+      site = process.world().fabric().host(process.host()).site;
+    } catch (...) {
+      site = "?";
+    }
+    return obs::SpanLocality{process.name(), process.host(), site};
+  });
+  return true;
+}();
 }  // namespace
 
 Process::Process(std::string name, std::string host, World* world)

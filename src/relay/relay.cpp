@@ -1,6 +1,7 @@
 #include "relay/relay.hpp"
 
 #include "common/error.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "proc/process.hpp"
 #include "sim/vtime.hpp"
@@ -59,12 +60,23 @@ void RelayServer::forward(RelayMessage message) {
         obs::MetricsRegistry::global().counter("relay.forwarded");
     forwarded.inc();
   }
+  // The relay is its own actor: record the forward under the relay host's
+  // locality, not the calling endpoint's process.
+  obs::SpanScope span("relay.forward", message.kind);
+  std::string site;
+  try {
+    site = world_.fabric().host(host_).site;
+  } catch (...) {
+    site = "?";
+  }
+  span.set_locality({"relay", host_, site});
   // Two signaling legs: sender -> relay, relay -> target. Messages are
   // O(KB) session descriptions.
   const std::size_t bytes = message.payload.size() + 128;
   sim::vadvance(world_.fabric().transfer_time(sender.host, host_, bytes));
   sim::vadvance(world_.fabric().transfer_time(host_, target.host, bytes));
   message.stamp = sim::vnow();
+  message.trace = obs::current_context();
   target.handler(message);
 }
 

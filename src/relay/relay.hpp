@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/uuid.hpp"
+#include "obs/context.hpp"
 #include "proc/world.hpp"
 
 namespace ps::relay {
@@ -30,6 +31,10 @@ struct RelayMessage {
   std::string payload;
   /// Virtual arrival time at the receiving endpoint.
   double stamp = 0.0;
+  /// Trace context stamped by the relay on forward: the receiving
+  /// endpoint's handler adopts it so its spans stitch into the sender's
+  /// trace through the relay hop.
+  obs::TraceContext trace{};
 };
 
 class RelayServer {

@@ -35,7 +35,8 @@ double RpcServer::service_time(std::size_t bytes) const {
 }
 
 std::pair<Bytes, double> RpcServer::handle(const std::string& op,
-                                           BytesView request, double arrival) {
+                                           BytesView request, double arrival,
+                                           obs::TraceContext ctx) {
   Handler handler;
   {
     std::lock_guard lock(mu_);
@@ -45,6 +46,8 @@ std::pair<Bytes, double> RpcServer::handle(const std::string& op,
     }
     handler = it->second;
   }
+  obs::ContextScope adopt(ctx);
+  obs::SpanScope span("rpc.handle", op);
   Bytes response = handler(request);
   const double done = queue_.schedule(
       arrival, service_time(request.size() + response.size()));
@@ -61,10 +64,12 @@ Bytes RpcClient::call(const std::string& op, BytesView request) {
   const std::string& there = server_->host();
   const TransportProfile& transport = server_->transport();
 
+  obs::SpanScope span("rpc.call", op);
   const double arrival =
       sim::vnow() +
       transport.transfer_time(world.fabric(), here, there, request.size());
-  auto [response, done] = server_->handle(op, request, arrival);
+  auto [response, done] =
+      server_->handle(op, request, arrival, obs::current_context());
   sim::vset(done + transport.transfer_time(world.fabric(), there, here,
                                            response.size()));
   return std::move(response);

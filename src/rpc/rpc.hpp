@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "obs/context.hpp"
 #include "proc/world.hpp"
 #include "rpc/transport.hpp"
 #include "sim/resource.hpp"
@@ -35,8 +36,11 @@ class RpcServer {
 
   /// Invoked by RpcClient: runs the handler. `arrival` is the request's
   /// virtual arrival time; returns (response, virtual completion time).
+  /// `ctx` is the caller's trace context carried in the request header: the
+  /// server adopts it so its handler span joins the caller's trace.
   std::pair<Bytes, double> handle(const std::string& op, BytesView request,
-                                  double arrival);
+                                  double arrival,
+                                  obs::TraceContext ctx = {});
 
   const std::string& host() const { return host_; }
   const TransportProfile& transport() const { return transport_; }

@@ -15,16 +15,28 @@
 #include <variant>
 #include <vector>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
+#include "connectors/endpoint.hpp"
 #include "connectors/local.hpp"
 #include "core/instrumented.hpp"
 #include "core/proxy.hpp"
 #include "core/store.hpp"
+#include "endpoint/endpoint.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "obs/context.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "proc/world.hpp"
+#include "relay/relay.hpp"
 #include "serde/serde.hpp"
 #include "sim/vtime.hpp"
 
@@ -553,6 +565,292 @@ TEST(TraceCapacity, OldestEventsDropWhenFull) {
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().name, "event-6");
   EXPECT_EQ(events.back().name, "event-9");
+}
+
+// ------------------------------------------------- distributed tracing ----
+
+TEST(TraceContextTest, ChildLinksAndSerdeRoundTrip) {
+  const TraceContext root = new_root_context();
+  EXPECT_TRUE(root.valid());
+  EXPECT_NE(root.span_id, 0u);
+  EXPECT_EQ(root.parent_span_id, 0u);
+
+  const TraceContext child = child_of(root);
+  EXPECT_EQ(child.trace_hi, root.trace_hi);
+  EXPECT_EQ(child.trace_lo, root.trace_lo);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_EQ(child.trace_id_hex(), root.trace_id_hex());
+  EXPECT_EQ(child.trace_id_hex().size(), 32u);
+
+  const auto decoded = serde::from_bytes<TraceContext>(serde::to_bytes(child));
+  EXPECT_EQ(decoded, child);
+
+  // The invalid (zero) context survives the wire too and stays invalid, so
+  // receivers of untraced messages can adopt unconditionally.
+  const auto none =
+      serde::from_bytes<TraceContext>(serde::to_bytes(TraceContext{}));
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(none, TraceContext{});
+}
+
+TEST_F(ObsStoreTest, TraceContextSurvivesFactoryEncodeDecode) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  Bytes wire;
+  TraceContext created;
+  {
+    proc::ProcessScope scope(*producer_);
+    auto store = std::make_shared<Store>(
+        "obs-ctx", std::make_shared<LocalConnector>());
+    core::register_store(store, /*overwrite=*/true);
+    Proxy<std::string> p = store->proxy(std::string("ctx"));
+    ASSERT_TRUE(p.factory().descriptor().has_value());
+    created = p.factory().descriptor()->trace;
+    EXPECT_TRUE(created.valid());  // minted by the store.proxy span
+    wire = serde::to_bytes(p);
+  }
+  {
+    proc::ProcessScope scope(*consumer_);
+    auto p = serde::from_bytes<Proxy<std::string>>(wire);
+    ASSERT_TRUE(p.factory().descriptor().has_value());
+    // The context crossed the process boundary byte-identical.
+    EXPECT_EQ(p.factory().descriptor()->trace, created);
+    EXPECT_EQ(*p, "ctx");
+  }
+
+  // The remote resolve adopted the carried context: its span is a child of
+  // the store.proxy span, in the same trace, despite running in another
+  // simulated process.
+  bool found_resolve = false;
+  for (const SpanRecord& span : recorder.spans()) {
+    if (span.name != "proxy.resolve") continue;
+    found_resolve = true;
+    EXPECT_EQ(span.ctx.trace_hi, created.trace_hi);
+    EXPECT_EQ(span.ctx.trace_lo, created.trace_lo);
+    EXPECT_EQ(span.ctx.parent_span_id, created.span_id);
+    EXPECT_EQ(span.process, "consumer");
+    EXPECT_EQ(span.site, "site-b");
+  }
+  EXPECT_TRUE(found_resolve);
+
+  recorder.set_enabled(false);
+  recorder.clear();
+  core::unregister_store("obs-ctx");
+}
+
+TEST(DistributedTrace, CrossSiteFaasRoundTripIsOneCausalTrace) {
+  proc::World world;
+  net::Fabric& fabric = world.fabric();
+  fabric.add_site("alcf", net::hpc_interconnect(10e-6, 10e9));
+  fabric.add_site("uchicago", net::hpc_interconnect(10e-6, 10e9));
+  fabric.add_site("aws", net::hpc_interconnect(50e-6, 10e9));
+  fabric.connect_sites("alcf", "uchicago", net::wan_tcp(20e-3, 1e9));
+  fabric.connect_sites("alcf", "aws", net::wan_tcp(35e-3, 0.6e9));
+  fabric.connect_sites("uchicago", "aws", net::wan_tcp(35e-3, 0.6e9));
+  fabric.add_host("client-host", "alcf");
+  fabric.add_host("task-host", "uchicago");
+  fabric.add_host("cloud-host", "aws");
+
+  proc::Process& client = world.spawn("trace-client", "client-host");
+  proc::Process& worker = world.spawn("trace-worker", "task-host");
+
+  faas::FunctionRegistry::instance().register_function(
+      "obs-trace-task", [](BytesView request) {
+        auto proxy = serde::from_bytes<Proxy<Bytes>>(request);
+        return serde::to_bytes<std::uint64_t>(proxy->size());
+      });
+
+  auto cloud = faas::CloudService::start(world, "cloud-host");
+  faas::ComputeEndpoint gc_endpoint(cloud, worker);
+  relay::RelayServer::start(world, "cloud-host", "obs-trace-relay");
+  auto ep_client =
+      endpoint::Endpoint::start(world, "client-host", "obs-ep-client",
+                                "relay://cloud-host/obs-trace-relay");
+  auto ep_task =
+      endpoint::Endpoint::start(world, "task-host", "obs-ep-task",
+                                "relay://cloud-host/obs-trace-relay");
+
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  TraceContext root_ctx;
+  {
+    proc::ProcessScope scope(client);
+    auto store = std::make_shared<Store>(
+        "obs-trace-faas",
+        std::make_shared<connectors::EndpointConnector>(
+            std::vector<std::string>{
+                endpoint::endpoint_address("client-host", "obs-ep-client"),
+                endpoint::endpoint_address("task-host", "obs-ep-task")}));
+    core::register_store(store, /*overwrite=*/true);
+    // One explicit root ties proxy creation, FaaS submit, relay forwards,
+    // worker dispatch, and the remote resolve into a single trace.
+    SpanScope root("test.round_trip");
+    root_ctx = root.context();
+    ASSERT_TRUE(root_ctx.valid());
+    Proxy<Bytes> proxy = store->proxy(Bytes(4096, 'x'));
+    faas::Executor executor(cloud, gc_endpoint.uuid());
+    faas::TaskFuture future =
+        executor.submit("obs-trace-task", serde::to_bytes(proxy));
+    EXPECT_EQ(serde::from_bytes<std::uint64_t>(future.get()), 4096u);
+  }
+  gc_endpoint.stop();  // joins the worker threads: all spans are recorded
+  recorder.set_enabled(false);
+
+  const std::vector<SpanRecord> spans = recorder.spans();
+  ASSERT_FALSE(spans.empty());
+
+  std::set<std::string> trace_ids;
+  std::set<std::string> sites;
+  std::map<std::uint64_t, const SpanRecord*> by_span_id;
+  std::map<std::string, int> name_counts;
+  for (const SpanRecord& span : spans) {
+    trace_ids.insert(span.ctx.trace_id_hex());
+    sites.insert(span.site);
+    EXPECT_TRUE(by_span_id.emplace(span.ctx.span_id, &span).second)
+        << "duplicate span id for " << span.name;
+    ++name_counts[span.name];
+  }
+
+  // Acceptance criterion: one trace id, spanning at least two simulated
+  // sites, with the whole causal path present.
+  EXPECT_EQ(trace_ids.size(), 1u);
+  EXPECT_EQ(*trace_ids.begin(), root_ctx.trace_id_hex());
+  EXPECT_GE(sites.size(), 2u);
+  EXPECT_TRUE(sites.contains("alcf"));
+  EXPECT_TRUE(sites.contains("uchicago"));
+  for (const char* required :
+       {"test.round_trip", "store.proxy", "faas.submit", "relay.forward",
+        "faas.dispatch", "proxy.resolve", "faas.result"}) {
+    EXPECT_GE(name_counts[required], 1) << "missing span " << required;
+  }
+
+  // Exactly one root; every other span's parent was itself recorded (no
+  // orphans), so the trace forms a single tree.
+  int roots = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.ctx.parent_span_id == 0) {
+      ++roots;
+      EXPECT_EQ(span.name, "test.round_trip");
+      continue;
+    }
+    const auto parent = by_span_id.find(span.ctx.parent_span_id);
+    ASSERT_NE(parent, by_span_id.end()) << "orphan span " << span.name;
+    EXPECT_EQ(parent->second->ctx.trace_id_hex(), span.ctx.trace_id_hex());
+  }
+  EXPECT_EQ(roots, 1);
+
+  // Cross-boundary parent/child links: the worker-side dispatch span hangs
+  // under the client-side submit span (context carried by the task record),
+  // and the remote resolve under the proxy-creation span (context carried
+  // by the factory descriptor).
+  const auto parent_name = [&by_span_id](const SpanRecord& span) {
+    const auto it = by_span_id.find(span.ctx.parent_span_id);
+    return it == by_span_id.end() ? std::string() : it->second->name;
+  };
+  for (const SpanRecord& span : spans) {
+    if (span.name == "faas.dispatch") {
+      EXPECT_EQ(parent_name(span), "faas.submit");
+      EXPECT_EQ(span.site, "uchicago");
+    }
+    if (span.name == "proxy.resolve") {
+      EXPECT_EQ(parent_name(span), "store.proxy");
+      EXPECT_EQ(span.site, "uchicago");
+    }
+    if (span.name == "faas.submit" || span.name == "store.proxy") {
+      EXPECT_EQ(parent_name(span), "test.round_trip");
+      EXPECT_EQ(span.site, "alcf");
+    }
+  }
+
+  recorder.clear();
+  core::unregister_store("obs-trace-faas");
+}
+
+TEST(PerfettoExport, EmittedFileParsesAsChromeTraceEvents) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+  {
+    SpanScope outer("export.outer", "subject-1");
+    sim::vadvance(0.010);
+    SpanScope inner("export.inner");
+    inner.set_locality({"relay", "relay-host", "relay-site"});
+    sim::vadvance(0.005);
+  }
+  recorder.set_enabled(false);
+  ASSERT_EQ(recorder.span_count(), 2u);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ps_obs_trace_test.json")
+          .string();
+  ASSERT_TRUE(write_perfetto_trace(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_EQ(text, perfetto_trace_json(recorder));
+
+  // Re-parse the emitted file: it must load as a Chrome trace-event JSON
+  // object, the format ui.perfetto.dev and chrome://tracing open natively.
+  JsonValue root = JsonReader(text).parse();
+  EXPECT_EQ(std::get<std::string>(root.at("displayTimeUnit").v), "ms");
+  const std::vector<JsonValue>& events = root.at("traceEvents").arr();
+  std::size_t metadata = 0;
+  std::size_t slices = 0;
+  std::set<std::string> slice_names;
+  std::set<double> pids;
+  for (const JsonValue& event : events) {
+    const std::string ph = std::get<std::string>(event.at("ph").v);
+    ASSERT_TRUE(ph == "M" || ph == "X") << "unexpected phase " << ph;
+    EXPECT_TRUE(event.has("pid"));
+    EXPECT_TRUE(event.has("name"));
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ++slices;
+    pids.insert(event.at("pid").num());
+    slice_names.insert(std::get<std::string>(event.at("name").v));
+    EXPECT_GE(event.at("ts").num(), 0.0);
+    EXPECT_GE(event.at("dur").num(), 0.0);
+    const JsonValue& args = event.at("args");
+    EXPECT_EQ(std::get<std::string>(args.at("trace_id").v).size(), 32u);
+    EXPECT_GT(args.at("span_id").num(), 0.0);
+    EXPECT_TRUE(args.has("parent_span_id"));
+    EXPECT_TRUE(args.has("process"));
+    EXPECT_TRUE(args.has("site"));
+  }
+  // Each span is emitted twice — a virtual-time slice and a wall-clock
+  // slice — on distinct Perfetto "process" tracks.
+  EXPECT_EQ(slices, 4u);
+  EXPECT_EQ(slice_names, (std::set<std::string>{"export.outer",
+                                                "export.inner"}));
+  EXPECT_GE(pids.size(), 2u);
+  // process_name + thread_name metadata exist for every track.
+  EXPECT_GE(metadata, 4u);
+
+  // The virtual-time slices carry the simulated durations (microseconds):
+  // outer spans the full 15 ms, inner the nested 5 ms.
+  double outer_vdur = 0.0;
+  double inner_vdur = 0.0;
+  for (const JsonValue& event : events) {
+    if (std::get<std::string>(event.at("ph").v) != "X") continue;
+    if (event.at("pid").num() >= 1000) continue;  // wall-clock track
+    const std::string name = std::get<std::string>(event.at("name").v);
+    if (name == "export.outer") outer_vdur = event.at("dur").num();
+    if (name == "export.inner") inner_vdur = event.at("dur").num();
+  }
+  EXPECT_NEAR(outer_vdur, 15000.0, 1.0);
+  EXPECT_NEAR(inner_vdur, 5000.0, 1.0);
+
+  recorder.clear();
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full local CI pass:
+#   1. tier-1: configure + build + the complete ctest suite;
+#   2. tier-2: TSan build (-DPS_SANITIZE=thread) running the
+#      concurrency-sensitive tests (`ctest -L tier2`);
+#   3. smoke: `psctl trace export` must produce a loadable Chrome
+#      trace-event JSON artifact and `psctl metrics --prom` a Prometheus
+#      snapshot.
+#
+# Usage: tools/ci.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "==> tier-1: build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${SKIP_TSAN}" == "0" ]]; then
+  echo "==> tier-2: ThreadSanitizer build + concurrency suite"
+  cmake -B build-tsan -S . -DPS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}"
+  (cd build-tsan && ctest -L tier2 --output-on-failure -j "${JOBS}")
+else
+  echo "==> tier-2: skipped (--skip-tsan)"
+fi
+
+echo "==> smoke: psctl trace export + prometheus snapshot"
+TRACE_OUT="$(mktemp -t ps-ci-trace-XXXXXX.json)"
+trap 'rm -f "${TRACE_OUT}"' EXIT
+./build/tools/psctl trace export "${TRACE_OUT}"
+grep -q '"traceEvents"' "${TRACE_OUT}"
+grep -q '"ph":"X"' "${TRACE_OUT}"
+./build/tools/psctl metrics --prom | grep -q '^# TYPE ps_'
+
+echo "==> CI pass complete"

@@ -10,15 +10,22 @@
 //   psctl handshake <siteA-host> <siteB-host>
 //                                 walk the Figure 4 peer handshake between
 //                                 two fresh PS-endpoints and report costs
-//   psctl metrics [--json]        run an instrumented demo workload and dump
+//   psctl metrics [--json|--prom] run an instrumented demo workload and dump
 //                                 the metrics registry (table + one proxy
-//                                 lifecycle timeline, or JSON with --json)
+//                                 lifecycle timeline; JSON with --json;
+//                                 Prometheus text format with --prom)
+//   psctl trace export <file>     run a fig5-style cross-site FaaS round trip
+//                                 with distributed tracing on and write the
+//                                 stitched trace as Chrome trace-event JSON
+//                                 (open in https://ui.perfetto.dev)
 #include <cstdio>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "connectors/endpoint.hpp"
 #include "connectors/file.hpp"
 #include "connectors/local.hpp"
 #include "core/connector.hpp"
@@ -26,6 +33,11 @@
 #include "core/proxy.hpp"
 #include "core/store.hpp"
 #include "endpoint/endpoint.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "obs/context.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "relay/relay.hpp"
@@ -40,7 +52,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics> [args...]\n");
+               "metrics|trace> [args...]\n"
+               "       psctl metrics [--json|--prom]\n"
+               "       psctl trace export <file>\n");
   return 2;
 }
 
@@ -125,10 +139,81 @@ int cmd_handshake(testbed::Testbed& tb, const std::string& host_a,
   return 0;
 }
 
+// Runs one fig5-style FaaS round trip across two sites with distributed
+// tracing on — proxy minted at the client against an EndpointStore, task
+// submitted through the cloud, the remote worker resolving the proxy back
+// through peered PS-endpoints (relay handshake included) — then writes all
+// recorded spans as a Chrome trace-event / Perfetto JSON file.
+int cmd_trace_export(testbed::Testbed& tb, const std::string& path) {
+  obs::set_enabled(true);
+  obs::TraceRecorder::global().set_enabled(true);
+
+  faas::FunctionRegistry::instance().register_function(
+      "psctl-trace-task", [](BytesView request) {
+        auto proxy = serde::from_bytes<core::Proxy<Bytes>>(request);
+        return serde::to_bytes<std::uint64_t>(proxy->size());
+      });
+
+  const std::string& client_host = tb.theta_compute0;  // site ALCF
+  const std::string& task_host = tb.midway_login;      // site UChicago
+  proc::Process& client = tb.world->spawn("psctl-client", client_host);
+  proc::Process& worker = tb.world->spawn("psctl-gc-endpoint", task_host);
+
+  auto cloud = faas::CloudService::start(*tb.world, tb.cloud);
+  faas::ComputeEndpoint gc_endpoint(cloud, worker);
+
+  relay::RelayServer::start(*tb.world, tb.relay_host, "psctl-trace");
+  auto ep_client = endpoint::Endpoint::start(
+      *tb.world, client_host, "psctl-ep-client",
+      "relay://" + tb.relay_host + "/psctl-trace");
+  auto ep_task = endpoint::Endpoint::start(
+      *tb.world, task_host, "psctl-ep-task",
+      "relay://" + tb.relay_host + "/psctl-trace");
+
+  {
+    proc::ProcessScope scope(client);
+    auto store = std::make_shared<core::Store>(
+        "psctl-trace",
+        std::make_shared<connectors::EndpointConnector>(
+            std::vector<std::string>{
+                endpoint::endpoint_address(client_host, "psctl-ep-client"),
+                endpoint::endpoint_address(task_host, "psctl-ep-task")}));
+    core::register_store(store, /*overwrite=*/true);
+    // One root span ties the whole round trip into a single trace.
+    obs::SpanScope root("psctl.round_trip");
+    core::Proxy<Bytes> proxy = store->proxy(Bytes(1 << 20, 'x'));
+    faas::Executor executor(cloud, gc_endpoint.uuid());
+    auto future = executor.submit("psctl-trace-task", serde::to_bytes(proxy));
+    const auto resolved_size = serde::from_bytes<std::uint64_t>(future.get());
+    if (resolved_size != (1u << 20)) {
+      std::fprintf(stderr, "psctl: trace demo task returned wrong size\n");
+      return 1;
+    }
+  }
+  gc_endpoint.stop();
+
+  if (!obs::write_perfetto_trace(path)) {
+    std::fprintf(stderr, "psctl: cannot write trace to '%s'\n", path.c_str());
+    return 1;
+  }
+  const auto spans = obs::TraceRecorder::global().spans();
+  std::set<std::string> traces;
+  std::set<std::string> sites;
+  for (const obs::SpanRecord& span : spans) {
+    traces.insert(span.ctx.trace_id_hex());
+    sites.insert(span.site);
+  }
+  std::printf("wrote %zu spans (%zu trace%s, %zu site%s) to %s\n",
+              spans.size(), traces.size(), traces.size() == 1 ? "" : "s",
+              sites.size(), sites.size() == 1 ? "" : "s", path.c_str());
+  std::printf("open in https://ui.perfetto.dev or chrome://tracing\n");
+  return 0;
+}
+
 // Exercises instrumented local- and file-connector stores (puts, gets,
 // exists, a cross-process proxy resolve) so the registry and trace recorder
 // have something to show, then dumps them.
-int cmd_metrics(testbed::Testbed& tb, bool json) {
+int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
   obs::set_enabled(true);
   obs::TraceRecorder::global().set_enabled(true);
 
@@ -185,6 +270,11 @@ int cmd_metrics(testbed::Testbed& tb, bool json) {
     std::printf("%s\n", obs::MetricsRegistry::global().dump_json().c_str());
     return 0;
   }
+  if (prom) {
+    std::printf("%s",
+                obs::prometheus_text(obs::MetricsRegistry::global()).c_str());
+    return 0;
+  }
 
   std::printf("%s", obs::MetricsRegistry::global().dump_table().c_str());
   std::printf("\nproxy lifecycle (%s):\n", subject.c_str());
@@ -215,8 +305,12 @@ int main(int argc, char** argv) {
       return cmd_handshake(tb, argv[2], argv[3]);
     }
     if (command == "metrics") {
-      const bool json = argc >= 3 && std::string(argv[2]) == "--json";
-      return cmd_metrics(tb, json);
+      const std::string flag = argc >= 3 ? argv[2] : "";
+      return cmd_metrics(tb, flag == "--json", flag == "--prom");
+    }
+    if (command == "trace" && argc == 4 &&
+        std::string(argv[2]) == "export") {
+      return cmd_trace_export(tb, argv[3]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psctl: %s\n", e.what());

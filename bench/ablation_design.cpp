@@ -32,7 +32,9 @@ using namespace ps;
 namespace fs = std::filesystem;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ps::bench::Args args =
+      ps::bench::parse_args("ablation_design", argc, argv);
   testbed::Testbed tb = testbed::build();
   proc::Process& client = tb.world->spawn("client", tb.midway_login);
   proc::Process& remote = tb.world->spawn("remote", tb.theta_login);
@@ -50,6 +52,8 @@ int main() {
     const double t = endpoint::data_channel_time(
         tb.world->fabric(), tb.midway_login, tb.theta_login, 100'000'000,
         options);
+    ps::bench::series("ablation1." + std::to_string(channels) + "ch")
+        .observe(t);
     char speedup[16];
     std::snprintf(speedup, sizeof(speedup), "%.2fx", single / t);
     ps::bench::print_row({std::to_string(channels),
@@ -101,6 +105,10 @@ int main() {
         for (auto& proxy : proxies) proxy.resolve();
         batched = vt.elapsed();
       }
+      ps::bench::series("ablation2." + std::to_string(n) + ".per_object")
+          .observe(individual);
+      ps::bench::series("ablation2." + std::to_string(n) + ".batch")
+          .observe(batched);
       char speedup[16];
       std::snprintf(speedup, sizeof(speedup), "%.1fx", individual / batched);
       ps::bench::print_row({std::to_string(n),
@@ -134,11 +142,16 @@ int main() {
     for (int round = 1; round <= 3; ++round) {
       sim::VtimeScope cold;
       cold_store->get<Bytes>(cold_key);
+      const double cold_s = cold.elapsed();
       sim::VtimeScope warm;
       warm_store->get<Bytes>(warm_key);
+      const double warm_s = warm.elapsed();
+      const std::string cell = "ablation3.round" + std::to_string(round);
+      ps::bench::series(cell + ".cache_off").observe(cold_s);
+      ps::bench::series(cell + ".cache_on").observe(warm_s);
       ps::bench::print_row({std::to_string(round),
-                            ps::bench::fmt_seconds(cold.elapsed()),
-                            ps::bench::fmt_seconds(warm.elapsed())});
+                            ps::bench::fmt_seconds(cold_s),
+                            ps::bench::fmt_seconds(warm_s)});
     }
   }
 
@@ -185,10 +198,15 @@ int main() {
         proxy.await_async();
         async_time = vt.elapsed();
       }
+      ps::bench::series("ablation4." + std::to_string(size) + ".sync")
+          .observe(sync_time);
+      ps::bench::series("ablation4." + std::to_string(size) + ".async")
+          .observe(async_time);
       ps::bench::print_row({ps::bench::fmt_size(size),
                             ps::bench::fmt_seconds(sync_time),
                             ps::bench::fmt_seconds(async_time)});
     }
   }
+  ps::bench::finish(args);
   return 0;
 }

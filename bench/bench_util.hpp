@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,25 +20,79 @@
 #include "common/stats.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 
 namespace ps::bench {
 
-/// Parses an optional `--trace <file>` flag: when present, enables the
-/// distributed trace recorder and returns the output path (empty string
-/// otherwise). Call once at the top of main().
-inline std::string init_trace(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--trace") {
-      obs::TraceRecorder::global().set_enabled(true);
-      return argv[i + 1];
+/// The flags every figure/table harness shares. Parsed once by
+/// parse_args(); the same struct also names the bench for the JSON
+/// reporter, so main() ends with a single finish(args) call.
+struct Args {
+  std::string bench_name;
+  std::string trace_path;       // --trace <file>: Perfetto span export
+  std::string json_path;        // --json <file>: BENCH_<name>.json artifact
+  std::uint64_t seed = ps::Stats::kDefaultSeed;  // --seed <n>
+  int reps = 0;                 // --reps <n>; 0 keeps the bench default
+  std::size_t max_size = 0;     // --max-size <bytes|1MB>; 0 = uncapped
+
+  int reps_or(int fallback) const { return reps > 0 ? reps : fallback; }
+
+  /// Drops payload sizes above --max-size (all of them when uncapped).
+  std::vector<std::size_t> cap(std::vector<std::size_t> sizes) const {
+    if (max_size == 0) return sizes;
+    std::vector<std::size_t> kept;
+    for (const std::size_t size : sizes) {
+      if (size <= max_size) kept.push_back(size);
+    }
+    return kept;
+  }
+};
+
+/// Per-series metadata registered by series(): measurement clock + units,
+/// consumed by finish() when assembling the JSON artifact.
+inline std::map<std::string, obs::SeriesMeta>& series_meta() {
+  static std::map<std::string, obs::SeriesMeta> meta;
+  return meta;
+}
+
+/// Parses the shared bench flags, enables metrics instrumentation, and —
+/// when --trace or --json asks for an artifact — the span recorder (the
+/// profile section of the JSON artifact is derived from recorded spans).
+/// Call once at the top of main().
+inline Args parse_args(const std::string& bench_name, int argc, char** argv) {
+  Args args;
+  args.bench_name = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (flag == "--trace" && has_value) {
+      args.trace_path = argv[++i];
+    } else if (flag == "--json" && has_value) {
+      args.json_path = argv[++i];
+    } else if (flag == "--seed" && has_value) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--reps" && has_value) {
+      args.reps = std::atoi(argv[++i]);
+    } else if (flag == "--max-size" && has_value) {
+      args.max_size = parse_size(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--json out.json] "
+                   "[--seed n] [--reps n] [--max-size 1MB]\n",
+                   bench_name.c_str());
+      std::exit(2);
     }
   }
-  return {};
+  obs::set_enabled(true);
+  if (!args.trace_path.empty() || !args.json_path.empty()) {
+    obs::TraceRecorder::global().set_enabled(true);
+  }
+  return args;
 }
 
 /// Writes the recorded spans as a Chrome trace-event / Perfetto JSON
-/// artifact when init_trace() returned a path. Call once before exiting.
+/// artifact when --trace gave a path.
 inline void finish_trace(const std::string& path) {
   if (path.empty()) return;
   if (!obs::write_perfetto_trace(path)) {
@@ -47,10 +103,35 @@ inline void finish_trace(const std::string& path) {
               obs::TraceRecorder::global().span_count(), path.c_str());
 }
 
-/// Named measurement series in the process-wide registry. Call
-/// obs::set_enabled(true) once at bench startup so store/connector
-/// instrumentation along the measured path records too.
-inline obs::Histogram& series(const std::string& name) {
+/// Emits the end-of-run artifacts parse_args() was asked for: the Perfetto
+/// trace (--trace) and the machine-readable BENCH_<name>.json (--json) with
+/// per-series statistics plus the top profile nodes. Call once before
+/// returning from main().
+inline void finish(const Args& args) {
+  finish_trace(args.trace_path);
+  if (args.json_path.empty()) return;
+  const obs::BenchArtifact artifact = obs::collect_bench_artifact(
+      args.bench_name, args.seed, series_meta(), /*profile_top_n=*/10);
+  if (!obs::write_bench_artifact(args.json_path, artifact)) {
+    std::fprintf(stderr, "bench: cannot write artifact to '%s'\n",
+                 args.json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nbench: wrote %zu series + %zu profile nodes to %s\n",
+              artifact.series.size(), artifact.profile_top.size(),
+              args.json_path.c_str());
+}
+
+/// Named measurement series in the process-wide registry; `kind` declares
+/// the clock the series is measured in ("vtime" series are deterministic
+/// and diffed exactly by `psctl bench diff`; "wall" series get a noise
+/// tolerance), `units` the sample unit ("s", or "ratio" for fractions).
+/// Call obs::set_enabled(true) (parse_args does) once at bench startup so
+/// store/connector instrumentation along the measured path records too.
+inline obs::Histogram& series(const std::string& name,
+                              const std::string& kind = "vtime",
+                              const std::string& units = "s") {
+  series_meta().emplace(name, obs::SeriesMeta{kind, units});
   return obs::MetricsRegistry::global().histogram(name);
 }
 

@@ -18,7 +18,8 @@ namespace {
 using namespace ps;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ps::bench::Args args = ps::bench::parse_args("fig10_fl", argc, argv);
   testbed::Testbed tb = testbed::build();
   proc::Process& aggregator = tb.world->spawn("aggregator", tb.theta_login);
   auto cloud = faas::CloudService::start(*tb.world, tb.cloud);
@@ -74,11 +75,16 @@ int main() {
     const apps::FlReport proxied =
         apps::run_federated_learning(aggregator, devices, store, config);
 
+    const std::string cell = "fig10." + std::to_string(blocks) + "blocks";
+    ps::bench::series(cell + ".proxied")
+        .observe(proxied.transfer_time.mean());
     std::string baseline_cell;
     std::string reduction_cell = "-";
     if (baseline.failed_rounds > 0) {
       baseline_cell = "fails (>5 MB)";
     } else {
+      ps::bench::series(cell + ".baseline")
+          .observe(baseline.transfer_time.mean());
       baseline_cell = ps::bench::fmt_seconds(baseline.transfer_time.mean());
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.0f%%",
@@ -94,5 +100,6 @@ int main() {
                           reduction_cell});
   }
   for (auto& device : devices) device.endpoint->stop();
+  ps::bench::finish(args);
   return 0;
 }

@@ -56,7 +56,9 @@ std::shared_ptr<core::Store> make_multi_store(testbed::Testbed& tb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig11_moldesign", argc, argv);
   ps::bench::print_header(
       "Fig 11: molecular design node utilization vs simulation nodes "
       "(Thinker on Theta login; ML tasks on a remote NAT'd GPU)");
@@ -94,6 +96,15 @@ int main() {
       proxied = apps::run_molecular_design(sim_proc, &gpu_proc, config);
     }
 
+    const std::string cell = "fig11." + std::to_string(nodes) + "nodes";
+    ps::bench::series(cell + ".baseline_util", "vtime", "ratio")
+        .observe(baseline.node_utilization);
+    ps::bench::series(cell + ".proxied_util", "vtime", "ratio")
+        .observe(proxied.node_utilization);
+    ps::bench::series(cell + ".baseline_result_proc")
+        .observe(baseline.result_processing.mean());
+    ps::bench::series(cell + ".proxied_result_proc")
+        .observe(proxied.result_processing.mean());
     char util_base[16], util_ps[16], improvement[16], proc_base[24],
         proc_ps[24];
     std::snprintf(util_base, sizeof(util_base), "%.0f%%",
@@ -113,5 +124,6 @@ int main() {
     ps::bench::print_row({std::to_string(nodes), util_base, util_ps,
                           improvement, proc_base, proc_ps});
   }
+  ps::bench::finish(args);
   return 0;
 }

@@ -19,7 +19,8 @@ using namespace ps;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace_path = ps::bench::init_trace(argc, argv);
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig4_handshake", argc, argv);
   testbed::Testbed tb = testbed::build();
   auto relay = relay::RelayServer::start(*tb.world, tb.relay_host,
                                          "fig4-relay");
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
                                          .endpoint_id = ep_b->uuid(),
                                          .data = {}});
   const double total = handshake.elapsed();
+  ps::bench::series("fig4.handshake").observe(total);
 
   ps::bench::print_row({"step", "message", "path"}, 24);
   ps::bench::print_row({"(1)+(2)", "SDP offer", "A -> relay -> B"}, 24);
@@ -74,8 +76,9 @@ int main(int argc, char** argv) {
                                          .object_id = "probe",
                                          .endpoint_id = ep_b->uuid(),
                                          .data = {}});
+  ps::bench::series("fig4.warm").observe(warm.elapsed());
   std::printf("subsequent request over the kept-alive connection: %s\n",
-              ps::bench::fmt_seconds(warm.elapsed()).c_str());
+              ps::bench::fmt_series("fig4.warm").c_str());
 
   // Connection recovery ("the connection is re-established if lost").
   ep_a->drop_peer(ep_b->uuid());
@@ -85,8 +88,9 @@ int main(int argc, char** argv) {
                                          .object_id = "probe",
                                          .endpoint_id = ep_b->uuid(),
                                          .data = {}});
+  ps::bench::series("fig4.reestablish").observe(recover.elapsed());
   std::printf("re-establishment after a dropped connection: %s\n",
-              ps::bench::fmt_seconds(recover.elapsed()).c_str());
-  ps::bench::finish_trace(trace_path);
+              ps::bench::fmt_series("fig4.reestablish").c_str());
+  ps::bench::finish(args);
   return 0;
 }

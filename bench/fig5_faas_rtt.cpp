@@ -258,10 +258,11 @@ std::unique_ptr<Scenario> make_scenario(const std::string& name,
   return s;
 }
 
-void run_scenario(Scenario& scenario, bool sleep) {
-  const std::vector<std::size_t> sizes = {10,      1'000,     10'000,
-                                          100'000, 1'000'000, 5'000'000,
-                                          10'000'000, 100'000'000};
+void run_scenario(Scenario& scenario, bool sleep,
+                  const ps::bench::Args& args) {
+  const std::vector<std::size_t> sizes =
+      args.cap({10,      1'000,     10'000,     100'000,
+                1'000'000, 5'000'000, 10'000'000, 100'000'000});
   std::vector<std::string> header = {"payload"};
   for (const Method& m : scenario.methods) header.push_back(m.name);
   ps::bench::print_header("Fig 5 [" + scenario.name + "] " +
@@ -270,7 +271,7 @@ void run_scenario(Scenario& scenario, bool sleep) {
   for (const std::size_t size : sizes) {
     std::vector<std::string> row = {ps::bench::fmt_size(size)};
     for (const Method& method : scenario.methods) {
-      constexpr int kReps = 3;
+      const int kReps = args.reps_or(3);
       // Repetitions accumulate in a per-cell registry series; the printed
       // cell reads back from the registry.
       const std::string cell = "fig5." + scenario.name + "." + method.name +
@@ -295,8 +296,8 @@ void run_scenario(Scenario& scenario, bool sleep) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace_path = ps::bench::init_trace(argc, argv);
-  ps::obs::set_enabled(true);
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig5_faas_rtt", argc, argv);
   register_tasks();
   struct Spec {
     std::string name;
@@ -319,10 +320,10 @@ int main(int argc, char** argv) {
     for (const Spec& spec : specs) {
       auto scenario =
           make_scenario(spec.name, spec.client, spec.task, spec.intra);
-      run_scenario(*scenario, sleep);
+      run_scenario(*scenario, sleep, args);
       scenario->endpoint->stop();
     }
   }
-  ps::bench::finish_trace(trace_path);
+  ps::bench::finish(args);
   return 0;
 }

@@ -78,7 +78,7 @@ void register_tasks() {
 }
 
 void run_machine(const std::string& title, const std::string& client_host,
-                 const std::string& task_host) {
+                 const std::string& task_host, const ps::bench::Args& args) {
   testbed::Testbed tb = testbed::build();
   proc::Process& client = tb.world->spawn("client", client_host);
   proc::Process& endpoint_proc = tb.world->spawn("gc-endpoint", task_host);
@@ -117,8 +117,8 @@ void run_machine(const std::string& title, const std::string& client_host,
                              "fig6-zmq"))});
   }
 
-  const std::vector<std::size_t> sizes = {
-      1'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000};
+  const std::vector<std::size_t> sizes = args.cap(
+      {1'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000});
 
   ps::bench::print_header("Fig 6 [" + title + "] no-op task round trips");
   ps::bench::print_row({"payload", "GlobusCompute", "RedisStore", "MargoStore",
@@ -184,12 +184,14 @@ void run_machine(const std::string& title, const std::string& client_host,
 
 }  // namespace
 
-int main() {
-  ps::obs::set_enabled(true);
+int main(int argc, char** argv) {
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig6_inmemory", argc, argv);
   register_tasks();
   testbed::Testbed names;
   run_machine("Polaris (Slingshot 11)", names.polaris_compute0,
-              names.polaris_compute1);
-  run_machine("Chameleon (40GbE)", names.chameleon0, names.chameleon1);
+              names.polaris_compute1, args);
+  run_machine("Chameleon (40GbE)", names.chameleon0, names.chameleon1, args);
+  ps::bench::finish(args);
   return 0;
 }

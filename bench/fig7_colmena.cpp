@@ -47,14 +47,16 @@ double median_round_trip(proc::Process& thinker, proc::Process& worker,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig7_colmena", argc, argv);
   testbed::Testbed tb = testbed::build();
   proc::Process& thinker = tb.world->spawn("thinker", tb.theta_compute0);
   proc::Process& worker = tb.world->spawn("worker", tb.theta_compute0);
   kv::KvServer::start(*tb.world, tb.theta_compute0, "fig7");
 
-  const std::vector<std::size_t> sizes = {1'000,     10'000,     100'000,
-                                          1'000'000, 10'000'000, 100'000'000};
+  const std::vector<std::size_t> sizes = args.cap(
+      {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000});
   // The paper repeats each configuration 100 times. Virtual timing is
   // deterministic here, so large payloads use fewer repetitions to bound
   // real memcpy work without changing the median.
@@ -75,7 +77,7 @@ int main() {
   for (const std::size_t input : sizes) {
     std::vector<std::string> row = {ps::bench::fmt_size(input)};
     for (const std::size_t output : sizes) {
-      const int kReps = reps_for(input, output);
+      const int kReps = args.reps_or(reps_for(input, output));
       const double baseline =
           median_round_trip(thinker, worker, nullptr, input, output, kReps);
       std::shared_ptr<core::Store> store;
@@ -93,6 +95,12 @@ int main() {
       }
       const double proxied =
           median_round_trip(thinker, worker, store, input, output, kReps);
+      const std::string prefix = "fig7." + std::to_string(input) + "." +
+                                 std::to_string(output);
+      ps::bench::series(prefix + ".baseline").observe(baseline);
+      ps::bench::series(prefix + ".proxied").observe(proxied);
+      ps::bench::series(prefix + ".improvement", "vtime", "ratio")
+          .observe((baseline - proxied) / baseline);
       char cell[32];
       std::snprintf(cell, sizeof(cell), "%+.1f%%",
                     100.0 * (baseline - proxied) / baseline);
@@ -100,5 +108,6 @@ int main() {
     }
     ps::bench::print_row(row);
   }
+  ps::bench::finish(args);
   return 0;
 }

@@ -62,7 +62,8 @@ double mean_request_time(testbed::Testbed& tb,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace_path = ps::bench::init_trace(argc, argv);
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig8_endpoint_clients", argc, argv);
   testbed::Testbed tb = testbed::build();
   relay::RelayServer::start(*tb.world, tb.relay_host, "fig8-relay");
   constexpr int kMaxClients = 16;
@@ -71,9 +72,10 @@ int main(int argc, char** argv) {
                     tb.perlmutter_compute);
   }
 
-  const std::vector<std::size_t> sizes = {1'000, 10'000, 100'000, 1'000'000};
+  const std::vector<std::size_t> sizes =
+      args.cap({1'000, 10'000, 100'000, 1'000'000});
   const std::vector<int> client_counts = {1, 2, 4, 8, 16};
-  constexpr int kRequests = 1000;
+  const int kRequests = args.reps_or(1000);
 
   int round = 1;
   for (const std::string op : {"set", "get"}) {
@@ -109,6 +111,9 @@ int main(int argc, char** argv) {
         }
         const double mean = mean_request_time(tb, ep, op, size, clients,
                                               kRequests, round);
+        ps::bench::series("fig8." + op + "." + std::to_string(size) + "." +
+                          std::to_string(clients) + "clients")
+            .observe(mean);
         row.push_back(ps::bench::fmt_seconds(mean));
         ep->stop();
         ++round;
@@ -116,6 +121,6 @@ int main(int argc, char** argv) {
       ps::bench::print_row(row);
     }
   }
-  ps::bench::finish_trace(trace_path);
+  ps::bench::finish(args);
   return 0;
 }

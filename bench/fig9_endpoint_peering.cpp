@@ -28,7 +28,8 @@ struct Scenario {
   std::string target_host;  // remote PS-endpoint / Redis server
 };
 
-void run_scenario(const Scenario& spec, int index) {
+void run_scenario(const Scenario& spec, int index,
+                  const ps::bench::Args& args) {
   testbed::Testbed tb = testbed::build();
   proc::Process& client = tb.world->spawn("client", spec.client_host);
   relay::RelayServer::start(*tb.world, tb.relay_host, "fig9-relay");
@@ -47,9 +48,9 @@ void run_scenario(const Scenario& spec, int index) {
       tb.world->fabric().host(spec.client_host).site ==
       tb.world->fabric().host(spec.target_host).site;
 
-  const std::vector<std::size_t> sizes = {1'000, 10'000, 100'000, 1'000'000,
-                                          10'000'000};
-  constexpr int kRequests = 1000;
+  const std::vector<std::size_t> sizes =
+      args.cap({1'000, 10'000, 100'000, 1'000'000, 10'000'000});
+  const int kRequests = args.reps_or(1000);
 
   ps::bench::print_header("Fig 9 [" + spec.name + "] (" +
                           std::to_string(kRequests) + " requests per cell)");
@@ -60,7 +61,14 @@ void run_scenario(const Scenario& spec, int index) {
   std::uint64_t key_counter = 0;
   for (const std::size_t size : sizes) {
     const Bytes payload = pattern_bytes(size, 9);
-    Stats ep_set, ep_get, redis_set, redis_get;
+    // Per-rep samples land in registry series so the JSON artifact carries
+    // the full distribution (count/mean/p50/p99) per cell.
+    const std::string cell =
+        "fig9." + spec.name + "." + std::to_string(size);
+    obs::Histogram& ep_set = ps::bench::series(cell + ".ep_set");
+    obs::Histogram& ep_get = ps::bench::series(cell + ".ep_get");
+    obs::Histogram& redis_set = ps::bench::series(cell + ".redis_set");
+    obs::Histogram& redis_get = ps::bench::series(cell + ".redis_get");
 
     // PS-endpoint path: client -> local endpoint -> remote endpoint.
     const std::string object_id = "fig9-" + std::to_string(index) + "-" +
@@ -73,14 +81,14 @@ void run_scenario(const Scenario& spec, int index) {
         local_ep->handle(endpoint::EndpointRequest{
             .op = "set", .object_id = object_id,
             .endpoint_id = remote_ep->uuid(), .data = payload});
-        ep_set.add(rtt.elapsed());
+        ep_set.observe(rtt.elapsed());
       }
       {
         sim::VtimeScope rtt;
         local_ep->handle(endpoint::EndpointRequest{
             .op = "get", .object_id = object_id,
             .endpoint_id = remote_ep->uuid(), .data = {}});
-        ep_get.add(rtt.elapsed());
+        ep_get.observe(rtt.elapsed());
       }
     }
 
@@ -109,7 +117,7 @@ void run_scenario(const Scenario& spec, int index) {
                 : tunnel.transfer_time(tb.world->fabric(), spec.target_host,
                                        spec.client_host, 8);
         sim::vset(done + back);
-        redis_set.add(rtt.elapsed());
+        redis_set.observe(rtt.elapsed());
       }
       {
         sim::VtimeScope rtt;
@@ -132,7 +140,7 @@ void run_scenario(const Scenario& spec, int index) {
                 : tunnel.transfer_time(tb.world->fabric(), spec.target_host,
                                        spec.client_host, value->size());
         sim::vset(done + back);
-        redis_get.add(rtt.elapsed());
+        redis_get.observe(rtt.elapsed());
       }
     }
 
@@ -149,7 +157,8 @@ void run_scenario(const Scenario& spec, int index) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string trace_path = ps::bench::init_trace(argc, argv);
+  const ps::bench::Args args =
+      ps::bench::parse_args("fig9_endpoint_peering", argc, argv);
   testbed::Testbed names;
   const std::vector<Scenario> scenarios = {
       {"Theta <-> Theta", names.theta_compute0, names.theta_compute1},
@@ -158,8 +167,8 @@ int main(int argc, char** argv) {
   };
   int index = 0;
   for (const Scenario& scenario : scenarios) {
-    run_scenario(scenario, index++);
+    run_scenario(scenario, index++, args);
   }
-  ps::bench::finish_trace(trace_path);
+  ps::bench::finish(args);
   return 0;
 }

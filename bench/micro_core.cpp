@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench_util.hpp"
 #include "common/bytes.hpp"
 #include "connectors/local.hpp"
 #include "core/cache.hpp"
@@ -151,6 +152,48 @@ void BM_StoreGetCached(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreGetCached);
 
+/// Console reporter that additionally records each benchmark's measured
+/// real time per iteration into a wall-clock registry series, so the
+/// shared --json artifact writer can export it.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      ps::bench::series("micro." + run.benchmark_name(), "wall", "s")
+          .observe(run.real_accumulated_time /
+                   static_cast<double>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the shared bench flags before google-benchmark sees the rest.
+  std::string json_path;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int forwarded = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&forwarded, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(forwarded, passthrough.data())) {
+    return 1;
+  }
+  ps::obs::set_enabled(true);
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    ps::bench::Args args;
+    args.bench_name = "micro_core";
+    args.json_path = json_path;
+    ps::bench::finish(args);
+  }
+  return 0;
+}

@@ -25,7 +25,9 @@ std::string yes(bool b) { return b ? "yes" : ""; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ps::bench::Args args =
+      ps::bench::parse_args("table1_connectors", argc, argv);
   namespace fs = std::filesystem;
   auto world = std::make_unique<proc::World>();
   world->fabric().add_site("site", net::hpc_interconnect(10e-6, 10e9));
@@ -68,6 +70,9 @@ int main() {
     ps::bench::print_row({connector->type(), t.storage, yes(t.intra_site),
                           yes(t.inter_site), yes(t.persistent)});
   }
+  ps::bench::series("table1.connectors", "vtime", "count")
+      .observe(static_cast<double>(connectors.size()));
   fs::remove_all(base);
+  ps::bench::finish(args);
   return 0;
 }

@@ -37,7 +37,9 @@ std::string fmt_improvement(double baseline, double value) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ps::bench::Args args =
+      ps::bench::parse_args("table2_defect", argc, argv);
   testbed::Testbed tb = testbed::build();
   // Task execution: Globus Compute endpoint on a Polaris login node,
   // tasks on a Polaris compute node (the endpoint process's host governs
@@ -68,6 +70,7 @@ int main() {
   config.mode = apps::DefectMode::kBaseline;
   const apps::DefectReport baseline =
       apps::run_defect_analysis(theta_client, endpoint, nullptr, config);
+  ps::bench::series("table2.baseline").observe(baseline.round_trip.mean());
   ps::bench::print_row({"Globus Compute baseline", "-",
                         fmt_ms(baseline.round_trip), "-"}, 26);
 
@@ -80,12 +83,15 @@ int main() {
     config.mode = apps::DefectMode::kProxyInputs;
     const apps::DefectReport inputs =
         apps::run_defect_analysis(theta_client, endpoint, store, config);
+    ps::bench::series("table2.file.inputs")
+        .observe(inputs.round_trip.mean());
     ps::bench::print_row({"FileStore", "Inputs", fmt_ms(inputs.round_trip),
                           fmt_improvement(baseline.round_trip.mean(),
                                           inputs.round_trip.mean())}, 26);
     config.mode = apps::DefectMode::kProxyBoth;
     const apps::DefectReport both =
         apps::run_defect_analysis(theta_client, endpoint, store, config);
+    ps::bench::series("table2.file.both").observe(both.round_trip.mean());
     ps::bench::print_row({"", "Inputs/Outputs", fmt_ms(both.round_trip),
                           fmt_improvement(baseline.round_trip.mean(),
                                           both.round_trip.mean())}, 26);
@@ -110,6 +116,8 @@ int main() {
     config.mode = apps::DefectMode::kProxyInputs;
     const apps::DefectReport inputs =
         apps::run_defect_analysis(midway_client, endpoint, store, config);
+    ps::bench::series("table2.endpoint.inputs")
+        .observe(inputs.round_trip.mean());
     ps::bench::print_row({"EndpointStore", "Inputs",
                           fmt_ms(inputs.round_trip),
                           fmt_improvement(baseline.round_trip.mean(),
@@ -117,6 +125,8 @@ int main() {
     config.mode = apps::DefectMode::kProxyBoth;
     const apps::DefectReport both =
         apps::run_defect_analysis(midway_client, endpoint, store, config);
+    ps::bench::series("table2.endpoint.both")
+        .observe(both.round_trip.mean());
     ps::bench::print_row({"", "Inputs/Outputs", fmt_ms(both.round_trip),
                           fmt_improvement(baseline.round_trip.mean(),
                                           both.round_trip.mean())}, 26);
@@ -124,5 +134,6 @@ int main() {
 
   endpoint.stop();
   fs::remove_all(base);
+  ps::bench::finish(args);
   return 0;
 }

@@ -169,14 +169,19 @@ bool write_perfetto_trace(const std::string& path) {
 std::string prometheus_text(const MetricsRegistry& registry) {
   std::string out;
 
+  // Conformance notes (also checked by tests/obs_test.cpp): every metric
+  // family gets `# HELP` then `# TYPE`, counters carry the `_total` suffix,
+  // and histograms expose cumulative `_bucket` counts ending in `+Inf`.
   for (const auto& [name, value] : registry.counters()) {
     const std::string prom = prom_name(name) + "_total";
+    out += "# HELP " + prom + " Monotonic count of " + name + " events.\n";
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + std::to_string(value) + "\n";
   }
 
   for (const auto& [name, value] : registry.gauges()) {
     const std::string prom = prom_name(name);
+    out += "# HELP " + prom + " Instantaneous value of " + name + ".\n";
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + fmt_double(value) + "\n";
   }
@@ -185,6 +190,8 @@ std::string prometheus_text(const MetricsRegistry& registry) {
     const Histogram* h = registry.find_histogram(name);
     if (h == nullptr) continue;
     const std::string prom = prom_name(name) + "_seconds";
+    out += "# HELP " + prom + " Latency distribution of " + name +
+           " in seconds.\n";
     out += "# TYPE " + prom + " histogram\n";
     std::uint64_t cumulative = 0;
     for (const auto& [le, n] : h->nonzero_buckets()) {

@@ -1,0 +1,83 @@
+// Span-derived call-tree profiles: "where did the time go" without Perfetto.
+//
+// A Profile aggregates the TraceRecorder's closed spans into a call tree
+// keyed by span-name path (root;child;grandchild). Spans from different
+// traces that executed the same name path merge into one node, so a bench
+// that runs the same round trip N times yields one tree with count = N
+// rather than N parallel trees. Each node carries invocation count plus
+// total and *self* time in both clocks — virtual time (deterministic, what
+// the simulator charged) and wall time (what the host actually spent) —
+// where self = total minus the time attributed to child spans, clamped at
+// zero for overlapping/async children.
+//
+// Outputs:
+//   * table()      — indented human-readable tree (psctl profile);
+//   * folded()     — flamegraph-ready folded stacks, one "a;b;c <ns>" line
+//                    per node with the node's self time in integer
+//                    nanoseconds (feed to flamegraph.pl / speedscope);
+//   * top_nodes(n) — flat hottest-first list for the BENCH_*.json artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ps::obs {
+
+struct ProfileNode {
+  std::string name;  // span name of this tree position
+  std::uint64_t count = 0;
+  double total_wall_s = 0.0;
+  double self_wall_s = 0.0;
+  double total_vtime_s = 0.0;
+  double self_vtime_s = 0.0;
+  std::vector<ProfileNode> children;  // sorted by total_vtime_s descending
+};
+
+/// A flattened node: the full semicolon-joined name path plus the node's
+/// aggregates, as surfaced in bench artifacts.
+struct ProfileEntry {
+  std::string path;  // "root;child;leaf"
+  std::uint64_t count = 0;
+  double total_wall_s = 0.0;
+  double self_wall_s = 0.0;
+  double total_vtime_s = 0.0;
+  double self_vtime_s = 0.0;
+};
+
+class Profile {
+ public:
+  /// Aggregates closed spans into a call tree. Parentage follows
+  /// (trace id, parent_span_id); spans whose parent was never recorded
+  /// (dropped by the ring buffer, or roots) start a tree at depth zero.
+  static Profile from_spans(const std::vector<SpanRecord>& spans);
+  static Profile from_recorder(const TraceRecorder& recorder);
+
+  const std::vector<ProfileNode>& roots() const { return roots_; }
+  bool empty() const { return roots_.empty(); }
+
+  /// Total time across all root spans (the denominator of a flamegraph).
+  double total_vtime_s() const;
+  double total_wall_s() const;
+
+  /// Folded-stack output: one line per node, "path;to;node <self-ns>",
+  /// every node included (zero-self nodes keep the sum property that the
+  /// self times under a root add up to the root's total). `vtime` selects
+  /// the deterministic virtual-time profile; false selects wall time.
+  std::string folded(bool vtime = true) const;
+
+  /// The n hottest nodes by self time (virtual time, wall tie-break),
+  /// flattened with their full paths.
+  std::vector<ProfileEntry> top_nodes(std::size_t n) const;
+
+  /// Human-readable indented tree, hottest subtree first.
+  std::string table() const;
+
+ private:
+  std::vector<ProfileNode> roots_;
+};
+
+}  // namespace ps::obs

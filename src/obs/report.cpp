@@ -1,0 +1,527 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <variant>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ps::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// ------------------------------------------------- minimal JSON reader ----
+// Just enough JSON for the artifacts this module itself writes: objects,
+// arrays, strings with simple escapes, and numbers.
+
+struct JsonValue {
+  std::variant<std::nullptr_t, double, std::string,
+               std::map<std::string, JsonValue>, std::vector<JsonValue>>
+      v = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::map<std::string, JsonValue>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::vector<JsonValue>>(v);
+  }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const std::map<std::string, JsonValue>& obj() const {
+    return std::get<std::map<std::string, JsonValue>>(v);
+  }
+  const std::vector<JsonValue>& arr() const {
+    return std::get<std::vector<JsonValue>>(v);
+  }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> value = parse_value();
+    skip_ws();
+    if (!value || pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = error_.empty() ? "trailing content after JSON value"
+                                : error_;
+      }
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return JsonValue{std::move(*s)};
+    }
+    return parse_number();
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!expect('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    if (!expect('"')) return std::nullopt;
+    return out;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a JSON number");
+      return std::nullopt;
+    }
+    try {
+      return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+    } catch (const std::exception&) {
+      fail("unparsable number");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    if (!expect('{')) return std::nullopt;
+    std::map<std::string, JsonValue> out;
+    if (peek() != '}') {
+      while (true) {
+        auto key = parse_string();
+        if (!key || !expect(':')) return std::nullopt;
+        auto value = parse_value();
+        if (!value) return std::nullopt;
+        out[std::move(*key)] = std::move(*value);
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    if (!expect('}')) return std::nullopt;
+    return JsonValue{std::move(out)};
+  }
+
+  std::optional<JsonValue> parse_array() {
+    if (!expect('[')) return std::nullopt;
+    std::vector<JsonValue> out;
+    if (peek() != ']') {
+      while (true) {
+        auto value = parse_value();
+        if (!value) return std::nullopt;
+        out.push_back(std::move(*value));
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    if (!expect(']')) return std::nullopt;
+    return JsonValue{std::move(out)};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool schema_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+double num_or(const std::map<std::string, JsonValue>& obj,
+              const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.is_number() ? it->second.num()
+                                                   : fallback;
+}
+
+std::string str_or(const std::map<std::string, JsonValue>& obj,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.is_string() ? it->second.str()
+                                                   : fallback;
+}
+
+}  // namespace
+
+std::string git_revision(const std::string& start_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = start_dir.empty() ? fs::current_path(ec) : fs::path(start_dir);
+  if (ec) return "unknown";
+  for (int depth = 0; depth < 64 && !dir.empty(); ++depth) {
+    const fs::path head_path = dir / ".git" / "HEAD";
+    if (fs::exists(head_path, ec)) {
+      std::ifstream head(head_path);
+      std::string line;
+      if (!std::getline(head, line)) return "unknown";
+      if (line.rfind("ref: ", 0) == 0) {
+        std::ifstream ref(dir / ".git" / line.substr(5));
+        std::string rev;
+        if (std::getline(ref, rev) && !rev.empty()) return rev;
+        return "unknown";
+      }
+      return line.empty() ? "unknown" : line;
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  return "unknown";
+}
+
+BenchArtifact collect_bench_artifact(
+    const std::string& bench_name, std::uint64_t seed,
+    const std::map<std::string, SeriesMeta>& series_meta,
+    std::size_t profile_top_n) {
+  BenchArtifact artifact;
+  artifact.bench = bench_name;
+  artifact.seed = seed;
+  artifact.git_rev = git_revision();
+  const MetricsRegistry& registry = MetricsRegistry::global();
+  for (const auto& [name, meta] : series_meta) {
+    const Histogram* h = registry.find_histogram(name);
+    if (h == nullptr || h->count() == 0) continue;
+    SeriesStats stats;
+    stats.count = h->count();
+    stats.mean_s = h->mean();
+    stats.p50_s = h->p50();
+    stats.p99_s = h->p99();
+    stats.min_s = h->min();
+    stats.max_s = h->max();
+    stats.sum_s = h->sum();
+    stats.units = meta.units;
+    stats.kind = meta.kind;
+    artifact.series.emplace(name, stats);
+  }
+  artifact.profile_top =
+      Profile::from_recorder(TraceRecorder::global()).top_nodes(profile_top_n);
+  return artifact;
+}
+
+std::string bench_artifact_json(const BenchArtifact& artifact) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(artifact.schema_version);
+  out += ",\"bench\":\"";
+  json_escape_into(out, artifact.bench);
+  out += "\",\"seed\":" + std::to_string(artifact.seed);
+  out += ",\"git_rev\":\"";
+  json_escape_into(out, artifact.git_rev);
+  out += "\",\"series\":{";
+  bool first = true;
+  for (const auto& [name, s] : artifact.series) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"";
+    json_escape_into(out, name);
+    out += "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"mean_s\":" + fmt_double(s.mean_s);
+    out += ",\"p50_s\":" + fmt_double(s.p50_s);
+    out += ",\"p99_s\":" + fmt_double(s.p99_s);
+    out += ",\"min_s\":" + fmt_double(s.min_s);
+    out += ",\"max_s\":" + fmt_double(s.max_s);
+    out += ",\"sum_s\":" + fmt_double(s.sum_s);
+    out += ",\"units\":\"";
+    json_escape_into(out, s.units);
+    out += "\",\"kind\":\"";
+    json_escape_into(out, s.kind);
+    out += "\"}";
+  }
+  out += "\n },\"profile_top\":[";
+  first = true;
+  for (const ProfileEntry& entry : artifact.profile_top) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"path\":\"";
+    json_escape_into(out, entry.path);
+    out += "\",\"count\":" + std::to_string(entry.count);
+    out += ",\"total_vtime_s\":" + fmt_double(entry.total_vtime_s);
+    out += ",\"self_vtime_s\":" + fmt_double(entry.self_vtime_s);
+    out += ",\"total_wall_s\":" + fmt_double(entry.total_wall_s);
+    out += ",\"self_wall_s\":" + fmt_double(entry.self_wall_s);
+    out += "}";
+  }
+  out += "\n ]}\n";
+  return out;
+}
+
+bool write_bench_artifact(const std::string& path,
+                          const BenchArtifact& artifact) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << bench_artifact_json(artifact);
+  return static_cast<bool>(file);
+}
+
+std::optional<BenchArtifact> parse_bench_artifact(const std::string& text,
+                                                  std::string* error) {
+  std::optional<JsonValue> root = JsonReader(text).parse(error);
+  if (!root) return std::nullopt;
+  if (!root->is_object()) {
+    schema_error(error, "artifact is not a JSON object");
+    return std::nullopt;
+  }
+  const auto& obj = root->obj();
+  const auto version = obj.find("schema_version");
+  if (version == obj.end() || !version->second.is_number()) {
+    schema_error(error, "missing schema_version");
+    return std::nullopt;
+  }
+  BenchArtifact artifact;
+  artifact.schema_version = static_cast<int>(version->second.num());
+  if (artifact.schema_version != kBenchSchemaVersion) {
+    schema_error(error, "unsupported schema_version " +
+                            std::to_string(artifact.schema_version));
+    return std::nullopt;
+  }
+  const auto bench = obj.find("bench");
+  if (bench == obj.end() || !bench->second.is_string() ||
+      bench->second.str().empty()) {
+    schema_error(error, "missing bench name");
+    return std::nullopt;
+  }
+  artifact.bench = bench->second.str();
+  const auto seed = obj.find("seed");
+  if (seed == obj.end() || !seed->second.is_number()) {
+    schema_error(error, "missing seed");
+    return std::nullopt;
+  }
+  artifact.seed = static_cast<std::uint64_t>(seed->second.num());
+  artifact.git_rev = str_or(obj, "git_rev", "unknown");
+
+  const auto series = obj.find("series");
+  if (series == obj.end() || !series->second.is_object()) {
+    schema_error(error, "missing series object");
+    return std::nullopt;
+  }
+  for (const auto& [name, value] : series->second.obj()) {
+    if (!value.is_object()) {
+      schema_error(error, "series '" + name + "' is not an object");
+      return std::nullopt;
+    }
+    const auto& s = value.obj();
+    const auto count = s.find("count");
+    const auto mean = s.find("mean_s");
+    if (count == s.end() || !count->second.is_number() || mean == s.end() ||
+        !mean->second.is_number()) {
+      schema_error(error, "series '" + name + "' missing count/mean_s");
+      return std::nullopt;
+    }
+    SeriesStats stats;
+    stats.count = static_cast<std::uint64_t>(count->second.num());
+    stats.mean_s = mean->second.num();
+    stats.p50_s = num_or(s, "p50_s", stats.mean_s);
+    stats.p99_s = num_or(s, "p99_s", stats.mean_s);
+    stats.min_s = num_or(s, "min_s", stats.mean_s);
+    stats.max_s = num_or(s, "max_s", stats.mean_s);
+    stats.sum_s = num_or(s, "sum_s", 0.0);
+    stats.units = str_or(s, "units", "s");
+    stats.kind = str_or(s, "kind", "vtime");
+    if (stats.kind != "vtime" && stats.kind != "wall") {
+      schema_error(error, "series '" + name + "' has unknown kind '" +
+                              stats.kind + "'");
+      return std::nullopt;
+    }
+    artifact.series.emplace(name, stats);
+  }
+
+  const auto profile = obj.find("profile_top");
+  if (profile == obj.end() || !profile->second.is_array()) {
+    schema_error(error, "missing profile_top array");
+    return std::nullopt;
+  }
+  for (const JsonValue& value : profile->second.arr()) {
+    if (!value.is_object()) {
+      schema_error(error, "profile_top entry is not an object");
+      return std::nullopt;
+    }
+    const auto& p = value.obj();
+    ProfileEntry entry;
+    entry.path = str_or(p, "path", "");
+    if (entry.path.empty()) {
+      schema_error(error, "profile_top entry missing path");
+      return std::nullopt;
+    }
+    entry.count = static_cast<std::uint64_t>(num_or(p, "count", 0.0));
+    entry.total_vtime_s = num_or(p, "total_vtime_s", 0.0);
+    entry.self_vtime_s = num_or(p, "self_vtime_s", 0.0);
+    entry.total_wall_s = num_or(p, "total_wall_s", 0.0);
+    entry.self_wall_s = num_or(p, "self_wall_s", 0.0);
+    artifact.profile_top.push_back(std::move(entry));
+  }
+  return artifact;
+}
+
+std::optional<BenchArtifact> read_bench_artifact(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (error != nullptr) *error = "cannot read '" + path + "'";
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return parse_bench_artifact(buffer.str(), error);
+}
+
+namespace {
+
+/// |a - b| within `rel` of max(|a|, |b|), treating tiny values as equal.
+bool close(double a, double b, double rel) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel * std::max(scale, 1e-12);
+}
+
+}  // namespace
+
+DiffResult diff_bench_artifacts(const BenchArtifact& baseline,
+                                const BenchArtifact& candidate,
+                                const DiffOptions& options) {
+  DiffResult result;
+  std::size_t failing = 0;
+  for (const auto& [name, base] : baseline.series) {
+    SeriesDelta delta;
+    delta.name = name;
+    delta.kind = base.kind;
+    delta.base_count = base.count;
+    delta.base_mean_s = base.mean_s;
+
+    const auto it = candidate.series.find(name);
+    if (it == candidate.series.end()) {
+      delta.verdict = options.fail_on_missing ? "missing" : "ok";
+      if (delta.verdict == "missing") ++failing;
+      result.deltas.push_back(std::move(delta));
+      continue;
+    }
+    const SeriesStats& cand = it->second;
+    delta.cand_count = cand.count;
+    delta.cand_mean_s = cand.mean_s;
+    delta.rel_delta = base.mean_s == 0.0
+                          ? 0.0
+                          : (cand.mean_s - base.mean_s) / base.mean_s;
+
+    if (base.kind == "vtime") {
+      // Deterministic series: any difference — count or statistics — is
+      // drift, faster or slower.
+      const bool same = base.count == cand.count &&
+                        close(base.mean_s, cand.mean_s, options.vtime_rel_tol) &&
+                        close(base.p50_s, cand.p50_s, options.vtime_rel_tol) &&
+                        close(base.p99_s, cand.p99_s, options.vtime_rel_tol) &&
+                        close(base.max_s, cand.max_s, options.vtime_rel_tol);
+      delta.verdict = same ? "ok" : "drift";
+    } else {
+      // Wall clock: only a mean beyond the noise tolerance fails, and only
+      // in the slow direction.
+      const bool regressed =
+          cand.mean_s > base.mean_s * (1.0 + options.wall_rel_tol);
+      delta.verdict = regressed ? "regression" : "ok";
+    }
+    if (delta.verdict != "ok") ++failing;
+    result.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, cand] : candidate.series) {
+    if (baseline.series.contains(name)) continue;
+    SeriesDelta delta;
+    delta.name = name;
+    delta.kind = cand.kind;
+    delta.cand_count = cand.count;
+    delta.cand_mean_s = cand.mean_s;
+    delta.verdict = "new";
+    result.deltas.push_back(std::move(delta));
+  }
+
+  result.failed = failing > 0;
+  char summary[128];
+  if (failing == 0) {
+    std::snprintf(summary, sizeof(summary),
+                  "all %zu baseline series match", baseline.series.size());
+  } else {
+    std::snprintf(summary, sizeof(summary),
+                  "%zu of %zu baseline series drifted or regressed", failing,
+                  baseline.series.size());
+  }
+  result.summary = summary;
+  return result;
+}
+
+}  // namespace ps::obs

@@ -33,6 +33,8 @@
 #include "obs/context.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "proc/world.hpp"
@@ -851,6 +853,496 @@ TEST(PerfettoExport, EmittedFileParsesAsChromeTraceEvents) {
 
   recorder.clear();
   std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------- profiler ----
+
+/// Synthetic span with explicit ids and times, all in one trace.
+SpanRecord make_span(std::uint64_t span_id, std::uint64_t parent,
+                     const std::string& name, double v0, double v1,
+                     double w0, double w1) {
+  SpanRecord span;
+  span.ctx.trace_hi = 0x1;
+  span.ctx.trace_lo = 0x2;
+  span.ctx.span_id = span_id;
+  span.ctx.parent_span_id = parent;
+  span.name = name;
+  span.vtime_start = v0;
+  span.vtime_end = v1;
+  span.wall_start = w0;
+  span.wall_end = w1;
+  return span;
+}
+
+TEST(Profile, AggregatesSpansIntoCallTreeWithSelfTimes) {
+  // root(0..10) { a(1..4) { leaf(2..3) }, b(4..9) }, plus a second
+  // invocation of the same shape so same-path spans merge.
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(1, 0, "root", 0.0, 10.0, 0.0, 1.0));
+  spans.push_back(make_span(2, 1, "a", 1.0, 4.0, 0.1, 0.4));
+  spans.push_back(make_span(3, 2, "leaf", 2.0, 3.0, 0.2, 0.3));
+  spans.push_back(make_span(4, 1, "b", 4.0, 9.0, 0.4, 0.9));
+  spans.push_back(make_span(5, 0, "root", 10.0, 12.0, 1.0, 1.2));
+
+  const Profile profile = Profile::from_spans(spans);
+  ASSERT_EQ(profile.roots().size(), 1u);
+  const ProfileNode& root = profile.roots()[0];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.count, 2u);
+  EXPECT_NEAR(root.total_vtime_s, 12.0, 1e-12);
+  // Self: 12 total minus children (a: 3, b: 5).
+  EXPECT_NEAR(root.self_vtime_s, 4.0, 1e-12);
+  ASSERT_EQ(root.children.size(), 2u);
+  // Children sorted by total vtime descending: b (5) before a (3).
+  EXPECT_EQ(root.children[0].name, "b");
+  EXPECT_NEAR(root.children[0].self_vtime_s, 5.0, 1e-12);
+  EXPECT_EQ(root.children[1].name, "a");
+  EXPECT_NEAR(root.children[1].total_vtime_s, 3.0, 1e-12);
+  EXPECT_NEAR(root.children[1].self_vtime_s, 2.0, 1e-12);
+  ASSERT_EQ(root.children[1].children.size(), 1u);
+  EXPECT_EQ(root.children[1].children[0].name, "leaf");
+  EXPECT_NEAR(profile.total_vtime_s(), 12.0, 1e-12);
+  EXPECT_NEAR(profile.total_wall_s(), 1.2, 1e-12);
+
+  // top_nodes is hottest-self-first and flattens paths.
+  const auto top = profile.top_nodes(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, "root;b");
+  EXPECT_NEAR(top[0].self_vtime_s, 5.0, 1e-12);
+}
+
+TEST(Profile, SelfTimeClampsForOverlappingAsyncChildren) {
+  // Child charged more vtime than its parent (async continuation measured
+  // on another virtual timeline): parent self clamps to zero instead of
+  // going negative.
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(1, 0, "submit", 0.0, 1.0, 0.0, 0.1));
+  spans.push_back(make_span(2, 1, "dispatch", 0.0, 5.0, 0.0, 0.05));
+  const Profile profile = Profile::from_spans(spans);
+  ASSERT_EQ(profile.roots().size(), 1u);
+  EXPECT_NEAR(profile.roots()[0].self_vtime_s, 0.0, 1e-12);
+  EXPECT_NEAR(profile.roots()[0].children[0].self_vtime_s, 5.0, 1e-12);
+}
+
+TEST(Profile, FromRecorderAggregatesRealNestedSpanScopes) {
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    SpanScope root("prof.root");
+    sim::vadvance(0.1);
+    {
+      SpanScope child("prof.child");
+      sim::vadvance(0.2);
+    }
+    sim::vadvance(0.05);
+  }
+  recorder.set_enabled(false);
+
+  const Profile profile = Profile::from_recorder(recorder);
+  ASSERT_EQ(profile.roots().size(), 1u);
+  const ProfileNode& root = profile.roots()[0];
+  EXPECT_EQ(root.name, "prof.root");
+  EXPECT_EQ(root.count, 3u);
+  EXPECT_NEAR(root.total_vtime_s, 3 * 0.35, 1e-9);
+  EXPECT_NEAR(root.self_vtime_s, 3 * 0.15, 1e-9);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_NEAR(root.children[0].total_vtime_s, 3 * 0.2, 1e-9);
+  recorder.clear();
+}
+
+TEST(Profile, FoldedStacksRoundTripAndSelfSumsMatchRootTotals) {
+  // Two distinct roots; properly nested, non-overlapping children, so the
+  // per-root sum of self times must equal the root's total time exactly
+  // (up to the integer-nanosecond rounding of the folded format).
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(1, 0, "alpha", 0.0, 2.0, 0.0, 0.2));
+  spans.push_back(make_span(2, 1, "x", 0.25, 1.0, 0.02, 0.1));
+  spans.push_back(make_span(3, 1, "y", 1.0, 1.75, 0.1, 0.18));
+  spans.push_back(make_span(4, 0, "beta", 2.0, 5.5, 0.2, 0.55));
+  spans.push_back(make_span(5, 4, "x", 3.0, 4.25, 0.3, 0.42));
+  const Profile profile = Profile::from_spans(spans);
+
+  // Re-parse the folded output: "path;to;node <self-ns>" per line.
+  std::map<std::string, double> root_self_sums;
+  std::map<std::string, double> root_totals;
+  for (const ProfileNode& root : profile.roots()) {
+    root_totals[root.name] = root.total_vtime_s;
+  }
+  std::istringstream folded(profile.folded(/*vtime=*/true));
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(folded, line)) {
+    ASSERT_FALSE(line.empty());
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string path = line.substr(0, space);
+    const double self_ns = std::stod(line.substr(space + 1));
+    EXPECT_GE(self_ns, 0.0);
+    const std::string root_name = path.substr(0, path.find(';'));
+    root_self_sums[root_name] += self_ns * 1e-9;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 5u);  // alpha, alpha;x, alpha;y, beta, beta;x
+
+  ASSERT_EQ(root_self_sums.size(), 2u);
+  for (const auto& [root_name, total] : root_totals) {
+    ASSERT_TRUE(root_self_sums.contains(root_name)) << root_name;
+    // Each folded line rounds to whole nanoseconds.
+    EXPECT_NEAR(root_self_sums[root_name], total, 1e-8) << root_name;
+  }
+}
+
+// ------------------------------------------------------- bench artifacts ----
+
+BenchArtifact sample_artifact() {
+  BenchArtifact artifact;
+  artifact.bench = "unit_bench";
+  artifact.seed = 42;
+  artifact.git_rev = "abc123";
+  SeriesStats vt;
+  vt.count = 10;
+  vt.mean_s = 0.5;
+  vt.p50_s = 0.4;
+  vt.p99_s = 0.9;
+  vt.min_s = 0.1;
+  vt.max_s = 1.0;
+  vt.sum_s = 5.0;
+  artifact.series["cell.vtime"] = vt;
+  SeriesStats wall = vt;
+  wall.kind = "wall";
+  artifact.series["cell.wall"] = wall;
+  ProfileEntry entry;
+  entry.path = "root;child";
+  entry.count = 3;
+  entry.total_vtime_s = 1.5;
+  entry.self_vtime_s = 0.5;
+  entry.total_wall_s = 0.01;
+  entry.self_wall_s = 0.005;
+  artifact.profile_top.push_back(entry);
+  return artifact;
+}
+
+TEST(BenchReport, ArtifactJsonRoundTrips) {
+  const BenchArtifact artifact = sample_artifact();
+  const std::string text = bench_artifact_json(artifact);
+
+  std::string error;
+  const auto parsed = parse_bench_artifact(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(parsed->bench, "unit_bench");
+  EXPECT_EQ(parsed->seed, 42u);
+  EXPECT_EQ(parsed->git_rev, "abc123");
+  ASSERT_EQ(parsed->series.size(), 2u);
+  const SeriesStats& vt = parsed->series.at("cell.vtime");
+  EXPECT_EQ(vt.count, 10u);
+  EXPECT_NEAR(vt.mean_s, 0.5, 1e-12);
+  EXPECT_NEAR(vt.p99_s, 0.9, 1e-12);
+  EXPECT_EQ(vt.kind, "vtime");
+  EXPECT_EQ(parsed->series.at("cell.wall").kind, "wall");
+  ASSERT_EQ(parsed->profile_top.size(), 1u);
+  EXPECT_EQ(parsed->profile_top[0].path, "root;child");
+  EXPECT_EQ(parsed->profile_top[0].count, 3u);
+  EXPECT_NEAR(parsed->profile_top[0].self_vtime_s, 0.5, 1e-12);
+}
+
+TEST(BenchReport, ParserRejectsMalformedArtifacts) {
+  std::string error;
+  EXPECT_FALSE(parse_bench_artifact("not json", &error).has_value());
+  EXPECT_FALSE(parse_bench_artifact("{}", &error).has_value());
+
+  // Wrong schema version must be rejected, not silently accepted.
+  BenchArtifact artifact = sample_artifact();
+  artifact.schema_version = kBenchSchemaVersion + 1;
+  EXPECT_FALSE(
+      parse_bench_artifact(bench_artifact_json(artifact), &error)
+          .has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+  // Unknown series kind is a schema violation too.
+  artifact = sample_artifact();
+  artifact.series["cell.vtime"].kind = "cpu";
+  EXPECT_FALSE(
+      parse_bench_artifact(bench_artifact_json(artifact), &error)
+          .has_value());
+}
+
+TEST(BenchReport, CollectPullsRegisteredSeriesAndProfile) {
+  auto& registry = MetricsRegistry::global();
+  registry.histogram("collect.cell").observe(0.25);
+  registry.histogram("collect.cell").observe(0.75);
+  registry.histogram("collect.unregistered").observe(1.0);
+
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+  {
+    SpanScope root("collect.span");
+    sim::vadvance(0.125);
+  }
+  recorder.set_enabled(false);
+
+  std::map<std::string, SeriesMeta> meta;
+  meta["collect.cell"] = SeriesMeta{"vtime", "s"};
+  meta["collect.absent"] = SeriesMeta{"vtime", "s"};  // not in the registry
+  const BenchArtifact artifact =
+      collect_bench_artifact("collect_bench", 7, meta, 5);
+
+  EXPECT_EQ(artifact.bench, "collect_bench");
+  EXPECT_EQ(artifact.seed, 7u);
+  EXPECT_FALSE(artifact.git_rev.empty());
+  // Only the registered-and-populated series lands in the artifact: the
+  // unregistered registry histogram and the absent name are both skipped.
+  ASSERT_EQ(artifact.series.size(), 1u);
+  const SeriesStats& stats = artifact.series.at("collect.cell");
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_NEAR(stats.mean_s, 0.5, 1e-12);
+  ASSERT_FALSE(artifact.profile_top.empty());
+  EXPECT_EQ(artifact.profile_top[0].path, "collect.span");
+  recorder.clear();
+}
+
+TEST(BenchDiff, IdenticalArtifactsPassAndVtimeDriftFails) {
+  const BenchArtifact base = sample_artifact();
+
+  const DiffResult same = diff_bench_artifacts(base, base);
+  EXPECT_FALSE(same.failed);
+  for (const SeriesDelta& delta : same.deltas) {
+    EXPECT_EQ(delta.verdict, "ok") << delta.name;
+  }
+
+  // A deterministic vtime series that moved AT ALL is drift — in either
+  // direction, however small beyond float formatting.
+  for (const double factor : {2.0, 0.9}) {
+    BenchArtifact cand = sample_artifact();
+    cand.series["cell.vtime"].mean_s *= factor;
+    const DiffResult result = diff_bench_artifacts(base, cand);
+    EXPECT_TRUE(result.failed) << "factor " << factor;
+    bool found = false;
+    for (const SeriesDelta& delta : result.deltas) {
+      if (delta.name == "cell.vtime") {
+        EXPECT_EQ(delta.verdict, "drift");
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // Changed repetition count on a vtime series is drift too.
+  BenchArtifact cand = sample_artifact();
+  cand.series["cell.vtime"].count = 11;
+  EXPECT_TRUE(diff_bench_artifacts(base, cand).failed);
+}
+
+TEST(BenchDiff, WallSeriesGetToleranceAndSlowdownFails) {
+  const BenchArtifact base = sample_artifact();
+
+  // +20% wall noise is within the default 25% tolerance.
+  BenchArtifact noisy = sample_artifact();
+  noisy.series["cell.wall"].mean_s *= 1.2;
+  EXPECT_FALSE(diff_bench_artifacts(base, noisy).failed);
+
+  // A 2x wall slowdown is a regression.
+  BenchArtifact slow = sample_artifact();
+  slow.series["cell.wall"].mean_s *= 2.0;
+  const DiffResult result = diff_bench_artifacts(base, slow);
+  EXPECT_TRUE(result.failed);
+  bool found = false;
+  for (const SeriesDelta& delta : result.deltas) {
+    if (delta.name == "cell.wall") {
+      EXPECT_EQ(delta.verdict, "regression");
+      EXPECT_NEAR(delta.rel_delta, 1.0, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // ...unless the caller widens the tolerance.
+  DiffOptions loose;
+  loose.wall_rel_tol = 3.0;
+  EXPECT_FALSE(diff_bench_artifacts(base, slow, loose).failed);
+
+  // Wall improvements never fail.
+  BenchArtifact fast = sample_artifact();
+  fast.series["cell.wall"].mean_s *= 0.25;
+  EXPECT_FALSE(diff_bench_artifacts(base, fast).failed);
+}
+
+TEST(BenchDiff, MissingSeriesFailsAndNewSeriesInforms) {
+  const BenchArtifact base = sample_artifact();
+
+  BenchArtifact missing = sample_artifact();
+  missing.series.erase("cell.vtime");
+  const DiffResult gone = diff_bench_artifacts(base, missing);
+  EXPECT_TRUE(gone.failed);
+
+  BenchArtifact extra = sample_artifact();
+  SeriesStats added;
+  added.count = 1;
+  added.mean_s = 1.0;
+  extra.series["cell.added"] = added;
+  const DiffResult result = diff_bench_artifacts(base, extra);
+  EXPECT_FALSE(result.failed);  // new series are informational
+  bool found = false;
+  for (const SeriesDelta& delta : result.deltas) {
+    if (delta.name == "cell.added") {
+      EXPECT_EQ(delta.verdict, "new");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchReport, WriteAndReadArtifactFile) {
+  const BenchArtifact artifact = sample_artifact();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "ps_obs_artifact_test.json";
+  ASSERT_TRUE(write_bench_artifact(path.string(), artifact));
+  std::string error;
+  const auto read = read_bench_artifact(path.string(), &error);
+  ASSERT_TRUE(read.has_value()) << error;
+  EXPECT_EQ(read->bench, artifact.bench);
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(read_bench_artifact("/no/such/dir/file.json", &error)
+                   .has_value());
+}
+
+// ------------------------------------------- prometheus conformance --------
+
+TEST(PrometheusExport, ConformsToTextExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("conf.ops").inc(3);
+  registry.gauge("conf.depth").set(2.5);
+  auto& h = registry.histogram("conf.latency");
+  h.observe(1e-6);
+  h.observe(1e-3);
+  h.observe(0.5);
+
+  const std::string text = prometheus_text(registry);
+  std::istringstream lines(text);
+  std::string line;
+  std::map<std::string, std::string> help;  // metric -> HELP line
+  std::map<std::string, std::string> type;  // metric -> declared type
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // le -> count
+  std::uint64_t inf_count = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      help[rest.substr(0, rest.find(' '))] = rest;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      const std::string name = rest.substr(0, space);
+      type[name] = rest.substr(space + 1);
+      // HELP must precede TYPE for the same metric family.
+      EXPECT_TRUE(help.contains(name)) << name;
+      continue;
+    }
+    if (line.rfind("ps_conf_latency_seconds_bucket{le=\"", 0) == 0) {
+      const std::size_t open = line.find('"') + 1;
+      const std::size_t close = line.find('"', open);
+      const std::string le = line.substr(open, close - open);
+      const std::uint64_t n =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      if (le == "+Inf") {
+        saw_inf = true;
+        inf_count = n;
+      } else {
+        buckets.emplace_back(std::stod(le), n);
+      }
+    }
+  }
+
+  // Counters carry _total; every family declares HELP + TYPE.
+  EXPECT_TRUE(type.contains("ps_conf_ops_total"));
+  EXPECT_EQ(type["ps_conf_ops_total"], "counter");
+  EXPECT_EQ(type["ps_conf_depth"], "gauge");
+  EXPECT_EQ(type["ps_conf_latency_seconds"], "histogram");
+  for (const auto& [name, declared] : type) {
+    EXPECT_TRUE(help.contains(name)) << name;
+  }
+  EXPECT_NE(text.find("ps_conf_ops_total 3\n"), std::string::npos);
+
+  // Histogram buckets are cumulative (non-decreasing in le order) and end
+  // with +Inf == observation count.
+  ASSERT_TRUE(saw_inf);
+  EXPECT_EQ(inf_count, 3u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].first, buckets[i - 1].first);
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second);
+  }
+  if (!buckets.empty()) {
+    EXPECT_LE(buckets.back().second, inf_count);
+  }
+  EXPECT_NE(text.find("ps_conf_latency_seconds_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ps_conf_latency_seconds_sum "), std::string::npos);
+}
+
+// ------------------------------------------------- concurrent exports ------
+// Exercises every reader (dump_json, prometheus_text, profiler aggregation)
+// against concurrent writers; run under -DPS_SANITIZE=thread this is the
+// tier-2 data-race gate for the observability paths.
+
+TEST(ObsConcurrency, ExportersAndProfilerRaceRecordersSafely) {
+  auto& registry = MetricsRegistry::global();
+  TraceRecorder& recorder = TraceRecorder::global();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 400;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.counter("race.ops").inc();
+        registry.gauge("race.depth").set(static_cast<double>(i));
+        registry.histogram("race.latency").observe(1e-6 * (i + 1));
+        SpanScope outer("race.outer." + std::to_string(w));
+        {
+          SpanScope inner("race.inner");
+          recorder.record("race.subject", "tick");
+        }
+      }
+    });
+  }
+
+  // Readers hammer the export paths until every writer is done.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (r == 0) {
+          (void)registry.dump_json();
+        } else if (r == 1) {
+          (void)prometheus_text(registry);
+        } else {
+          const Profile profile = Profile::from_recorder(recorder);
+          (void)profile.folded();
+          (void)profile.top_nodes(4);
+        }
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  recorder.set_enabled(false);
+
+  EXPECT_EQ(registry.counters().at("race.ops"),
+            static_cast<std::uint64_t>(kWriters) * kIterations);
+  const Profile profile = Profile::from_recorder(recorder);
+  EXPECT_FALSE(profile.empty());
+  recorder.clear();
 }
 
 }  // namespace

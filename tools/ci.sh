@@ -5,7 +5,11 @@
 #      concurrency-sensitive tests (`ctest -L tier2`);
 #   3. smoke: `psctl trace export` must produce a loadable Chrome
 #      trace-event JSON artifact and `psctl metrics --prom` a Prometheus
-#      snapshot.
+#      snapshot;
+#   4. bench-smoke: two fast deterministic benches rerun with --json, the
+#      artifacts re-validate against the schema (`psctl bench check`) and
+#      must match the blessed baselines in results/baselines/
+#      (`psctl bench diff` — any vtime drift fails the build).
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -31,10 +35,25 @@ fi
 
 echo "==> smoke: psctl trace export + prometheus snapshot"
 TRACE_OUT="$(mktemp -t ps-ci-trace-XXXXXX.json)"
-trap 'rm -f "${TRACE_OUT}"' EXIT
+BENCH_DIR="$(mktemp -d -t ps-ci-bench-XXXXXX)"
+trap 'rm -f "${TRACE_OUT}"; rm -rf "${BENCH_DIR}"' EXIT
 ./build/tools/psctl trace export "${TRACE_OUT}"
 grep -q '"traceEvents"' "${TRACE_OUT}"
 grep -q '"ph":"X"' "${TRACE_OUT}"
 ./build/tools/psctl metrics --prom | grep -q '^# TYPE ps_'
+
+echo "==> bench-smoke: regenerate artifacts + diff against baselines"
+for bench in fig4_handshake ablation_design; do
+  ./build/bench/"${bench}" --json "${BENCH_DIR}/BENCH_${bench}.json" >/dev/null
+  # The artifact must re-parse against the schema...
+  ./build/tools/psctl bench check "${BENCH_DIR}/BENCH_${bench}.json"
+  # ...and the deterministic series must match the blessed baseline
+  # exactly (nonzero exit here is a perf/determinism regression).
+  ./build/tools/psctl bench diff \
+    "results/baselines/BENCH_${bench}.json" \
+    "${BENCH_DIR}/BENCH_${bench}.json"
+done
+# The committed baselines themselves must stay schema-valid.
+./build/tools/psctl bench check results/baselines/BENCH_*.json
 
 echo "==> CI pass complete"

@@ -18,8 +18,24 @@
 //                                 with distributed tracing on and write the
 //                                 stitched trace as Chrome trace-event JSON
 //                                 (open in https://ui.perfetto.dev)
+//   psctl profile [--folded <file>] [--wall]
+//                                 run the same traced round trip and print
+//                                 the span-derived call-tree profile
+//                                 (self/total vtime + wall per node);
+//                                 --folded writes flamegraph.pl-compatible
+//                                 folded stacks (vtime by default, wall
+//                                 with --wall)
+//   psctl bench diff <baseline.json> <candidate.json> [--wall-tol <rel>]
+//                                 compare two BENCH_*.json artifacts:
+//                                 deterministic vtime series must match
+//                                 exactly, wall series tolerate <rel>
+//                                 (default 0.25) relative slowdown; exits
+//                                 1 on drift/regression, 2 on parse errors
+//   psctl bench check <file>...   schema-validate BENCH_*.json artifacts
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -39,6 +55,8 @@
 #include "obs/context.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "relay/relay.hpp"
 #include "serde/serde.hpp"
@@ -52,9 +70,13 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics|trace> [args...]\n"
+               "metrics|trace|profile|bench> [args...]\n"
                "       psctl metrics [--json|--prom]\n"
-               "       psctl trace export <file>\n");
+               "       psctl trace export <file>\n"
+               "       psctl profile [--folded <file>] [--wall]\n"
+               "       psctl bench diff <baseline.json> <candidate.json> "
+               "[--wall-tol <rel>]\n"
+               "       psctl bench check <file>...\n");
   return 2;
 }
 
@@ -142,9 +164,10 @@ int cmd_handshake(testbed::Testbed& tb, const std::string& host_a,
 // Runs one fig5-style FaaS round trip across two sites with distributed
 // tracing on — proxy minted at the client against an EndpointStore, task
 // submitted through the cloud, the remote worker resolving the proxy back
-// through peered PS-endpoints (relay handshake included) — then writes all
-// recorded spans as a Chrome trace-event / Perfetto JSON file.
-int cmd_trace_export(testbed::Testbed& tb, const std::string& path) {
+// through peered PS-endpoints (relay handshake included). All spans land
+// in the global TraceRecorder for export (trace export) or aggregation
+// (profile).
+int run_traced_round_trip(testbed::Testbed& tb) {
   obs::set_enabled(true);
   obs::TraceRecorder::global().set_enabled(true);
 
@@ -191,6 +214,13 @@ int cmd_trace_export(testbed::Testbed& tb, const std::string& path) {
     }
   }
   gc_endpoint.stop();
+  return 0;
+}
+
+// `psctl trace export <file>`: the traced round trip written as a Chrome
+// trace-event / Perfetto JSON file.
+int cmd_trace_export(testbed::Testbed& tb, const std::string& path) {
+  if (const int rc = run_traced_round_trip(tb); rc != 0) return rc;
 
   if (!obs::write_perfetto_trace(path)) {
     std::fprintf(stderr, "psctl: cannot write trace to '%s'\n", path.c_str());
@@ -208,6 +238,94 @@ int cmd_trace_export(testbed::Testbed& tb, const std::string& path) {
               sites.size(), sites.size() == 1 ? "" : "s", path.c_str());
   std::printf("open in https://ui.perfetto.dev or chrome://tracing\n");
   return 0;
+}
+
+// `psctl profile`: the traced round trip aggregated into a call-tree
+// profile — per-path invocation counts plus total/self time in both the
+// deterministic virtual clock and wall clock. --folded additionally writes
+// flamegraph.pl-compatible folded stacks.
+int cmd_profile(testbed::Testbed& tb, const std::string& folded_path,
+                bool wall) {
+  if (const int rc = run_traced_round_trip(tb); rc != 0) return rc;
+
+  const obs::Profile profile =
+      obs::Profile::from_recorder(obs::TraceRecorder::global());
+  if (profile.empty()) {
+    std::fprintf(stderr, "psctl: no spans recorded\n");
+    return 1;
+  }
+  std::printf("%s", profile.table().c_str());
+  std::printf("\ntotal traced: %.6f s vtime, %.6f s wall\n",
+              profile.total_vtime_s(), profile.total_wall_s());
+
+  if (!folded_path.empty()) {
+    std::ofstream file(folded_path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "psctl: cannot write '%s'\n", folded_path.c_str());
+      return 1;
+    }
+    file << profile.folded(/*vtime=*/!wall);
+    std::printf("folded stacks (%s clock) written to %s — feed to "
+                "flamegraph.pl\n",
+                wall ? "wall" : "vtime", folded_path.c_str());
+  }
+  return 0;
+}
+
+// `psctl bench check <file>...`: parse (and thereby schema-validate) each
+// artifact. Exits nonzero on the first invalid file.
+int cmd_bench_check(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    std::string error;
+    const auto artifact = obs::read_bench_artifact(path, &error);
+    if (!artifact) {
+      std::fprintf(stderr, "psctl: %s: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+    std::printf("%s: ok (bench=%s, %zu series, %zu profile nodes)\n",
+                path.c_str(), artifact->bench.c_str(),
+                artifact->series.size(), artifact->profile_top.size());
+  }
+  return 0;
+}
+
+// `psctl bench diff <baseline> <candidate>`: the perf-regression gate.
+int cmd_bench_diff(const std::string& base_path, const std::string& cand_path,
+                   double wall_tol) {
+  std::string error;
+  const auto baseline = obs::read_bench_artifact(base_path, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "psctl: %s: %s\n", base_path.c_str(), error.c_str());
+    return 2;
+  }
+  const auto candidate = obs::read_bench_artifact(cand_path, &error);
+  if (!candidate) {
+    std::fprintf(stderr, "psctl: %s: %s\n", cand_path.c_str(), error.c_str());
+    return 2;
+  }
+  if (baseline->bench != candidate->bench) {
+    std::fprintf(stderr, "psctl: artifact mismatch: baseline is '%s', "
+                 "candidate is '%s'\n",
+                 baseline->bench.c_str(), candidate->bench.c_str());
+    return 2;
+  }
+
+  obs::DiffOptions options;
+  if (wall_tol >= 0) options.wall_rel_tol = wall_tol;
+  const obs::DiffResult result =
+      obs::diff_bench_artifacts(*baseline, *candidate, options);
+
+  std::printf("bench diff [%s]: %s vs %s\n", baseline->bench.c_str(),
+              base_path.c_str(), cand_path.c_str());
+  for (const obs::SeriesDelta& delta : result.deltas) {
+    if (delta.verdict == "ok") continue;  // keep the report focused
+    std::printf("  %-10s %-7s %-48s base=%.9g cand=%.9g (%+.1f%%)\n",
+                delta.verdict.c_str(), delta.kind.c_str(),
+                delta.name.c_str(), delta.base_mean_s, delta.cand_mean_s,
+                100.0 * delta.rel_delta);
+  }
+  std::printf("%s\n", result.summary.c_str());
+  return result.failed ? 1 : 0;
 }
 
 // Exercises instrumented local- and file-connector stores (puts, gets,
@@ -294,6 +412,23 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "connectors") return cmd_connectors();
 
+  // Artifact commands work on files alone — no testbed needed.
+  if (command == "bench") {
+    const std::string sub = argc >= 3 ? argv[2] : "";
+    if (sub == "check" && argc >= 4) {
+      return cmd_bench_check({argv + 3, argv + argc});
+    }
+    if (sub == "diff" && (argc == 5 || argc == 7)) {
+      double wall_tol = -1.0;
+      if (argc == 7) {
+        if (std::string(argv[5]) != "--wall-tol") return usage();
+        wall_tol = std::atof(argv[6]);
+      }
+      return cmd_bench_diff(argv[3], argv[4], wall_tol);
+    }
+    return usage();
+  }
+
   testbed::Testbed tb = testbed::build();
   try {
     if (command == "hosts") return cmd_hosts(tb);
@@ -311,6 +446,21 @@ int main(int argc, char** argv) {
     if (command == "trace" && argc == 4 &&
         std::string(argv[2]) == "export") {
       return cmd_trace_export(tb, argv[3]);
+    }
+    if (command == "profile") {
+      std::string folded_path;
+      bool wall = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--folded" && i + 1 < argc) {
+          folded_path = argv[++i];
+        } else if (flag == "--wall") {
+          wall = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_profile(tb, folded_path, wall);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psctl: %s\n", e.what());

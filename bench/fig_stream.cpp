@@ -1,0 +1,202 @@
+// ProxyStream streaming comparison (the ProxyStream pattern of Pauloski et
+// al. 2024, built on this paper's proxy machinery): stream N payloads from a
+// Theta compute node to a Midway consumer, with the event channel either
+// carrying the payload inline or carrying only event metadata while the
+// payload flows through a Store/Connector and resolves lazily as a proxy.
+//
+// Brokers: the in-process QueueBroker (payload channel: LocalConnector) —
+// the floor where inline and proxy should be close, proxy paying only
+// descriptor overhead — and the KvBroker whose event log lives on the
+// cloud kv server (payload channel: a Redis-like store on the Theta login
+// node). Cross-site, inline streaming drags every payload through the
+// WAN-limited cloud broker twice (in and out), while proxy streaming moves
+// only small events through the broker and payloads site-to-site once —
+// the separation that is the point of the design.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "connectors/local.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "kv/server.hpp"
+#include "sim/vtime.hpp"
+#include "stream/kv_broker.hpp"
+#include "stream/queue_broker.hpp"
+#include "stream/stream.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+
+/// Payload rides the event channel itself: publish serialized payloads,
+/// drain them back. What ProxyStream avoids.
+double run_inline_streamed(std::shared_ptr<stream::PubSub> broker,
+                           const std::string& topic, proc::Process& producer,
+                           proc::Process& consumer,
+                           const std::vector<Bytes>& payloads) {
+  std::shared_ptr<stream::Subscription> subscription;
+  {
+    proc::ProcessScope scope(consumer);
+    subscription = broker->subscribe(topic);
+  }
+  sim::VtimeScope elapsed;
+  {
+    proc::ProcessScope scope(producer);
+    for (const Bytes& payload : payloads) broker->publish(topic, payload);
+    broker->close_topic(topic);
+  }
+  {
+    proc::ProcessScope scope(consumer);
+    std::size_t received = 0;
+    std::size_t received_bytes = 0;
+    while (auto event = subscription->next()) {
+      ++received;
+      received_bytes += event->size();
+    }
+    if (received != payloads.size() ||
+        received_bytes != payloads.size() * payloads.front().size()) {
+      throw Error("fig_stream: inline stream dropped data");
+    }
+  }
+  return elapsed.elapsed();
+}
+
+double run_proxy_streamed(std::shared_ptr<stream::PubSub> broker,
+                          std::shared_ptr<core::Store> store,
+                          const std::string& topic, proc::Process& producer,
+                          proc::Process& consumer,
+                          const std::vector<Bytes>& payloads) {
+  std::unique_ptr<stream::StreamConsumer<Bytes>> sink;
+  {
+    proc::ProcessScope scope(consumer);
+    sink = std::make_unique<stream::StreamConsumer<Bytes>>(broker, topic);
+  }
+  sim::VtimeScope elapsed;
+  {
+    proc::ProcessScope scope(producer);
+    stream::StreamProducer<Bytes> source(
+        store, broker, topic,
+        stream::StreamProducerOptions{.max_batch_items = 4});
+    for (const Bytes& payload : payloads) source.send(payload);
+    source.close();
+  }
+  {
+    proc::ProcessScope scope(consumer);
+    std::size_t received = 0;
+    while (auto item = sink->next_item()) {
+      // Resolving transfers the payload over the data channel and, as the
+      // only subscriber, evicts it from the channel.
+      if (item->proxy.resolve() !=
+          payloads[static_cast<std::size_t>(item->event.sequence)]) {
+        throw Error("fig_stream: proxy payload mismatch");
+      }
+      ++received;
+    }
+    if (received != payloads.size()) {
+      throw Error("fig_stream: proxy stream dropped events");
+    }
+  }
+  return elapsed.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ps::bench::Args args = ps::bench::parse_args("fig_stream", argc, argv);
+  testbed::Testbed tb = testbed::build();
+  proc::Process& producer =
+      tb.world->spawn("stream-producer", tb.theta_compute0);
+  proc::Process& consumer = tb.world->spawn("stream-consumer", tb.midway_login);
+  // Event channel for the kv broker: the cloud-hosted kv server every site
+  // reaches over the WAN (the hosted-Kafka stand-in).
+  kv::KvServer::start(*tb.world, tb.cloud, "broker");
+  // Data channel for proxy streaming across sites: a Redis-like store on
+  // the producer's login node.
+  kv::KvServer::start(*tb.world, tb.theta_login, "payloads");
+
+  std::shared_ptr<core::Store> local_store;
+  std::shared_ptr<core::Store> redis_store;
+  {
+    proc::ProcessScope scope(producer);
+    local_store = std::make_shared<core::Store>(
+        "stream-local", std::make_shared<connectors::LocalConnector>());
+    core::register_store(local_store);
+    redis_store = std::make_shared<core::Store>(
+        "stream-redis", std::make_shared<connectors::RedisConnector>(
+                            kv::kv_address(tb.theta_login, "payloads")));
+    core::register_store(redis_store);
+  }
+
+  const std::vector<std::size_t> sizes =
+      args.cap({1'000, 100'000, 1'000'000, 10'000'000});
+  const int events = args.reps_or(8);
+
+  ps::bench::print_header(
+      "ProxyStream: " + std::to_string(events) +
+      " events/stream, Theta compute -> Midway consumer\n"
+      "inline = payload through the event broker; proxy = metadata through "
+      "the broker,\npayload via store connector, lazy resolve at the "
+      "consumer");
+  ps::bench::print_row({"payload", "queue.inline", "queue.proxy", "kv.inline",
+                        "kv.proxy"});
+
+  std::uint64_t seed = args.seed;
+  for (const std::size_t size : sizes) {
+    std::vector<std::string> row = {ps::bench::fmt_size(size)};
+    std::vector<Bytes> payloads;
+    payloads.reserve(static_cast<std::size_t>(events));
+    for (int i = 0; i < events; ++i) {
+      payloads.push_back(pattern_bytes(size, seed++));
+    }
+    const std::string suffix = std::to_string(size);
+    const auto cell = [&](const std::string& name) {
+      return "fig_stream." + name + "." + suffix;
+    };
+
+    {
+      auto broker = std::make_shared<stream::QueueBroker>();
+      ps::bench::series(cell("queue.inline"))
+          .observe(run_inline_streamed(broker, "qi-" + suffix, producer,
+                                       consumer, payloads));
+      row.push_back(ps::bench::fmt_series(cell("queue.inline")));
+    }
+    {
+      auto broker = std::make_shared<stream::QueueBroker>();
+      ps::bench::series(cell("queue.proxy"))
+          .observe(run_proxy_streamed(broker, local_store, "qp-" + suffix,
+                                      producer, consumer, payloads));
+      row.push_back(ps::bench::fmt_series(cell("queue.proxy")));
+    }
+    {
+      std::shared_ptr<stream::KvBroker> broker;
+      {
+        proc::ProcessScope scope(producer);
+        broker = std::make_shared<stream::KvBroker>(
+            kv::kv_address(tb.cloud, "broker"));
+      }
+      ps::bench::series(cell("kv.inline"))
+          .observe(run_inline_streamed(broker, "ki-" + suffix, producer,
+                                       consumer, payloads));
+      row.push_back(ps::bench::fmt_series(cell("kv.inline")));
+    }
+    {
+      std::shared_ptr<stream::KvBroker> broker;
+      {
+        proc::ProcessScope scope(producer);
+        broker = std::make_shared<stream::KvBroker>(
+            kv::kv_address(tb.cloud, "broker"));
+      }
+      ps::bench::series(cell("kv.proxy"))
+          .observe(run_proxy_streamed(broker, redis_store, "kp-" + suffix,
+                                      producer, consumer, payloads));
+      row.push_back(ps::bench::fmt_series(cell("kv.proxy")));
+    }
+    ps::bench::print_row(row);
+  }
+
+  ps::bench::finish(args);
+  return 0;
+}

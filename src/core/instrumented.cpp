@@ -19,7 +19,9 @@ InstrumentedConnector::InstrumentedConnector(std::shared_ptr<Connector> inner)
       get_(make_op(inner_->type(), "get")),
       exists_(make_op(inner_->type(), "exists")),
       evict_(make_op(inner_->type(), "evict")),
-      put_batch_(make_op(inner_->type(), "put_batch")) {}
+      put_batch_(make_op(inner_->type(), "put_batch")),
+      put_batch_items_(obs::MetricsRegistry::global().histogram(
+          "connector." + inner_->type() + ".put_batch.items")) {}
 
 std::shared_ptr<Connector> InstrumentedConnector::wrap(
     std::shared_ptr<Connector> inner) {
@@ -58,6 +60,7 @@ std::vector<Key> InstrumentedConnector::put_batch(
   obs::SpanScope span(put_batch_.span_name);
   if (!obs::enabled()) return inner_->put_batch(items);
   put_batch_.count.inc();
+  put_batch_items_.observe(static_cast<double>(items.size()));
   obs::Timer timer(&put_batch_.vtime, &put_batch_.wall);
   return inner_->put_batch(items);
 }

@@ -63,6 +63,10 @@ class InstrumentedConnector : public Connector {
   Op exists_;
   Op evict_;
   Op put_batch_;
+  /// Items per put_batch call ("connector.<type>.put_batch.items") — makes
+  /// batching visible: many small batches vs few large ones read directly
+  /// off count/mean.
+  obs::Histogram& put_batch_items_;
 };
 
 }  // namespace ps::core

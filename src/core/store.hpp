@@ -122,6 +122,26 @@ class Store : public std::enable_shared_from_this<Store> {
     return connector_->put_batch(blobs);
   }
 
+  /// Stores pre-serialized blobs in one connector round trip. Callers that
+  /// buffer serialized objects (the stream producer's flush path, which
+  /// needs true wire sizes for its byte threshold) use this so bulk
+  /// transfer still goes through Connector::put_batch.
+  std::vector<Key> put_bytes_batch(const std::vector<Bytes>& blobs) {
+    check_open();
+    for (const Bytes& blob : blobs) {
+      metrics_bytes_put_ += blob.size();
+      ++metrics_puts_;
+    }
+    return connector_->put_batch(blobs);
+  }
+
+  /// Serializes `value` exactly as put() would — registered custom
+  /// serializer first, serde codec otherwise — without storing it.
+  template <typename T>
+  Bytes serialize(const T& value) {
+    return serialize_value(value);
+  }
+
   /// Retrieves and deserializes the object, consulting the cache first.
   /// Returns nullopt when the object does not exist. With tracing enabled,
   /// emits the get-side lifecycle events (connector.get -> deserialize ->

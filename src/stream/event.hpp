@@ -1,0 +1,58 @@
+// Stream event metadata (the ProxyStream pattern of Pauloski et al. 2024).
+//
+// ProxyStream decouples a stream's event channel from its data channel:
+// producers publish small, serializable Event records through a pub/sub
+// broker while the bulk payload flows through a Store/Connector and reaches
+// consumers as a lazy Proxy<T>. An Event therefore carries exactly what a
+// remote consumer needs to reconstruct that proxy — a FactoryDescriptor —
+// plus stream bookkeeping (topic, per-topic sequence number, payload size,
+// user attributes) and the publisher's TraceContext so consume/dispatch
+// spans stitch into the producer's trace across site boundaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/factory.hpp"
+#include "core/proxy.hpp"
+#include "core/store.hpp"
+#include "obs/context.hpp"
+#include "serde/serde.hpp"
+
+namespace ps::stream {
+
+struct Event {
+  std::string topic;
+  /// Position in the topic, assigned by the producer (0-based).
+  std::uint64_t sequence = 0;
+  /// Serialized payload size in the data channel (wire bytes).
+  std::uint64_t payload_bytes = 0;
+  /// Everything a consumer needs to mint a Proxy<T> over the payload.
+  core::FactoryDescriptor descriptor;
+  /// Application metadata riding the event channel (small by contract).
+  std::map<std::string, std::string> attrs;
+  /// Publish-span context: consumers adopt it so their consume/dispatch
+  /// spans are children of the producer's publish span.
+  obs::TraceContext trace{};
+
+  bool operator==(const Event&) const = default;
+
+  auto serde_members() {
+    return std::tie(topic, sequence, payload_bytes, descriptor, attrs, trace);
+  }
+  auto serde_members() const {
+    return std::tie(topic, sequence, payload_bytes, descriptor, attrs, trace);
+  }
+};
+
+/// Mints the lazy payload proxy described by an event. Resolution follows
+/// the normal descriptor path (store re-registration, ref-counted eviction).
+template <typename T>
+core::Proxy<T> payload_proxy(const Event& event) {
+  return core::Proxy<T>(
+      core::make_descriptor_factory<T>(event.descriptor));
+}
+
+}  // namespace ps::stream

@@ -1,0 +1,107 @@
+#include "stream/kv_broker.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::stream {
+
+namespace {
+
+std::string topic_key(const std::string& topic, const std::string& field) {
+  return "ps.stream/" + topic + "/" + field;
+}
+
+std::string event_key(const std::string& topic, std::uint64_t sequence) {
+  return topic_key(topic, "ev/" + std::to_string(sequence));
+}
+
+std::uint64_t read_counter(kv::KvClient& client, const std::string& key) {
+  const std::optional<Bytes> value = client.get(key);
+  return value ? std::stoull(*value) : 0;
+}
+
+/// Cursor over the topic log. Each subscription keeps its own KvClient copy
+/// so round-trip costs charge the thread actually consuming.
+class KvSubscription : public Subscription {
+ public:
+  KvSubscription(kv::KvClient client, std::string topic, std::uint64_t cursor,
+                 KvBrokerOptions options)
+      : client_(std::move(client)),
+        topic_(std::move(topic)),
+        cursor_(cursor),
+        options_(options) {}
+
+  std::optional<Bytes> next() override {
+    for (std::uint32_t poll = 0; poll <= options_.max_polls; ++poll) {
+      if (auto event = take_available()) return event;
+      // Nothing new: end-of-stream only once closed AND the head has not
+      // moved past the cursor (events published before close still drain).
+      if (client_.exists(topic_key(topic_, "closed")) &&
+          read_counter(client_, topic_key(topic_, "head")) <= cursor_) {
+        return std::nullopt;
+      }
+      sim::vadvance(options_.poll_interval_s);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    throw Error("KvBroker: subscriber to '" + topic_ +
+                "' exhausted its poll budget");
+  }
+
+  std::optional<Bytes> try_next() override { return take_available(); }
+
+ private:
+  std::optional<Bytes> take_available() {
+    const std::uint64_t head =
+        read_counter(client_, topic_key(topic_, "head"));
+    if (cursor_ >= head) return std::nullopt;
+    std::optional<Bytes> event = client_.get(event_key(topic_, cursor_));
+    if (!event) {
+      throw Error("KvBroker: event " + std::to_string(cursor_) +
+                  " of topic '" + topic_ + "' missing from the log");
+    }
+    ++cursor_;
+    return event;
+  }
+
+  kv::KvClient client_;
+  std::string topic_;
+  std::uint64_t cursor_;
+  KvBrokerOptions options_;
+};
+
+}  // namespace
+
+KvBroker::KvBroker(const std::string& address, KvBrokerOptions options)
+    : address_(address), options_(options), client_(address) {}
+
+void KvBroker::publish(const std::string& topic, BytesView event) {
+  if (client_.exists(topic_key(topic, "closed"))) {
+    throw Error("KvBroker: publish to closed topic '" + topic + "'");
+  }
+  const std::uint64_t head = read_counter(client_, topic_key(topic, "head"));
+  // Event + head advance travel as one pipelined request.
+  client_.set_many({{event_key(topic, head), Bytes(event)},
+                    {topic_key(topic, "head"), std::to_string(head + 1)}});
+}
+
+std::shared_ptr<Subscription> KvBroker::subscribe(const std::string& topic) {
+  const std::uint64_t cursor =
+      read_counter(client_, topic_key(topic, "head"));
+  const std::uint64_t subs = read_counter(client_, topic_key(topic, "subs"));
+  client_.set(topic_key(topic, "subs"), std::to_string(subs + 1));
+  return std::make_shared<KvSubscription>(client_, topic, cursor, options_);
+}
+
+std::size_t KvBroker::subscriber_count(const std::string& topic) {
+  return static_cast<std::size_t>(
+      read_counter(client_, topic_key(topic, "subs")));
+}
+
+void KvBroker::close_topic(const std::string& topic) {
+  client_.set(topic_key(topic, "closed"), "1");
+}
+
+}  // namespace ps::stream

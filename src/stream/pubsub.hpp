@@ -1,0 +1,69 @@
+// Pluggable pub/sub broker interface — the ProxyStream event channel.
+//
+// Brokers move opaque serialized events (small metadata messages) between
+// producers and subscribers; the bulk data never touches them. The interface
+// is deliberately byte-oriented so any transport qualifies: the in-process
+// QueueBroker (bounded queues, blocking backpressure) and the KvBroker
+// (an event log on the kv substrate that crosses simulated site boundaries)
+// both implement it, and third-party brokers (Kafka-, Redis-pubsub-like)
+// would plug in the same way connectors do.
+//
+// Delivery contract shared by all brokers:
+//   * fan-out: every subscriber registered at publish time receives the
+//     event; a publish with zero subscribers is dropped (QueueBroker) or
+//     never read (KvBroker) — either way it is not an error;
+//   * a subscriber joining mid-stream sees only events published after it
+//     subscribed;
+//   * close_topic() marks end-of-stream: subscribers drain buffered events
+//     and then observe nullopt, publishing afterwards throws.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ps::stream {
+
+/// One subscriber's position in a topic. Not thread-safe: a subscription
+/// belongs to a single consumer (create one per consuming thread).
+class Subscription {
+ public:
+  virtual ~Subscription() = default;
+
+  /// Blocks for the next event; nullopt once the topic is closed and this
+  /// subscriber has drained every event published since it joined.
+  virtual std::optional<Bytes> next() = 0;
+
+  /// Non-blocking variant: nullopt when no event is currently available
+  /// (which does not distinguish "empty" from "closed" — use next()).
+  virtual std::optional<Bytes> try_next() = 0;
+};
+
+class PubSub {
+ public:
+  virtual ~PubSub() = default;
+
+  /// Broker type name (e.g. "queue", "kv").
+  virtual std::string type() const = 0;
+
+  /// Delivers `event` to every current subscriber of `topic`.
+  /// Throws Error when the topic has been closed.
+  virtual void publish(const std::string& topic, BytesView event) = 0;
+
+  /// Registers a new subscriber positioned at the topic's current tail.
+  virtual std::shared_ptr<Subscription> subscribe(const std::string& topic) = 0;
+
+  /// Number of subscribers currently registered on `topic` — what a
+  /// producer minting ref-counted payloads uses as the reference count.
+  virtual std::size_t subscriber_count(const std::string& topic) = 0;
+
+  /// Marks end-of-stream on `topic` (idempotent).
+  virtual void close_topic(const std::string& topic) = 0;
+
+  /// Releases broker resources; topics behave as closed afterwards.
+  virtual void close() {}
+};
+
+}  // namespace ps::stream

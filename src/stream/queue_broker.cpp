@@ -1,0 +1,84 @@
+#include "stream/queue_broker.hpp"
+
+#include "common/error.hpp"
+
+namespace ps::stream {
+
+namespace {
+
+/// Wraps one subscriber queue. pop() already returns nullopt on
+/// closed-and-drained, which is exactly the Subscription contract.
+class QueueSubscription : public Subscription {
+ public:
+  explicit QueueSubscription(std::shared_ptr<Queue<Bytes>> queue)
+      : queue_(std::move(queue)) {}
+
+  std::optional<Bytes> next() override { return queue_->pop(); }
+  std::optional<Bytes> try_next() override { return queue_->try_pop(); }
+
+ private:
+  std::shared_ptr<Queue<Bytes>> queue_;
+};
+
+}  // namespace
+
+QueueBroker::QueueBroker(QueueBrokerOptions options)
+    : options_(options) {}
+
+QueueBroker::Topic& QueueBroker::topic_locked(const std::string& topic) {
+  return topics_[topic];
+}
+
+void QueueBroker::publish(const std::string& topic, BytesView event) {
+  // Snapshot the subscriber list under the lock, push outside it: a full
+  // queue blocks only this publisher, never subscribe()/close_topic().
+  std::vector<std::shared_ptr<Queue<Bytes>>> targets;
+  {
+    std::lock_guard lock(mu_);
+    Topic& t = topic_locked(topic);
+    if (t.closed) {
+      throw Error("QueueBroker: publish to closed topic '" + topic + "'");
+    }
+    targets = t.subscribers;
+  }
+  for (const auto& queue : targets) {
+    queue->push(Bytes(event));
+  }
+}
+
+std::shared_ptr<Subscription> QueueBroker::subscribe(const std::string& topic) {
+  std::lock_guard lock(mu_);
+  Topic& t = topic_locked(topic);
+  auto queue = std::make_shared<Queue<Bytes>>(options_.queue_capacity);
+  // Subscribing after close yields an immediately-drained stream.
+  if (t.closed) queue->close();
+  t.subscribers.push_back(queue);
+  return std::make_shared<QueueSubscription>(std::move(queue));
+}
+
+std::size_t QueueBroker::subscriber_count(const std::string& topic) {
+  std::lock_guard lock(mu_);
+  return topic_locked(topic).subscribers.size();
+}
+
+void QueueBroker::close_topic(const std::string& topic) {
+  std::lock_guard lock(mu_);
+  Topic& t = topic_locked(topic);
+  t.closed = true;
+  for (const auto& queue : t.subscribers) queue->close();
+}
+
+void QueueBroker::close() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, t] : topics_) {
+    t.closed = true;
+    for (const auto& queue : t.subscribers) queue->close();
+  }
+}
+
+bool QueueBroker::topic_closed(const std::string& topic) {
+  std::lock_guard lock(mu_);
+  return topic_locked(topic).closed;
+}
+
+}  // namespace ps::stream

@@ -1,0 +1,58 @@
+// QueueBroker: in-process pub/sub over bounded blocking queues.
+//
+// Each subscriber owns a bounded Queue<Bytes>; publish fans the event out by
+// pushing into every subscriber queue. A full queue blocks the publisher —
+// the broker's backpressure: a producer cannot run unboundedly ahead of its
+// slowest consumer. Closing a topic closes every subscriber queue, so
+// consumers drain buffered events and then see end-of-stream.
+//
+// The broker mutex guards only the topic tables; the (potentially blocking)
+// queue pushes happen outside it, so a stalled publisher never wedges
+// subscribe/close from other threads.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "stream/pubsub.hpp"
+
+namespace ps::stream {
+
+struct QueueBrokerOptions {
+  /// Per-subscriber buffered-event bound; a full queue blocks publish().
+  std::size_t queue_capacity = 1024;
+};
+
+class QueueBroker : public PubSub {
+ public:
+  explicit QueueBroker(QueueBrokerOptions options = {});
+
+  std::string type() const override { return "queue"; }
+
+  void publish(const std::string& topic, BytesView event) override;
+  std::shared_ptr<Subscription> subscribe(const std::string& topic) override;
+  std::size_t subscriber_count(const std::string& topic) override;
+  void close_topic(const std::string& topic) override;
+  void close() override;
+
+  bool topic_closed(const std::string& topic);
+
+ private:
+  struct Topic {
+    std::vector<std::shared_ptr<Queue<Bytes>>> subscribers;
+    bool closed = false;
+  };
+
+  Topic& topic_locked(const std::string& topic);
+
+  QueueBrokerOptions options_;
+  std::mutex mu_;
+  std::map<std::string, Topic> topics_;
+};
+
+}  // namespace ps::stream

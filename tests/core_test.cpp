@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "connectors/local.hpp"
 #include "core/cache.hpp"
+#include "core/instrumented.hpp"
 #include "core/key.hpp"
 #include "core/multi.hpp"
 #include "core/proxy.hpp"
@@ -619,6 +620,107 @@ TEST(Policy, MatchingRules) {
   EXPECT_TRUE(p.matches(50, PutHints{.required_tags = {"a"}}));
   EXPECT_TRUE(p.matches(50, PutHints{.required_tags = {"a", "b"}}));
   EXPECT_FALSE(p.matches(50, PutHints{.required_tags = {"c"}}));
+}
+
+// Counts bulk vs one-by-one writes hitting a child connector, so tests can
+// prove batches are forwarded as batches.
+class BatchCountingConnector : public Connector {
+ public:
+  explicit BatchCountingConnector(std::string type_name)
+      : type_(std::move(type_name)),
+        inner_(std::make_shared<LocalConnector>()) {}
+
+  std::string type() const override { return type_; }
+  ConnectorConfig config() const override { return inner_->config(); }
+  ConnectorTraits traits() const override { return inner_->traits(); }
+
+  Key put(BytesView data) override {
+    ++puts;
+    return inner_->put(data);
+  }
+  std::vector<Key> put_batch(const std::vector<Bytes>& items) override {
+    ++batch_calls;
+    batch_items += items.size();
+    return inner_->put_batch(items);
+  }
+  std::optional<Bytes> get(const Key& key) override {
+    return inner_->get(key);
+  }
+  bool exists(const Key& key) override { return inner_->exists(key); }
+  void evict(const Key& key) override { inner_->evict(key); }
+
+  int puts = 0;
+  int batch_calls = 0;
+  std::size_t batch_items = 0;
+
+ private:
+  std::string type_;
+  std::shared_ptr<LocalConnector> inner_;
+};
+
+TEST_F(MultiTest, PutBatchPolicyRoutesPerItem) {
+  auto multi = make_multi();
+  proc::ProcessScope scope(*producer_);
+  const std::vector<Bytes> items = {
+      pattern_bytes(100, 0), pattern_bytes(5000, 1), pattern_bytes(200, 2),
+      pattern_bytes(20000, 3), pattern_bytes(999, 4)};
+  const std::vector<Key> keys = multi->put_batch(items);
+  ASSERT_EQ(keys.size(), items.size());
+  // Each item routed by its own size, results in submission order.
+  EXPECT_EQ(keys[0].field("multi_connector"), "small");
+  EXPECT_EQ(keys[1].field("multi_connector"), "large");
+  EXPECT_EQ(keys[2].field("multi_connector"), "small");
+  EXPECT_EQ(keys[3].field("multi_connector"), "large");
+  EXPECT_EQ(keys[4].field("multi_connector"), "small");
+  EXPECT_EQ(small_->count(), 3u);
+  EXPECT_EQ(large_->count(), 2u);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(multi->get(keys[i]), items[i]) << "item " << i;
+  }
+}
+
+TEST_F(MultiTest, PutBatchForwardsGroupsAsBatches) {
+  // Children must receive one put_batch per group — never the base class's
+  // one-by-one fallback.
+  proc::ProcessScope scope(*producer_);
+  auto small = std::make_shared<BatchCountingConnector>("count-small");
+  auto large = std::make_shared<BatchCountingConnector>("count-large");
+  Policy small_policy;
+  small_policy.max_size = 1000;
+  small_policy.priority = 1;
+  MultiConnector multi(std::vector<MultiConnector::Entry>{
+      {"small", small, small_policy}, {"large", large, Policy{}}});
+  const std::vector<Bytes> items = {
+      pattern_bytes(10, 0), pattern_bytes(4000, 1), pattern_bytes(20, 2),
+      pattern_bytes(8000, 3)};
+  multi.put_batch(items);
+  EXPECT_EQ(small->batch_calls, 1);
+  EXPECT_EQ(small->batch_items, 2u);
+  EXPECT_EQ(large->batch_calls, 1);
+  EXPECT_EQ(large->batch_items, 2u);
+  EXPECT_EQ(small->puts, 0);
+  EXPECT_EQ(large->puts, 0);
+}
+
+TEST(Instrumented, PutBatchRecordsBatchSizeMetricAndForwards) {
+  obs::set_enabled(true);
+  auto world = proc::World::make_local();
+  proc::ProcessScope scope(world->spawn("p", "localhost"));
+  auto counting = std::make_shared<BatchCountingConnector>("batch-metric");
+  InstrumentedConnector instrumented(counting);
+  const std::vector<Bytes> items = {pattern_bytes(10, 0), pattern_bytes(20, 1),
+                                    pattern_bytes(30, 2)};
+  instrumented.put_batch(items);
+  // Forwarded as one bulk call, not unrolled through put().
+  EXPECT_EQ(counting->batch_calls, 1);
+  EXPECT_EQ(counting->puts, 0);
+  auto& registry = obs::MetricsRegistry::global();
+  EXPECT_EQ(registry.counter("connector.batch-metric.put_batch").value(), 1u);
+  const obs::Histogram* items_hist =
+      registry.find_histogram("connector.batch-metric.put_batch.items");
+  ASSERT_NE(items_hist, nullptr);
+  EXPECT_EQ(items_hist->count(), 1u);
+  EXPECT_DOUBLE_EQ(items_hist->mean(), 3.0);
 }
 
 // ------------------------------------------------- connector registry ----

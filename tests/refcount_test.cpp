@@ -2,6 +2,9 @@
 // N consumers to resolve an object evicts it from the channel.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "connectors/local.hpp"
 #include "core/refcount.hpp"
 #include "core/store.hpp"
@@ -105,6 +108,70 @@ TEST_F(RefcountTest, RegistryBasics) {
   EXPECT_EQ(registry->remaining("k"), std::nullopt);
   EXPECT_EQ(registry->decrement("k"), 0u);  // idempotent at zero
   EXPECT_EQ(registry->decrement("unknown"), 0u);
+}
+
+/// Counts evict calls so the race test below can assert the final
+/// decrement evicts exactly once, not once per racing thread.
+class EvictCountingConnector : public Connector {
+ public:
+  std::string type() const override { return inner_.type(); }
+  ConnectorConfig config() const override { return inner_.config(); }
+  ConnectorTraits traits() const override { return inner_.traits(); }
+  Key put(BytesView data) override { return inner_.put(data); }
+  std::optional<Bytes> get(const Key& key) override {
+    return inner_.get(key);
+  }
+  bool exists(const Key& key) override { return inner_.exists(key); }
+  void evict(const Key& key) override {
+    evicts.fetch_add(1, std::memory_order_relaxed);
+    inner_.evict(key);
+  }
+
+  std::atomic<int> evicts{0};
+
+ private:
+  connectors::LocalConnector inner_;
+};
+
+TEST_F(RefcountTest, ConcurrentFinalDecrementEvictsExactlyOnce) {
+  constexpr int kThreads = 8;
+  auto counting = std::make_shared<EvictCountingConnector>();
+  std::shared_ptr<Store> store;
+  Bytes wire;
+  Key key;
+  {
+    proc::ProcessScope scope(*producer_);
+    store = std::make_shared<Store>("rc-race", counting);
+    register_store(store);
+    auto proxy = proxy_with_refs(*store, std::string("racy"),
+                                 static_cast<std::uint32_t>(kThreads));
+    key = proxy.factory().descriptor()->key;
+    wire = serde::to_bytes(proxy);
+  }
+  // All threads resolve in the producer's process, so get_or_register_store
+  // hands every one the same registered store (and counting connector) and
+  // the decrements race on the shared registry entry.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      proc::ProcessScope scope(*producer_);
+      try {
+        auto proxy = serde::from_bytes<Proxy<std::string>>(wire);
+        if (*proxy != "racy") failures.fetch_add(1);
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every resolve completes its get before its decrement, so the final
+  // decrement — and the eviction it triggers — strictly follows all reads.
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(counting->evicts.load(), 1);
+  proc::ProcessScope scope(*producer_);
+  EXPECT_FALSE(store->connector().exists(key));
 }
 
 TEST_F(RefcountTest, DescriptorFlagSurvivesSerde) {

@@ -1,0 +1,343 @@
+// ProxyStream: brokers, producer/consumer, eviction protocol, dispatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "connectors/local.hpp"
+#include "core/store.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "kv/server.hpp"
+#include "proc/world.hpp"
+#include "serde/serde.hpp"
+#include "stream/dispatch.hpp"
+#include "stream/event.hpp"
+#include "stream/kv_broker.hpp"
+#include "stream/queue_broker.hpp"
+#include "stream/stream.hpp"
+
+namespace ps::stream {
+namespace {
+
+using connectors::LocalConnector;
+
+// --------------------------------------------------------- broker layer ----
+
+TEST(QueueBrokerTest, FanOutMidStreamJoinAndClose) {
+  QueueBroker broker;
+  broker.publish("t", Bytes("unreachable"));  // zero subscribers: no error
+  auto sub1 = broker.subscribe("t");
+  broker.publish("t", Bytes("e1"));
+  auto sub2 = broker.subscribe("t");  // mid-stream joiner
+  broker.publish("t", Bytes("e2"));
+  EXPECT_EQ(broker.subscriber_count("t"), 2u);
+  broker.close_topic("t");
+  // sub1 sees everything since it joined; sub2 only what came after it.
+  EXPECT_EQ(sub1->next(), Bytes("e1"));
+  EXPECT_EQ(sub1->next(), Bytes("e2"));
+  EXPECT_EQ(sub1->next(), std::nullopt);
+  EXPECT_EQ(sub2->next(), Bytes("e2"));
+  EXPECT_EQ(sub2->next(), std::nullopt);
+  EXPECT_THROW(broker.publish("t", Bytes("late")), Error);
+  auto sub3 = broker.subscribe("t");  // after close: immediately drained
+  EXPECT_EQ(sub3->next(), std::nullopt);
+}
+
+TEST(QueueBrokerTest, FullQueueBlocksPublisher) {
+  QueueBroker broker(QueueBrokerOptions{.queue_capacity = 1});
+  auto sub = broker.subscribe("t");
+  broker.publish("t", Bytes("e1"));
+  std::atomic<bool> second_landed{false};
+  std::thread publisher([&] {
+    broker.publish("t", Bytes("e2"));  // blocks: queue holds e1
+    second_landed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_landed.load());
+  EXPECT_EQ(sub->next(), Bytes("e1"));  // frees the slot
+  publisher.join();
+  EXPECT_TRUE(second_landed.load());
+  EXPECT_EQ(sub->next(), Bytes("e2"));
+}
+
+// ---------------------------------------------------------- event serde ----
+
+TEST(StreamEvent, SerdeRoundTripPreservesTraceContext) {
+  Event event;
+  event.topic = "training";
+  event.sequence = 42;
+  event.payload_bytes = 1234;
+  event.descriptor.store_name = "grads";
+  event.descriptor.key = core::Key{.object_id = "obj-7", .meta = {{"m", "1"}}};
+  event.descriptor.connector =
+      core::ConnectorConfig{"local", {{"address", "local://abc"}}};
+  event.descriptor.ref_counted = true;
+  event.attrs = {{"epoch", "3"}, {"model", "resnet"}};
+  event.trace = obs::TraceContext{0x1111, 0x2222, 0x3333, 0x4444};
+  event.descriptor.trace = event.trace;
+  const Event decoded = serde::from_bytes<Event>(serde::to_bytes(event));
+  EXPECT_EQ(decoded, event);
+  EXPECT_TRUE(decoded.trace.valid());
+  EXPECT_EQ(decoded.descriptor.trace, event.trace);
+}
+
+// ------------------------------------------------- producer / consumer ----
+
+/// Two sites, producer on one, two consumer processes on the other,
+/// mirroring the cross-process resolution path of real deployments.
+class StreamTest : public ::testing::Test {
+ protected:
+  StreamTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site-a", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_site("site-b", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().connect_sites("site-a", "site-b",
+                                   net::wan_tcp(20e-3, 1e9));
+    world_->fabric().add_host("host-a", "site-a");
+    world_->fabric().add_host("host-b", "site-b");
+    producer_ = &world_->spawn("producer", "host-a");
+    consumer1_ = &world_->spawn("consumer-1", "host-b");
+    consumer2_ = &world_->spawn("consumer-2", "host-b");
+  }
+
+  std::shared_ptr<core::Store> make_store(const std::string& name) {
+    proc::ProcessScope scope(*producer_);
+    auto store = std::make_shared<core::Store>(
+        name, std::make_shared<LocalConnector>());
+    core::register_store(store);
+    return store;
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* producer_ = nullptr;
+  proc::Process* consumer1_ = nullptr;
+  proc::Process* consumer2_ = nullptr;
+};
+
+TEST_F(StreamTest, SendFlushesAtItemThreshold) {
+  auto store = make_store("items");
+  auto broker = std::make_shared<QueueBroker>();
+  proc::ProcessScope scope(*producer_);
+  StreamProducer<int> producer(store, broker, "t",
+                               StreamProducerOptions{.max_batch_items = 3});
+  producer.send(1);
+  producer.send(2);
+  EXPECT_EQ(producer.pending(), 2u);
+  EXPECT_EQ(producer.published(), 0u);
+  producer.send(3);  // hits the item threshold: batch flushes
+  EXPECT_EQ(producer.pending(), 0u);
+  EXPECT_EQ(producer.published(), 3u);
+}
+
+TEST_F(StreamTest, SendFlushesAtByteThreshold) {
+  auto store = make_store("bytes");
+  auto broker = std::make_shared<QueueBroker>();
+  proc::ProcessScope scope(*producer_);
+  StreamProducer<Bytes> producer(
+      store, broker, "t",
+      StreamProducerOptions{.max_batch_items = 100, .max_batch_bytes = 64});
+  producer.send(pattern_bytes(10));
+  EXPECT_EQ(producer.pending(), 1u);
+  producer.send(pattern_bytes(100));  // pushes the buffer past 64 bytes
+  EXPECT_EQ(producer.pending(), 0u);
+  EXPECT_EQ(producer.published(), 2u);
+}
+
+TEST_F(StreamTest, CloseFlushesPartialBatchAndEndsStream) {
+  auto store = make_store("close");
+  auto broker = std::make_shared<QueueBroker>();
+  StreamConsumer<int> consumer(broker, "t");
+  {
+    proc::ProcessScope scope(*producer_);
+    StreamProducer<int> producer(
+        store, broker, "t", StreamProducerOptions{.max_batch_items = 100});
+    producer.send(1);
+    producer.send(2);
+    EXPECT_EQ(producer.published(), 0u);  // below both thresholds
+    producer.close();
+    EXPECT_TRUE(producer.closed());
+    EXPECT_EQ(producer.published(), 2u);  // close flushed the tail
+    EXPECT_THROW(producer.send(3), Error);
+    producer.close();  // idempotent
+  }
+  proc::ProcessScope scope(*consumer1_);
+  auto first = consumer.next_item();
+  auto second = consumer.next_item();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->event.sequence, 0u);
+  EXPECT_EQ(second->event.sequence, 1u);
+  EXPECT_EQ(first->proxy.resolve(), 1);
+  EXPECT_EQ(second->proxy.resolve(), 2);
+  EXPECT_EQ(consumer.next_item(), std::nullopt);
+  EXPECT_EQ(consumer.consumed(), 2u);
+}
+
+TEST_F(StreamTest, ZeroSubscriberPublishEvictsPayloadImmediately) {
+  proc::ProcessScope scope(*producer_);
+  auto local = std::make_shared<LocalConnector>();
+  auto store = std::make_shared<core::Store>("zero-subs", local);
+  core::register_store(store);
+  auto broker = std::make_shared<QueueBroker>();
+  StreamProducer<int> producer(store, broker, "t");
+  producer.send(7);
+  EXPECT_EQ(producer.flush(), 1u);  // no error with nobody listening
+  EXPECT_EQ(producer.published(), 1u);
+  // Subscribers join at the tail, so the payload was unreachable: the
+  // producer reclaimed the channel instead of leaking it.
+  EXPECT_EQ(local->count(), 0u);
+}
+
+// Acceptance: consumers get lazily-resolving proxies and the last
+// subscriber's resolve evicts — through the in-process QueueBroker.
+TEST_F(StreamTest, QueueBrokerLastSubscriberResolveEvicts) {
+  auto store = make_store("q-evict");
+  auto broker = std::make_shared<QueueBroker>();
+  StreamConsumer<std::string> consumer1(broker, "t");
+  StreamConsumer<std::string> consumer2(broker, "t");
+  {
+    proc::ProcessScope scope(*producer_);
+    StreamProducer<std::string> producer(store, broker, "t");
+    producer.send("alpha");
+    producer.send("beta");
+    producer.close();
+  }
+  std::vector<StreamItem<std::string>> items1;
+  std::vector<StreamItem<std::string>> items2;
+  while (auto item = consumer1.next_item()) items1.push_back(std::move(*item));
+  while (auto item = consumer2.next_item()) items2.push_back(std::move(*item));
+  ASSERT_EQ(items1.size(), 2u);
+  ASSERT_EQ(items2.size(), 2u);
+  // Events arrive with unresolved proxies: no payload moved yet.
+  EXPECT_FALSE(items1[0].proxy.resolved());
+  EXPECT_TRUE(items1[0].event.descriptor.ref_counted);
+  EXPECT_EQ(items1[0].event.payload_bytes,
+            store->serialize(std::string("alpha")).size());
+  const core::Key key0 = items1[0].event.descriptor.key;
+  const core::Key key1 = items1[1].event.descriptor.key;
+  {
+    proc::ProcessScope scope(*consumer1_);
+    EXPECT_EQ(items1[0].proxy.resolve(), "alpha");
+    EXPECT_EQ(items1[1].proxy.resolve(), "beta");
+  }
+  {
+    // One reference left on each payload: still in the channel.
+    proc::ProcessScope scope(*producer_);
+    EXPECT_TRUE(store->connector().exists(key0));
+    EXPECT_TRUE(store->connector().exists(key1));
+  }
+  {
+    proc::ProcessScope scope(*consumer2_);
+    EXPECT_EQ(items2[0].proxy.resolve(), "alpha");
+    EXPECT_EQ(items2[1].proxy.resolve(), "beta");
+  }
+  proc::ProcessScope scope(*producer_);
+  EXPECT_FALSE(store->connector().exists(key0));
+  EXPECT_FALSE(store->connector().exists(key1));
+}
+
+// Acceptance: the same eviction protocol through the cross-site KvBroker.
+TEST_F(StreamTest, KvBrokerCrossSiteLastResolveEvicts) {
+  kv::KvServer::start(*world_, "host-b", "broker");
+  auto store = make_store("kv-evict");
+  std::shared_ptr<KvBroker> broker;
+  std::unique_ptr<StreamConsumer<std::string>> consumer;
+  {
+    proc::ProcessScope scope(*consumer1_);
+    broker = std::make_shared<KvBroker>(kv::kv_address("host-b", "broker"));
+    consumer = std::make_unique<StreamConsumer<std::string>>(broker, "kt");
+  }
+  {
+    proc::ProcessScope scope(*producer_);
+    StreamProducer<std::string> producer(store, broker, "kt");
+    producer.send("gamma");
+    producer.send("delta");
+    producer.close();
+  }
+  proc::ProcessScope scope(*consumer1_);
+  std::vector<StreamItem<std::string>> items;
+  while (auto item = consumer->next_item()) items.push_back(std::move(*item));
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].event.sequence, 0u);
+  EXPECT_EQ(items[1].event.sequence, 1u);
+  EXPECT_FALSE(items[0].proxy.resolved());
+  EXPECT_TRUE(items[0].event.descriptor.ref_counted);
+  EXPECT_EQ(items[0].proxy.resolve(), "gamma");
+  EXPECT_EQ(items[1].proxy.resolve(), "delta");
+  // Single subscriber: each resolve was the last reference.
+  EXPECT_FALSE(store->connector().exists(items[0].event.descriptor.key));
+  EXPECT_FALSE(store->connector().exists(items[1].event.descriptor.key));
+}
+
+TEST_F(StreamTest, KvBrokerMidStreamJoinAndCloseSemantics) {
+  kv::KvServer::start(*world_, "host-b", "log");
+  proc::ProcessScope scope(*producer_);
+  KvBroker broker(kv::kv_address("host-b", "log"));
+  EXPECT_EQ(broker.subscriber_count("t"), 0u);
+  broker.publish("t", Bytes("e1"));  // zero subscribers: just logged
+  auto sub = broker.subscribe("t");
+  EXPECT_EQ(broker.subscriber_count("t"), 1u);
+  broker.publish("t", Bytes("e2"));
+  broker.close_topic("t");
+  // The joiner's cursor started at the tail: e1 is before its time.
+  EXPECT_EQ(sub->next(), Bytes("e2"));
+  EXPECT_EQ(sub->next(), std::nullopt);
+  EXPECT_THROW(broker.publish("t", Bytes("late")), Error);
+}
+
+// --------------------------------------------------- dispatch-on-event ----
+
+TEST_F(StreamTest, DispatcherBridgesEventsIntoFaas) {
+  world_->fabric().add_site("cloud", net::hpc_interconnect(50e-6, 10e9));
+  world_->fabric().connect_sites("site-a", "cloud", net::wan_tcp(35e-3, 1e9));
+  world_->fabric().connect_sites("site-b", "cloud", net::wan_tcp(35e-3, 1e9));
+  world_->fabric().add_host("cloud-host", "cloud");
+  auto cloud = faas::CloudService::start(*world_, "cloud-host");
+  auto& endpoint_proc = world_->spawn("endpoint", "host-b");
+  // The remote function receives the serialized Event, mints the payload
+  // proxy, and resolves it inside the worker — data flows channel->worker.
+  faas::FunctionRegistry::instance().register_function(
+      "stream-double", [](BytesView request) {
+        const Event event = serde::from_bytes<Event>(request);
+        core::Proxy<int> payload = payload_proxy<int>(event);
+        return serde::to_bytes(*payload * 2);
+      });
+  faas::ComputeEndpoint endpoint(cloud, endpoint_proc);
+
+  auto store = make_store("dispatch");
+  auto broker = std::make_shared<QueueBroker>();
+  std::unique_ptr<StreamDispatcher> dispatcher;
+  {
+    proc::ProcessScope scope(*consumer1_);
+    faas::Executor executor(cloud, endpoint.uuid());
+    dispatcher = std::make_unique<StreamDispatcher>(broker, "jobs", executor,
+                                                    "stream-double");
+  }
+  {
+    proc::ProcessScope scope(*producer_);
+    StreamProducer<int> producer(store, broker, "jobs");
+    for (int i = 1; i <= 3; ++i) producer.send(i);
+    producer.close();
+  }
+  {
+    proc::ProcessScope scope(*consumer1_);
+    EXPECT_EQ(dispatcher->run(), 3u);
+    EXPECT_EQ(dispatcher->dispatched(), 3u);
+    ASSERT_EQ(dispatcher->futures().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(dispatcher->futures()[i].get_as<int>(),
+                static_cast<int>(i + 1) * 2);
+    }
+  }
+  endpoint.stop();
+}
+
+}  // namespace
+}  // namespace ps::stream

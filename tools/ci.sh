@@ -4,12 +4,14 @@
 #   2. tier-2: TSan build (-DPS_SANITIZE=thread) running the
 #      concurrency-sensitive tests (`ctest -L tier2`);
 #   3. smoke: `psctl trace export` must produce a loadable Chrome
-#      trace-event JSON artifact and `psctl metrics --prom` a Prometheus
-#      snapshot;
-#   4. bench-smoke: two fast deterministic benches rerun with --json, the
-#      artifacts re-validate against the schema (`psctl bench check`) and
-#      must match the blessed baselines in results/baselines/
-#      (`psctl bench diff` — any vtime drift fails the build).
+#      trace-event JSON artifact, `psctl metrics --prom` a Prometheus
+#      snapshot, and `psctl stream stats` a per-topic table with the
+#      expected demo-topic rows;
+#   4. bench-smoke: fast deterministic benches rerun with --json (each with
+#      the same flags its baseline was blessed with), the artifacts
+#      re-validate against the schema (`psctl bench check`) and must match
+#      the blessed baselines in results/baselines/ (`psctl bench diff` —
+#      any vtime drift fails the build).
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -41,10 +43,20 @@ trap 'rm -f "${TRACE_OUT}"; rm -rf "${BENCH_DIR}"' EXIT
 grep -q '"traceEvents"' "${TRACE_OUT}"
 grep -q '"ph":"X"' "${TRACE_OUT}"
 ./build/tools/psctl metrics --prom | grep -q '^# TYPE ps_'
+# The stream demo must report both demo topics, and the fully-drained
+# queue topic must end with zero lag.
+STREAM_STATS="$(./build/tools/psctl stream stats)"
+grep -q '^updates .* 0$' <<<"${STREAM_STATS}"
+grep -q '^gradients ' <<<"${STREAM_STATS}"
 
 echo "==> bench-smoke: regenerate artifacts + diff against baselines"
-for bench in fig4_handshake ablation_design; do
-  ./build/bench/"${bench}" --json "${BENCH_DIR}/BENCH_${bench}.json" >/dev/null
+# Each bench reruns with the exact flags its baseline was blessed with
+# (fig6 is capped at 1MB payloads to stay CI-fast).
+run_bench() {
+  local bench="$1"
+  shift
+  ./build/bench/"${bench}" "$@" --json "${BENCH_DIR}/BENCH_${bench}.json" \
+    >/dev/null
   # The artifact must re-parse against the schema...
   ./build/tools/psctl bench check "${BENCH_DIR}/BENCH_${bench}.json"
   # ...and the deterministic series must match the blessed baseline
@@ -52,7 +64,11 @@ for bench in fig4_handshake ablation_design; do
   ./build/tools/psctl bench diff \
     "results/baselines/BENCH_${bench}.json" \
     "${BENCH_DIR}/BENCH_${bench}.json"
-done
+}
+run_bench fig4_handshake
+run_bench ablation_design
+run_bench fig6_inmemory --max-size 1MB
+run_bench fig_stream
 # The committed baselines themselves must stay schema-valid.
 ./build/tools/psctl bench check results/baselines/BENCH_*.json
 

@@ -32,6 +32,12 @@
 //                                 (default 0.25) relative slowdown; exits
 //                                 1 on drift/regression, 2 on parse errors
 //   psctl bench check <file>...   schema-validate BENCH_*.json artifacts
+//   psctl stream stats            run a two-broker ProxyStream demo (an
+//                                 in-process queue topic with two consumers
+//                                 and a cross-site kv topic with a lagging
+//                                 consumer) and print per-topic publish/
+//                                 deliver/consume counts and consumer lag
+//                                 from the metrics registry
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -61,6 +67,9 @@
 #include "relay/relay.hpp"
 #include "serde/serde.hpp"
 #include "sim/vtime.hpp"
+#include "stream/kv_broker.hpp"
+#include "stream/queue_broker.hpp"
+#include "stream/stream.hpp"
 #include "testbed/testbed.hpp"
 
 using namespace ps;
@@ -70,13 +79,14 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics|trace|profile|bench> [args...]\n"
+               "metrics|trace|profile|bench|stream> [args...]\n"
                "       psctl metrics [--json|--prom]\n"
                "       psctl trace export <file>\n"
                "       psctl profile [--folded <file>] [--wall]\n"
                "       psctl bench diff <baseline.json> <candidate.json> "
                "[--wall-tol <rel>]\n"
-               "       psctl bench check <file>...\n");
+               "       psctl bench check <file>...\n"
+               "       psctl stream stats\n");
   return 2;
 }
 
@@ -405,6 +415,105 @@ int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
   return 0;
 }
 
+int cmd_stream_stats(testbed::Testbed& tb) {
+  obs::set_enabled(true);
+
+  proc::Process& producer = tb.world->spawn("psctl-prod", tb.theta_compute0);
+  proc::Process& consumer = tb.world->spawn("psctl-cons", tb.midway_login);
+  kv::KvServer::start(*tb.world, tb.cloud, "psctl-broker");
+
+  // Topic "updates": in-process queue broker, two subscribers, fully
+  // drained — lag ends at zero and delivered = 2x published.
+  {
+    auto broker = std::make_shared<stream::QueueBroker>();
+    stream::StreamConsumer<int> sink_a(broker, "updates");
+    stream::StreamConsumer<int> sink_b(broker, "updates");
+    {
+      proc::ProcessScope scope(producer);
+      auto store = std::make_shared<core::Store>(
+          "psctl-updates", std::make_shared<connectors::LocalConnector>());
+      core::register_store(store);
+      stream::StreamProducer<int> source(
+          store, broker, "updates",
+          stream::StreamProducerOptions{.max_batch_items = 4});
+      for (int i = 0; i < 12; ++i) source.send(i);
+      source.close();
+    }
+    proc::ProcessScope scope(consumer);
+    while (auto item = sink_a.next_item()) item->proxy.resolve();
+    while (auto item = sink_b.next_item()) item->proxy.resolve();
+  }
+
+  // Topic "gradients": cloud-hosted kv broker crossing site boundaries;
+  // the consumer stops three events short, leaving visible lag.
+  {
+    std::shared_ptr<stream::KvBroker> broker;
+    std::unique_ptr<stream::StreamConsumer<Bytes>> sink;
+    {
+      proc::ProcessScope scope(consumer);
+      broker = std::make_shared<stream::KvBroker>(
+          kv::kv_address(tb.cloud, "psctl-broker"));
+      sink = std::make_unique<stream::StreamConsumer<Bytes>>(broker,
+                                                             "gradients");
+    }
+    {
+      proc::ProcessScope scope(producer);
+      auto store = std::make_shared<core::Store>(
+          "psctl-gradients", std::make_shared<connectors::LocalConnector>());
+      core::register_store(store);
+      stream::StreamProducer<Bytes> source(store, broker, "gradients");
+      for (int i = 0; i < 8; ++i) source.send(pattern_bytes(1000, 7 + i));
+      source.close();
+    }
+    proc::ProcessScope scope(consumer);
+    for (int i = 0; i < 5; ++i) {
+      if (auto item = sink->next_item()) item->proxy.resolve();
+    }
+  }
+
+  // Per-topic rows assembled from the registry counters the stream layer
+  // maintains (the same ones Prometheus/JSON exports see).
+  struct TopicStats {
+    std::uint64_t published = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t dispatched = 0;
+  };
+  std::map<std::string, TopicStats> topics;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::global().counters()) {
+    const auto with_prefix = [&](const std::string& prefix) {
+      return name.rfind(prefix, 0) == 0
+                 ? std::optional<std::string>(name.substr(prefix.size()))
+                 : std::nullopt;
+    };
+    if (auto topic = with_prefix("stream.publish.")) {
+      topics[*topic].published = value;
+    } else if (auto topic = with_prefix("stream.delivered.")) {
+      topics[*topic].delivered = value;
+    } else if (auto topic = with_prefix("stream.consume.")) {
+      topics[*topic].consumed = value;
+    } else if (auto topic = with_prefix("stream.dispatch.")) {
+      topics[*topic].dispatched = value;
+    }
+  }
+
+  std::printf("%-14s %10s %10s %10s %11s %6s\n", "topic", "published",
+              "delivered", "consumed", "dispatched", "lag");
+  for (const auto& [topic, stats] : topics) {
+    const std::uint64_t lag =
+        stats.delivered > stats.consumed ? stats.delivered - stats.consumed
+                                         : 0;
+    std::printf("%-14s %10llu %10llu %10llu %11llu %6llu\n", topic.c_str(),
+                static_cast<unsigned long long>(stats.published),
+                static_cast<unsigned long long>(stats.delivered),
+                static_cast<unsigned long long>(stats.consumed),
+                static_cast<unsigned long long>(stats.dispatched),
+                static_cast<unsigned long long>(lag));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -446,6 +555,10 @@ int main(int argc, char** argv) {
     if (command == "trace" && argc == 4 &&
         std::string(argv[2]) == "export") {
       return cmd_trace_export(tb, argv[3]);
+    }
+    if (command == "stream" && argc == 3 &&
+        std::string(argv[2]) == "stats") {
+      return cmd_stream_stats(tb);
     }
     if (command == "profile") {
       std::string folded_path;

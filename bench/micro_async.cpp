@@ -1,0 +1,162 @@
+// Asynchronous operation core microbenchmark: what the futures-based
+// Connector protocol buys on a kv-backed (Redis-like) channel.
+//
+// Two comparisons, both in deterministic virtual time:
+//   * sequential vs batched resolve — N objects fetched one store.get at a
+//     time (N kv round trips) against one Store::resolve_batch (a single
+//     pipelined MGET round trip carrying every key);
+//   * sync vs overlapped resolve — resolve-then-compute (cost T + C)
+//     against Proxy::resolve_async + compute + access, where the transfer
+//     rides the shared AsyncExecutor while the consumer computes and the
+//     access merges the completion vtime: cost max(T, C).
+// Both wins are hard-asserted, so the blessed baseline encodes them and
+// the CI diff gate fails if either regresses.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "kv/server.hpp"
+#include "sim/vtime.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+
+/// Fresh uncached payloads for one measurement.
+std::vector<core::Key> stage_payloads(core::Store& store, std::size_t size,
+                                      int count, std::uint64_t& seed) {
+  std::vector<Bytes> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    values.push_back(pattern_bytes(size, seed++));
+  }
+  std::vector<core::Key> keys = store.put_batch(values);
+  for (const core::Key& key : keys) store.cache().erase(key.canonical());
+  return keys;
+}
+
+double run_sequential(core::Store& store, const std::vector<core::Key>& keys) {
+  sim::VtimeScope elapsed;
+  for (const core::Key& key : keys) {
+    if (!store.get<Bytes>(key)) {
+      throw Error("micro_async: sequential get lost an object");
+    }
+  }
+  return elapsed.elapsed();
+}
+
+double run_batched(core::Store& store, const std::vector<core::Key>& keys) {
+  sim::VtimeScope elapsed;
+  const std::vector<std::optional<Bytes>> values =
+      store.resolve_batch<Bytes>(keys);
+  for (const auto& value : values) {
+    if (!value) throw Error("micro_async: resolve_batch lost an object");
+  }
+  return elapsed.elapsed();
+}
+
+double run_sync_then_compute(core::Store& store, const core::Key& key,
+                             double compute_s) {
+  core::Proxy<Bytes> proxy = store.proxy_from_key<Bytes>(key);
+  sim::VtimeScope elapsed;
+  proxy.resolve();              // pay the transfer...
+  sim::vadvance(compute_s);     // ...then the compute, back to back
+  return elapsed.elapsed();
+}
+
+double run_overlapped(core::Store& store, const core::Key& key,
+                      double compute_s) {
+  core::Proxy<Bytes> proxy = store.proxy_from_key<Bytes>(key);
+  sim::VtimeScope elapsed;
+  proxy.resolve_async();        // transfer starts on the shared executor
+  sim::vadvance(compute_s);     // compute proceeds meanwhile
+  proxy.resolve();              // access merges: max(transfer, compute)
+  return elapsed.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ps::bench::Args args = ps::bench::parse_args("micro_async", argc, argv);
+  testbed::Testbed tb = testbed::build();
+  proc::Process& client = tb.world->spawn("async-client", tb.theta_compute0);
+  // Data channel: a Redis-like store on the site login node — every get is
+  // a real (virtual-time) round trip with server queueing.
+  kv::KvServer::start(*tb.world, tb.theta_login, "async-bench");
+
+  proc::ProcessScope scope(client);
+  auto store = std::make_shared<core::Store>(
+      "micro-async", std::make_shared<connectors::RedisConnector>(
+                         kv::kv_address(tb.theta_login, "async-bench")));
+  core::register_store(store);
+
+  const std::vector<std::size_t> sizes = args.cap({65'536, 1'048'576});
+  const int count = args.reps_or(64);
+  const double compute_s = 0.05;
+
+  ps::bench::print_header(
+      "Async operation core: " + std::to_string(count) +
+      " objects on a kv-backed connector (Theta compute -> login)\n"
+      "sequential = N store.get round trips; batch = one pipelined "
+      "resolve_batch;\nsync = resolve then compute; overlap = resolve_async "
+      "riding the shared\nexecutor while the consumer computes "
+      "(access merges completion vtime)");
+  ps::bench::print_row(
+      {"payload", "sequential", "batch", "sync+compute", "overlap"});
+
+  std::uint64_t seed = args.seed;
+  for (const std::size_t size : sizes) {
+    const std::string suffix = std::to_string(size);
+    const auto cell = [&](const std::string& name) {
+      return "micro_async." + name + "." + suffix;
+    };
+    std::vector<std::string> row = {ps::bench::fmt_size(size)};
+
+    const std::vector<core::Key> seq_keys =
+        stage_payloads(*store, size, count, seed);
+    const double sequential = run_sequential(*store, seq_keys);
+    ps::bench::series(cell("sequential")).observe(sequential);
+    row.push_back(ps::bench::fmt_series(cell("sequential")));
+
+    const std::vector<core::Key> batch_keys =
+        stage_payloads(*store, size, count, seed);
+    const double batched = run_batched(*store, batch_keys);
+    ps::bench::series(cell("batch")).observe(batched);
+    row.push_back(ps::bench::fmt_series(cell("batch")));
+
+    if (batched >= sequential) {
+      throw Error("micro_async: pipelined resolve_batch (" +
+                  std::to_string(batched) + "s) did not beat " +
+                  std::to_string(count) + " sequential resolves (" +
+                  std::to_string(sequential) + "s)");
+    }
+
+    const std::vector<core::Key> overlap_keys =
+        stage_payloads(*store, size, /*count=*/2, seed);
+    const double sync_total =
+        run_sync_then_compute(*store, overlap_keys[0], compute_s);
+    ps::bench::series(cell("sync_then_compute")).observe(sync_total);
+    row.push_back(ps::bench::fmt_series(cell("sync_then_compute")));
+
+    const double overlapped =
+        run_overlapped(*store, overlap_keys[1], compute_s);
+    ps::bench::series(cell("overlap")).observe(overlapped);
+    row.push_back(ps::bench::fmt_series(cell("overlap")));
+
+    if (overlapped >= sync_total) {
+      throw Error("micro_async: overlapped resolve (" +
+                  std::to_string(overlapped) +
+                  "s) did not beat resolve-then-compute (" +
+                  std::to_string(sync_total) + "s)");
+    }
+
+    ps::bench::print_row(row);
+  }
+
+  ps::bench::finish(args);
+  return 0;
+}

@@ -103,6 +103,31 @@ std::optional<Bytes> EndpointConnector::get(const core::Key& key) {
   return std::move(response.data);
 }
 
+std::vector<std::optional<Bytes>> EndpointConnector::get_batch(
+    const std::vector<core::Key>& keys) {
+  if (keys.empty()) return {};
+  // One combined request leg carries every key (~48 bytes of header per
+  // sub-request), mirroring the per-request framing round_trip charges.
+  charge_transfer(current_host(), home_->host(), keys.size() * 48 + 128);
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(keys.size());
+  std::size_t response_bytes = 0;
+  for (const core::Key& key : keys) {
+    endpoint::EndpointRequest request{
+        .op = "get",
+        .object_id = key.object_id,
+        .endpoint_id = Uuid::parse(key.field("endpoint_id")),
+        .data = {}};
+    request.trace = obs::current_context();
+    endpoint::EndpointResponse response = home_->handle(request);
+    if (response.data) response_bytes += response.data->size();
+    out.push_back(std::move(response.data));
+  }
+  // One combined response leg for all payloads.
+  charge_transfer(home_->host(), current_host(), response_bytes + 64);
+  return out;
+}
+
 bool EndpointConnector::exists(const core::Key& key) {
   return round_trip(
              endpoint::EndpointRequest{

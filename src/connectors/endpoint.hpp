@@ -30,6 +30,10 @@ class EndpointConnector : public core::Connector {
 
   core::Key put(BytesView data) override;
   std::optional<Bytes> get(const core::Key& key) override;
+  /// Pipelined bulk get: the whole batch shares one pair of client<->
+  /// endpoint transfer legs instead of one round trip per key.
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<core::Key>& keys) override;
   bool exists(const core::Key& key) override;
   void evict(const core::Key& key) override;
   bool put_at(const core::Key& key, BytesView data) override;

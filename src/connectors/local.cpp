@@ -43,6 +43,41 @@ std::optional<Bytes> LocalConnector::get(const core::Key& key) {
   return it->second;
 }
 
+std::vector<std::optional<Bytes>> LocalConnector::get_batch(
+    const std::vector<core::Key>& keys) {
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(keys.size());
+  std::lock_guard lock(table_->mu);
+  for (const core::Key& key : keys) {
+    const auto it = table_->objects.find(key.object_id);
+    if (it == table_->objects.end()) {
+      out.emplace_back(std::nullopt);
+      continue;
+    }
+    charge_mem(it->second.size());
+    out.emplace_back(it->second);
+  }
+  return out;
+}
+
+core::Future<std::optional<Bytes>> LocalConnector::get_async(
+    const core::Key& key) {
+  return core::make_ready_future(get(key));
+}
+
+core::Future<core::Key> LocalConnector::put_async(BytesView data) {
+  return core::make_ready_future(put(data));
+}
+
+core::Future<bool> LocalConnector::exists_async(const core::Key& key) {
+  return core::make_ready_future(exists(key));
+}
+
+core::Future<core::Unit> LocalConnector::evict_async(const core::Key& key) {
+  evict(key);
+  return core::make_ready_future(core::Unit{});
+}
+
 bool LocalConnector::exists(const core::Key& key) {
   std::lock_guard lock(table_->mu);
   return table_->objects.contains(key.object_id);

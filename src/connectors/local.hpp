@@ -29,10 +29,19 @@ class LocalConnector : public core::Connector {
 
   core::Key put(BytesView data) override;
   std::optional<Bytes> get(const core::Key& key) override;
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<core::Key>& keys) override;
   bool exists(const core::Key& key) override;
   void evict(const core::Key& key) override;
   bool put_at(const core::Key& key, BytesView data) override;
   core::Key reserve_key() override;
+
+  // Native async overrides: memory operations complete inline, so these
+  // return already-ready futures with no executor round trip.
+  core::Future<std::optional<Bytes>> get_async(const core::Key& key) override;
+  core::Future<core::Key> put_async(BytesView data) override;
+  core::Future<bool> exists_async(const core::Key& key) override;
+  core::Future<core::Unit> evict_async(const core::Key& key) override;
 
   const std::string& address() const { return address_; }
 

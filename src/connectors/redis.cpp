@@ -52,6 +52,14 @@ std::optional<Bytes> RedisConnector::get(const core::Key& key) {
   return client_.get(key.object_id);
 }
 
+std::vector<std::optional<Bytes>> RedisConnector::get_batch(
+    const std::vector<core::Key>& keys) {
+  std::vector<std::string> names;
+  names.reserve(keys.size());
+  for (const core::Key& key : keys) names.push_back(key.object_id);
+  return client_.get_many(names);
+}
+
 bool RedisConnector::exists(const core::Key& key) {
   return client_.exists(key.object_id);
 }

@@ -25,6 +25,9 @@ class RedisConnector : public core::Connector {
   /// Pipelined bulk put: one round trip for the whole batch.
   std::vector<core::Key> put_batch(const std::vector<Bytes>& items) override;
   std::optional<Bytes> get(const core::Key& key) override;
+  /// Pipelined bulk get (MGET): one round trip for the whole batch.
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<core::Key>& keys) override;
   bool exists(const core::Key& key) override;
   void evict(const core::Key& key) override;
   bool put_at(const core::Key& key, BytesView data) override;

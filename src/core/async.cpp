@@ -1,0 +1,113 @@
+#include "core/async.hpp"
+
+#include <algorithm>
+
+namespace ps::core {
+
+namespace {
+
+std::size_t default_workers() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, std::min<std::size_t>(4, hw ? hw : 1));
+}
+
+}  // namespace
+
+AsyncExecutor::AsyncExecutor(Options options)
+    : options_(options),
+      submitted_(obs::MetricsRegistry::global().counter(
+          "async.executor.submitted")),
+      completed_(obs::MetricsRegistry::global().counter(
+          "async.executor.completed")),
+      saturated_(obs::MetricsRegistry::global().counter(
+          "async.executor.saturated")),
+      depth_gauge_(obs::MetricsRegistry::global().gauge(
+          "async.executor.queue_depth")),
+      workers_gauge_(obs::MetricsRegistry::global().gauge(
+          "async.executor.workers")),
+      queue_wait_wall_(obs::MetricsRegistry::global().histogram(
+          "async.executor.queue_wait.wall")),
+      service_wall_(obs::MetricsRegistry::global().histogram(
+          "async.executor.service.wall")),
+      service_vtime_(obs::MetricsRegistry::global().histogram(
+          "async.executor.service.vtime")) {
+  if (options_.workers == 0) options_.workers = default_workers();
+  if (options_.max_queue == 0) options_.max_queue = 1;
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+  workers_gauge_.set(static_cast<double>(options_.workers));
+}
+
+AsyncExecutor::~AsyncExecutor() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+AsyncExecutor& AsyncExecutor::shared() {
+  static AsyncExecutor* executor = new AsyncExecutor();
+  return *executor;
+}
+
+void AsyncExecutor::submit(std::function<void()> fn) {
+  Job job{std::move(fn), &proc::current_process(), sim::vnow(),
+          std::chrono::steady_clock::now()};
+  {
+    std::unique_lock lock(mu_);
+    if (queue_.size() >= options_.max_queue) {
+      saturated_.inc();
+      not_full_.wait(lock, [&] {
+        return stopping_ || queue_.size() < options_.max_queue;
+      });
+    }
+    if (stopping_) {
+      throw Error("AsyncExecutor: submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+    depth_gauge_.set(static_cast<double>(queue_.size()));
+  }
+  submitted_.inc();
+  not_empty_.notify_one();
+}
+
+std::size_t AsyncExecutor::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+void AsyncExecutor::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      depth_gauge_.set(static_cast<double>(queue_.size()));
+    }
+    not_full_.notify_one();
+    const auto started = std::chrono::steady_clock::now();
+    queue_wait_wall_.observe(
+        std::chrono::duration<double>(started - job.enqueued).count());
+    // Run inside the submitter's simulated process, clock seeded from its
+    // submission-time "now": costs the job charges continue the submitter's
+    // timeline, and the result future's wait() merges them back.
+    proc::ProcessScope scope(*job.process);
+    sim::vset(job.submit_vtime);
+    job.fn();
+    service_vtime_.observe(sim::vnow() - job.submit_vtime);
+    service_wall_.observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count());
+    completed_.inc();
+  }
+}
+
+}  // namespace ps::core

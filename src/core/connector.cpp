@@ -1,5 +1,7 @@
 #include "core/connector.hpp"
 
+#include "core/async.hpp"
+
 namespace ps::core {
 
 const std::string& ConnectorConfig::param(const std::string& name) const {
@@ -22,6 +24,40 @@ std::vector<Key> Connector::put_batch(const std::vector<Bytes>& items) {
   keys.reserve(items.size());
   for (const Bytes& item : items) keys.push_back(put(item));
   return keys;
+}
+
+std::vector<std::optional<Bytes>> Connector::get_batch(
+    const std::vector<Key>& keys) {
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(keys.size());
+  for (const Key& key : keys) out.push_back(get(key));
+  return out;
+}
+
+// Sync→async adapters: run the blocking op on the shared bounded pool. The
+// job is charged at the submitter's virtual time; waiting the future merges
+// the op's completion time (overlap realized at the merge point).
+
+Future<std::optional<Bytes>> Connector::get_async(const Key& key) {
+  return AsyncExecutor::shared().run<std::optional<Bytes>>(
+      [this, key] { return get(key); });
+}
+
+Future<Key> Connector::put_async(BytesView data) {
+  return AsyncExecutor::shared().run<Key>(
+      [this, copy = Bytes(data)] { return put(copy); });
+}
+
+Future<bool> Connector::exists_async(const Key& key) {
+  return AsyncExecutor::shared().run<bool>(
+      [this, key] { return exists(key); });
+}
+
+Future<Unit> Connector::evict_async(const Key& key) {
+  return AsyncExecutor::shared().run<Unit>([this, key] {
+    evict(key);
+    return Unit{};
+  });
 }
 
 ConnectorRegistry& ConnectorRegistry::instance() {

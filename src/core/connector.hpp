@@ -20,6 +20,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "core/future.hpp"
 #include "core/key.hpp"
 #include "serde/serde.hpp"
 
@@ -107,10 +108,38 @@ class Connector {
   /// stored, or expired).
   virtual std::optional<Bytes> get(const Key& key) = 0;
 
+  /// Retrieves many objects, position-for-position (nullopt per missing
+  /// key). The default loops over get; connectors with a pipelined wire
+  /// protocol (kv, endpoint) override this so a whole batch costs one
+  /// round trip (mirrors put_batch).
+  virtual std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<Key>& keys);
+
   virtual bool exists(const Key& key) = 0;
 
   /// Removes the object. Eviction of a missing key is a no-op.
   virtual void evict(const Key& key) = 0;
+
+  // -- asynchronous protocol ------------------------------------------------
+  //
+  // Every sync operation has a futures-based twin. The defaults adapt the
+  // sync op through the shared bounded AsyncExecutor — existing connectors
+  // work unchanged — while natively non-blocking channels override them to
+  // pipeline without an executor hop (LocalConnector completes inline).
+  // Contract: the connector must outlive any future it returned; waiting a
+  // future merges the operation's virtual completion time (core/future.hpp).
+
+  /// Begins retrieving the object; the future completes with the value or
+  /// nullopt.
+  virtual Future<std::optional<Bytes>> get_async(const Key& key);
+
+  /// Begins storing `data` (copied into the background op); the future
+  /// completes with the minted key.
+  virtual Future<Key> put_async(BytesView data);
+
+  virtual Future<bool> exists_async(const Key& key);
+
+  virtual Future<Unit> evict_async(const Key& key);
 
   /// Releases resources. Further operations may throw ConnectorError.
   virtual void close() {}

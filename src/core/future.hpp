@@ -1,0 +1,215 @@
+// Completion-callback promise/future for the asynchronous operation core.
+//
+// ps::core::Future<T> is the result handle every *_async Connector/Store
+// operation returns. Unlike std::future it is built for the simulation's
+// virtual-time model: the completing thread stamps its virtual "now" into
+// the shared state, and every waiter merges that stamp into its own clock
+// (`sim::vmerge`) — so communication started in the background overlaps
+// computation, and the eventual wait observes max(compute, transfer), the
+// paper's §5.3 async-resolve semantics. Completion callbacks (`on_ready`,
+// `then`) run on the completing thread, which keeps continuation costs
+// charged to the operation that caused them; no thread is ever spawned
+// here (see core/async.hpp for the bounded executor that runs the work).
+//
+// Futures are copyable; copies share one state, and any number of threads
+// may wait on it (each merges the completion vtime). Values are returned
+// by const reference from wait() — callers copy only when they need to.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::core {
+
+/// Unit result for async operations with nothing to return (evict).
+struct Unit {
+  bool operator==(const Unit&) const = default;
+};
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool ready = false;
+  /// Virtual time of the completing thread at completion; merged by every
+  /// waiter so the operation's cost reaches whoever consumes the result.
+  sim::SimTime done_vtime = 0.0;
+  /// Continuations registered before completion; run (then released) on
+  /// the completing thread immediately after the state becomes ready.
+  std::vector<std::function<void()>> callbacks;
+};
+
+template <typename T>
+void complete(const std::shared_ptr<FutureState<T>>& state,
+              std::optional<T> value, std::exception_ptr error) {
+  std::vector<std::function<void()>> callbacks;
+  {
+    std::lock_guard lock(state->mu);
+    if (state->ready) {
+      throw Error("Promise: already completed");
+    }
+    state->value = std::move(value);
+    state->error = error;
+    state->done_vtime = sim::vnow();
+    state->ready = true;
+    callbacks.swap(state->callbacks);
+  }
+  state->cv.notify_all();
+  for (auto& callback : callbacks) callback();
+}
+
+}  // namespace detail
+
+template <typename T>
+class Promise;
+
+template <typename T>
+class Future {
+ public:
+  using value_type = T;
+
+  /// An invalid (default-constructed) future; valid() is false.
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool ready() const {
+    check_valid();
+    std::lock_guard lock(state_->mu);
+    return state_->ready;
+  }
+
+  /// Blocks (real time) for completion, merges the completing thread's
+  /// virtual time into the caller's clock, rethrows the operation's error,
+  /// and returns the stored value by reference. Safe to call from many
+  /// threads; each one merges. The reference lives only as long as some
+  /// Future/Promise holds the shared state — on a temporary future
+  /// (`f().wait()`), use get() instead of binding the reference.
+  const T& wait() const {
+    check_valid();
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    const sim::SimTime done = state_->done_vtime;
+    lock.unlock();
+    sim::vmerge(done);
+    if (state_->error) std::rethrow_exception(state_->error);
+    return *state_->value;
+  }
+
+  /// wait() returning a copy of the value (futures are shared; the stored
+  /// value stays in place for other holders).
+  T get() const { return wait(); }
+
+  /// Virtual completion time. Only meaningful once ready().
+  sim::SimTime done_vtime() const {
+    check_valid();
+    std::lock_guard lock(state_->mu);
+    return state_->done_vtime;
+  }
+
+  /// Registers `fn` to run when the future completes — on the completing
+  /// thread, after the value/error is published. If the future is already
+  /// complete, runs `fn` inline on the caller. `fn` must not throw.
+  void on_ready(std::function<void()> fn) const {
+    check_valid();
+    {
+      std::lock_guard lock(state_->mu);
+      if (!state_->ready) {
+        state_->callbacks.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+  /// Derived future: applies `fn` to the value on the completing thread
+  /// (so continuation cost is charged where the operation finished) and
+  /// completes the returned future with the result. Errors pass through;
+  /// a throwing `fn` fails the derived future.
+  template <typename F>
+  auto then(F fn) const -> Future<std::invoke_result_t<F, const T&>> {
+    using R = std::invoke_result_t<F, const T&>;
+    check_valid();
+    Promise<R> promise;
+    Future<R> derived = promise.future();
+    auto state = state_;
+    on_ready([state, promise, fn = std::move(fn)]() mutable {
+      if (state->error) {
+        promise.set_error(state->error);
+        return;
+      }
+      try {
+        promise.set_value(fn(*state->value));
+      } catch (...) {
+        promise.set_error(std::current_exception());
+      }
+    });
+    return derived;
+  }
+
+  /// True when `other` shares this future's state (same operation).
+  bool same_state(const Future& other) const {
+    return state_ == other.state_;
+  }
+
+ private:
+  friend class Promise<T>;
+
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  void check_valid() const {
+    if (!state_) throw Error("Future: invalid (default-constructed)");
+  }
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Completion side of a Future. Copyable (copies share the state); exactly
+/// one set_value/set_error call is allowed across all copies.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  /// Publishes the value, stamps the calling thread's virtual time as the
+  /// completion time, wakes waiters, and runs registered callbacks.
+  void set_value(T value) const {
+    detail::complete(state_, std::optional<T>(std::move(value)), nullptr);
+  }
+
+  void set_error(std::exception_ptr error) const {
+    detail::complete<T>(state_, std::nullopt, error);
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// A future already completed with `value` at the caller's current virtual
+/// time — what natively-synchronous fast paths (in-memory connectors, cache
+/// hits) return so async callers pay no executor round trip.
+template <typename T>
+Future<T> make_ready_future(T value) {
+  Promise<T> promise;
+  promise.set_value(std::move(value));
+  return promise.future();
+}
+
+}  // namespace ps::core

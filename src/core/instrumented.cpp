@@ -1,7 +1,10 @@
 #include "core/instrumented.hpp"
 
+#include <chrono>
+
 #include "obs/context.hpp"
 #include "obs/timer.hpp"
+#include "sim/vtime.hpp"
 
 namespace ps::core {
 
@@ -20,8 +23,15 @@ InstrumentedConnector::InstrumentedConnector(std::shared_ptr<Connector> inner)
       exists_(make_op(inner_->type(), "exists")),
       evict_(make_op(inner_->type(), "evict")),
       put_batch_(make_op(inner_->type(), "put_batch")),
+      get_batch_(make_op(inner_->type(), "get_batch")),
+      get_async_(make_op(inner_->type(), "get_async")),
+      put_async_(make_op(inner_->type(), "put_async")),
+      exists_async_(make_op(inner_->type(), "exists_async")),
+      evict_async_(make_op(inner_->type(), "evict_async")),
       put_batch_items_(obs::MetricsRegistry::global().histogram(
-          "connector." + inner_->type() + ".put_batch.items")) {}
+          "connector." + inner_->type() + ".put_batch.items")),
+      get_batch_items_(obs::MetricsRegistry::global().histogram(
+          "connector." + inner_->type() + ".get_batch.items")) {}
 
 std::shared_ptr<Connector> InstrumentedConnector::wrap(
     std::shared_ptr<Connector> inner) {
@@ -71,6 +81,49 @@ std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
   get_.count.inc();
   obs::Timer timer(&get_.vtime, &get_.wall);
   return inner_->get(key);
+}
+
+std::vector<std::optional<Bytes>> InstrumentedConnector::get_batch(
+    const std::vector<Key>& keys) {
+  obs::SpanScope span(get_batch_.span_name);
+  if (!obs::enabled()) return inner_->get_batch(keys);
+  get_batch_.count.inc();
+  get_batch_items_.observe(static_cast<double>(keys.size()));
+  obs::Timer timer(&get_batch_.vtime, &get_batch_.wall);
+  return inner_->get_batch(keys);
+}
+
+template <typename T>
+Future<T> InstrumentedConnector::record_async(const Op& op, Future<T> future) {
+  if (!obs::enabled()) return future;
+  op.count.inc();
+  const double submit_vtime = sim::vnow();
+  const auto submit_wall = std::chrono::steady_clock::now();
+  obs::Histogram* vtime = &op.vtime;
+  obs::Histogram* wall = &op.wall;
+  future.on_ready([future, submit_vtime, submit_wall, vtime, wall] {
+    vtime->observe(future.done_vtime() - submit_vtime);
+    wall->observe(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - submit_wall)
+                      .count());
+  });
+  return future;
+}
+
+Future<std::optional<Bytes>> InstrumentedConnector::get_async(const Key& key) {
+  return record_async(get_async_, inner_->get_async(key));
+}
+
+Future<Key> InstrumentedConnector::put_async(BytesView data) {
+  return record_async(put_async_, inner_->put_async(data));
+}
+
+Future<bool> InstrumentedConnector::exists_async(const Key& key) {
+  return record_async(exists_async_, inner_->exists_async(key));
+}
+
+Future<Unit> InstrumentedConnector::evict_async(const Key& key) {
+  return record_async(evict_async_, inner_->evict_async(key));
 }
 
 bool InstrumentedConnector::exists(const Key& key) {

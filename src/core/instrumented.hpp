@@ -38,9 +38,21 @@ class InstrumentedConnector : public Connector {
   Key reserve_key() override;
   std::vector<Key> put_batch(const std::vector<Bytes>& items) override;
   std::optional<Bytes> get(const Key& key) override;
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<Key>& keys) override;
   bool exists(const Key& key) override;
   void evict(const Key& key) override;
   void close() override;
+
+  // Async ops forward to the inner connector's async path and record
+  // end-to-end latency (submit → completion) via an on_ready continuation.
+  // The queue-wait vs service-time split for adapter-backed ops lives in
+  // the async.executor.* histograms, where both sides of the hand-off are
+  // visible.
+  Future<std::optional<Bytes>> get_async(const Key& key) override;
+  Future<Key> put_async(BytesView data) override;
+  Future<bool> exists_async(const Key& key) override;
+  Future<Unit> evict_async(const Key& key) override;
 
   Connector& inner() { return *inner_; }
   const Connector& inner() const { return *inner_; }
@@ -57,16 +69,27 @@ class InstrumentedConnector : public Connector {
 
   static Op make_op(const std::string& type, const char* op);
 
+  /// Counts the op and observes end-to-end latency when `future` completes.
+  template <typename T>
+  Future<T> record_async(const Op& op, Future<T> future);
+
   std::shared_ptr<Connector> inner_;
   Op put_;
   Op get_;
   Op exists_;
   Op evict_;
   Op put_batch_;
+  Op get_batch_;
+  Op get_async_;
+  Op put_async_;
+  Op exists_async_;
+  Op evict_async_;
   /// Items per put_batch call ("connector.<type>.put_batch.items") — makes
   /// batching visible: many small batches vs few large ones read directly
   /// off count/mean.
   obs::Histogram& put_batch_items_;
+  /// Items per get_batch call ("connector.<type>.get_batch.items").
+  obs::Histogram& get_batch_items_;
 };
 
 }  // namespace ps::core

@@ -134,6 +134,48 @@ std::optional<Bytes> MultiConnector::get(const Key& key) {
   return child_for(key).connector->get(key);
 }
 
+std::vector<std::optional<Bytes>> MultiConnector::get_batch(
+    const std::vector<Key>& keys) {
+  // Group keys per owning child so bulk-capable children still batch
+  // (mirrors put_batch's per-child grouping on the read side).
+  std::vector<std::optional<Bytes>> out(keys.size());
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return &child_for(keys[a]) < &child_for(keys[b]);
+                   });
+  std::size_t start = 0;
+  while (start < order.size()) {
+    const Entry& entry = child_for(keys[order[start]]);
+    std::size_t end = start;
+    std::vector<Key> group;
+    while (end < order.size() && &child_for(keys[order[end]]) == &entry) {
+      group.push_back(keys[order[end]]);
+      ++end;
+    }
+    std::vector<std::optional<Bytes>> group_out =
+        entry.connector->get_batch(group);
+    for (std::size_t j = 0; j < group_out.size(); ++j) {
+      out[order[start + j]] = std::move(group_out[j]);
+    }
+    start = end;
+  }
+  return out;
+}
+
+Future<std::optional<Bytes>> MultiConnector::get_async(const Key& key) {
+  return child_for(key).connector->get_async(key);
+}
+
+Future<bool> MultiConnector::exists_async(const Key& key) {
+  return child_for(key).connector->exists_async(key);
+}
+
+Future<Unit> MultiConnector::evict_async(const Key& key) {
+  return child_for(key).connector->evict_async(key);
+}
+
 bool MultiConnector::exists(const Key& key) {
   return child_for(key).connector->exists(key);
 }

@@ -61,9 +61,20 @@ class MultiConnector : public Connector {
   std::vector<Key> put_batch(const std::vector<Bytes>& items) override;
 
   std::optional<Bytes> get(const Key& key) override;
+  /// Routes each key to its owning child (by the routing field stamped at
+  /// put time) and forwards per-child groups as batches, so bulk-capable
+  /// children keep their one-round-trip pipelining.
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<Key>& keys) override;
   bool exists(const Key& key) override;
   void evict(const Key& key) override;
   void close() override;
+
+  // Async ops route to the owning child's native implementation (an
+  // executor hop only where the child itself falls back to the adapter).
+  Future<std::optional<Bytes>> get_async(const Key& key) override;
+  Future<bool> exists_async(const Key& key) override;
+  Future<Unit> evict_async(const Key& key) override;
 
   /// The child connector a put of `size` bytes with `hints` would route to.
   /// Throws NoPolicyMatchError when nothing matches.

@@ -7,6 +7,13 @@
 // thread-safe, and can be overlapped with computation via resolve_async
 // (used by the paper's 1 s-sleep experiments).
 //
+// Resolution is single-flight: however many threads race resolve() /
+// resolve_async(), exactly one invokes the factory; the others wait on a
+// shared core::Future and merge the resolver's virtual completion time, so
+// every observer's clock reflects the communication cost. Async resolution
+// runs on the shared bounded AsyncExecutor — no detached or per-proxy
+// threads anywhere in the resolve path.
+//
 // Copying a proxy shares the resolution state (like Python references);
 // serializing a proxy writes only its factory descriptor, never the target,
 // so proxies stay small on the wire and remain resolvable after crossing a
@@ -14,14 +21,16 @@
 // descriptors back to stores.
 #pragma once
 
-#include <future>
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/async.hpp"
 #include "core/factory.hpp"
-#include "proc/process.hpp"
+#include "core/future.hpp"
 #include "sim/vtime.hpp"
 
 namespace ps::core {
@@ -59,23 +68,20 @@ class Proxy {
     return state_->target.has_value();
   }
 
-  /// Begins resolving on a background thread; returns immediately.
-  /// Idempotent. The eventual wait (resolve()/await_async()) merges the
+  /// Begins resolving on the shared bounded AsyncExecutor; returns
+  /// immediately. Idempotent (and a no-op while any resolve is already in
+  /// flight). The eventual wait (resolve()/await_async()) merges the
   /// resolver's virtual time so communication overlaps computation.
   void resolve_async() const {
-    std::lock_guard lock(state_->mu);
-    if (state_->target.has_value() || state_->async.valid()) return;
+    Promise<Unit> promise;
+    {
+      std::lock_guard lock(state_->mu);
+      if (state_->target.has_value() || state_->pending.valid()) return;
+      state_->pending = promise.future();
+    }
     auto state = state_;
-    const sim::SimTime start_vtime = sim::vnow();
-    proc::Process* process = &proc::current_process();
-    state_->async =
-        std::async(std::launch::async, [state, start_vtime, process] {
-          proc::ProcessScope scope(*process);
-          sim::vset(start_vtime);
-          state->resolve_locked_free();
-          std::lock_guard lock(state->mu);
-          state->async_done_vtime = sim::vnow();
-        }).share();
+    AsyncExecutor::shared().submit(
+        [state, promise] { State::run_factory(*state, promise); });
   }
 
   /// Waits for a pending async resolve (or resolves inline).
@@ -96,42 +102,74 @@ class Proxy {
   struct State {
     explicit State(Factory<T> f) : factory(std::move(f)) {}
 
-    /// Resolves without holding `mu` during the (possibly slow) factory
-    /// call; publishes under the lock. Concurrent resolvers may both invoke
-    /// the factory; first publish wins — acceptable because factories are
-    /// pure reads of write-once objects (paper assumption 3).
-    void resolve_locked_free() {
-      {
-        std::lock_guard lock(mu);
-        if (target.has_value()) return;
+    /// Invokes the factory (without holding `mu` during the possibly-slow
+    /// call), publishes the target, and completes `promise` — with the
+    /// error instead if the factory throws, so every waiter rethrows.
+    static void run_factory(State& state, const Promise<Unit>& promise) {
+      try {
+        T value = state.factory();
+        {
+          std::lock_guard lock(state.mu);
+          if (!state.target.has_value()) state.target.emplace(std::move(value));
+          // Stamped before the promise completes so the fast path below
+          // (target published, pending already cleared) can still charge
+          // late observers the transfer's virtual cost.
+          state.resolved_vtime = std::max(state.resolved_vtime, sim::vnow());
+        }
+        promise.set_value(Unit{});
+      } catch (...) {
+        promise.set_error(std::current_exception());
       }
-      T value = factory();
-      std::lock_guard lock(mu);
-      if (!target.has_value()) target.emplace(std::move(value));
     }
 
     Factory<T> factory;
     mutable std::mutex mu;
     std::optional<T> target;
-    std::shared_future<void> async;
-    sim::SimTime async_done_vtime = 0.0;
+    /// Virtual time at which the target was published; merged by every
+    /// observer so none sees the value "for free" (causality: you cannot
+    /// read an object before its transfer finished).
+    sim::SimTime resolved_vtime = 0;
+    /// Valid while a resolve (sync or async) is in flight; all concurrent
+    /// resolvers wait on it, making the factory invocation single-flight.
+    Future<Unit> pending;
   };
 
   void ensure_resolved() const {
-    std::shared_future<void> pending;
+    Promise<Unit> promise;
+    Future<Unit> in_flight;
+    bool resolver = false;
     {
       std::lock_guard lock(state_->mu);
-      if (state_->target.has_value() && !state_->async.valid()) return;
-      pending = state_->async;
+      if (state_->target.has_value() && !state_->pending.valid()) {
+        const sim::SimTime resolved = state_->resolved_vtime;
+        sim::vmerge(resolved);
+        return;
+      }
+      if (state_->pending.valid()) {
+        in_flight = state_->pending;
+      } else {
+        in_flight = promise.future();
+        state_->pending = in_flight;
+        resolver = true;
+      }
     }
-    if (pending.valid()) {
-      pending.get();  // rethrows factory errors
-      std::lock_guard lock(state_->mu);
-      sim::vmerge(state_->async_done_vtime);
-      state_->async = {};
-      return;
+    if (resolver) State::run_factory(*state_, promise);
+    try {
+      in_flight.wait();  // merges the resolver's vtime; rethrows errors
+    } catch (...) {
+      clear_pending(in_flight);
+      throw;
     }
-    state_->resolve_locked_free();
+    clear_pending(in_flight);
+  }
+
+  /// Drops the in-flight marker once the wait completed, so a failed
+  /// resolve can be retried (only if no newer resolve replaced it).
+  void clear_pending(const Future<Unit>& finished) const {
+    std::lock_guard lock(state_->mu);
+    if (state_->pending.valid() && state_->pending.same_state(finished)) {
+      state_->pending = Future<Unit>();
+    }
   }
 
   std::shared_ptr<State> state_;

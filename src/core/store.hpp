@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -28,6 +29,7 @@
 #include "core/cache.hpp"
 #include "core/connector.hpp"
 #include "core/factory.hpp"
+#include "core/future.hpp"
 #include "core/key.hpp"
 #include "core/proxy.hpp"
 #include "obs/context.hpp"
@@ -168,6 +170,177 @@ class Store : public std::enable_shared_from_this<Store> {
     cache_.put<T>(cache_key, value);
     if (tracing) tracer.record(trace_subject(name_, key), "cache.insert");
     return *value;
+  }
+
+  // -- asynchronous operations -------------------------------------------
+  //
+  // Futures-based twins of get, built on the connector's async protocol.
+  // Fetches are single-flight per (key, type): concurrent get_async /
+  // resolve_batch callers for the same object share one connector fetch and
+  // one deserialization — the deserialized-object cache is filled exactly
+  // once, and every waiter merges the fetch's virtual completion time.
+  // Lifetime: the store must outlive any future it returned.
+
+  /// Begins retrieving and deserializing the object. Cache hits complete
+  /// inline; misses ride Connector::get_async and deserialize on the
+  /// completing thread.
+  template <typename T>
+  ps::core::Future<std::optional<T>> get_async(const Key& key) {
+    check_open();
+    ++metrics_gets_;
+    const std::string cache_key = key.canonical();
+    if (auto cached = cache_.get<T>(cache_key)) {
+      ++metrics_cache_hits_;
+      return make_ready_future(std::optional<T>(*cached));
+    }
+    const InFlightKey in_flight_key{cache_key, std::type_index(typeid(T))};
+    Promise<std::optional<T>> promise;
+    {
+      std::lock_guard lock(inflight_mu_);
+      const auto it = inflight_.find(in_flight_key);
+      if (it != inflight_.end()) {
+        return std::any_cast<ps::core::Future<std::optional<T>>>(it->second);
+      }
+      // A fetch may have finished between the unlocked cache probe above and
+      // taking this lock. Fetchers fill the cache *before* erasing their
+      // in-flight entry (which requires this lock), so re-probing here keeps
+      // the exactly-one-deserialization-per-key guarantee airtight.
+      if (auto cached = cache_.get<T>(cache_key)) {
+        ++metrics_cache_hits_;
+        return make_ready_future(std::optional<T>(*cached));
+      }
+      inflight_.emplace(in_flight_key, std::any(promise.future()));
+    }
+    ps::core::Future<std::optional<Bytes>> raw = connector_->get_async(key);
+    raw.on_ready([this, cache_key, in_flight_key, promise, raw] {
+      try {
+        const std::optional<Bytes>& data = raw.wait();  // ready: no blocking
+        if (!data) {
+          inflight_erase(in_flight_key);
+          promise.set_value(std::nullopt);
+          return;
+        }
+        metrics_bytes_got_ += data->size();
+        auto value = std::make_shared<const T>(deserialize_value<T>(*data));
+        cache_.put<T>(cache_key, value);
+        inflight_erase(in_flight_key);
+        promise.set_value(std::optional<T>(*value));
+      } catch (...) {
+        inflight_erase(in_flight_key);
+        promise.set_error(std::current_exception());
+      }
+    });
+    return promise.future();
+  }
+
+  /// Retrieves many objects in one pipelined connector round trip
+  /// (Connector::get_batch), position-for-position. Batch-internal
+  /// duplicates and fetches already in flight are deduplicated; each
+  /// missing object yields nullopt.
+  template <typename T>
+  std::vector<std::optional<T>> resolve_batch(const std::vector<Key>& keys) {
+    check_open();
+    std::vector<std::optional<T>> out(keys.size());
+    struct Miss {
+      std::size_t index;
+      Key key;
+      std::string cache_key;
+      Promise<std::optional<T>> promise;
+    };
+    std::vector<Miss> misses;
+    std::vector<std::pair<std::size_t, ps::core::Future<std::optional<T>>>>
+        joined;
+    std::vector<std::pair<std::size_t, std::size_t>> aliases;  // i → miss pos
+    std::unordered_map<std::string, std::size_t> first_miss;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ++metrics_gets_;
+      const std::string cache_key = keys[i].canonical();
+      if (auto cached = cache_.get<T>(cache_key)) {
+        ++metrics_cache_hits_;
+        out[i] = *cached;
+        continue;
+      }
+      if (const auto dup = first_miss.find(cache_key);
+          dup != first_miss.end()) {
+        aliases.emplace_back(i, dup->second);
+        continue;
+      }
+      const InFlightKey in_flight_key{cache_key, std::type_index(typeid(T))};
+      std::lock_guard lock(inflight_mu_);
+      if (const auto it = inflight_.find(in_flight_key);
+          it != inflight_.end()) {
+        joined.emplace_back(
+            i, std::any_cast<ps::core::Future<std::optional<T>>>(it->second));
+        continue;
+      }
+      // Same completed-between-probe-and-lock re-check as get_async.
+      if (auto cached = cache_.get<T>(cache_key)) {
+        ++metrics_cache_hits_;
+        out[i] = *cached;
+        continue;
+      }
+      Miss miss{i, keys[i], cache_key, {}};
+      inflight_.emplace(in_flight_key, std::any(miss.promise.future()));
+      first_miss.emplace(cache_key, misses.size());
+      misses.push_back(std::move(miss));
+    }
+    if (!misses.empty()) {
+      std::vector<Key> miss_keys;
+      miss_keys.reserve(misses.size());
+      for (const Miss& miss : misses) miss_keys.push_back(miss.key);
+      std::size_t done = 0;
+      try {
+        // One pipelined round trip, charged to the calling thread — this is
+        // where batched resolve beats N sequential gets.
+        const std::vector<std::optional<Bytes>> results =
+            connector_->get_batch(miss_keys);
+        for (; done < misses.size(); ++done) {
+          Miss& miss = misses[done];
+          const InFlightKey in_flight_key{miss.cache_key,
+                                          std::type_index(typeid(T))};
+          if (!results[done]) {
+            inflight_erase(in_flight_key);
+            miss.promise.set_value(std::nullopt);
+            continue;
+          }
+          metrics_bytes_got_ += results[done]->size();
+          auto value = std::make_shared<const T>(
+              deserialize_value<T>(*results[done]));
+          cache_.put<T>(miss.cache_key, value);
+          out[miss.index] = *value;
+          inflight_erase(in_flight_key);
+          miss.promise.set_value(std::optional<T>(*value));
+        }
+      } catch (...) {
+        // Fail every promise not yet fulfilled so joined waiters unblock.
+        for (; done < misses.size(); ++done) {
+          inflight_erase(InFlightKey{misses[done].cache_key,
+                                     std::type_index(typeid(T))});
+          misses[done].promise.set_error(std::current_exception());
+        }
+        throw;
+      }
+    }
+    for (const auto& [i, miss_pos] : aliases) {
+      out[i] = out[misses[miss_pos].index];
+    }
+    for (auto& [i, future] : joined) {
+      out[i] = future.get();  // merges the fetching thread's vtime
+    }
+    return out;
+  }
+
+  /// Starts background fetches warming the deserialized-object cache for
+  /// `keys` (skipping ones already cached). Advisory: completion is not
+  /// awaited and the transfer's virtual cost is merged only by waiters
+  /// that join the in-flight fetch before it finishes.
+  template <typename T>
+  void prefetch(const std::vector<Key>& keys) {
+    check_open();
+    for (const Key& key : keys) {
+      if (cache_.contains(key.canonical())) continue;
+      (void)get_async<T>(key);
+    }
   }
 
   /// True when the object is cached locally or present in the channel.
@@ -343,6 +516,16 @@ class Store : public std::enable_shared_from_this<Store> {
   template <typename T>
   Factory<T> make_factory(FactoryDescriptor descriptor);
 
+  /// Single-flight table for async fetches: (canonical key, value type) →
+  /// std::any holding the ps::core::Future<std::optional<T>> every
+  /// concurrent getter of that object shares.
+  using InFlightKey = std::pair<std::string, std::type_index>;
+
+  void inflight_erase(const InFlightKey& key) {
+    std::lock_guard lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+
   /// Process-wide op histograms (shared across stores), resolved once.
   struct OpHistograms {
     obs::Histogram& vtime;
@@ -367,6 +550,8 @@ class Store : public std::enable_shared_from_this<Store> {
   ObjectCache cache_;
   mutable std::mutex serializers_mu_;
   std::unordered_map<std::type_index, SerializerEntry> serializers_;
+  mutable std::mutex inflight_mu_;
+  std::map<InFlightKey, std::any> inflight_;
   std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> metrics_puts_{0};
   std::atomic<std::uint64_t> metrics_gets_{0};

@@ -11,14 +11,23 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <type_traits>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "core/proxy.hpp"
 #include "serde/serde.hpp"
 
 namespace ps::faas {
 
 using TaskFunction = std::function<Bytes(BytesView)>;
+
+namespace detail {
+template <typename U>
+struct is_proxy : std::false_type {};
+template <typename U>
+struct is_proxy<core::Proxy<U>> : std::true_type {};
+}  // namespace detail
 
 class FunctionRegistry {
  public:
@@ -33,6 +42,12 @@ class FunctionRegistry {
                       std::function<Ret(const Arg&)> fn) {
     register_function(name, [fn = std::move(fn)](BytesView request) {
       const Arg arg = serde::from_bytes<Arg>(request);
+      if constexpr (detail::is_proxy<Arg>::value) {
+        // Resolve-ahead: start the payload transfer on the shared executor
+        // before dispatching, so it overlaps the function's leading compute
+        // and the eventual access observes max(compute, transfer).
+        arg.resolve_async();
+      }
       return serde::to_bytes(fn(arg));
     });
   }

@@ -60,6 +60,28 @@ std::optional<Bytes> KvClient::get(const std::string& key) {
   return server_->get(key, arrival);
 }
 
+std::vector<std::optional<Bytes>> KvClient::get_many(
+    const std::vector<std::string>& keys) {
+  // Peek sizes for response cost accounting (as in get()).
+  const double probe_now = sim::vnow();
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+  for (const std::string& key : keys) {
+    request_bytes += key.size();
+    const std::optional<Bytes> value = server_->get(key, probe_now);
+    response_bytes += value ? value->size() : 8;
+  }
+  const double arrival =
+      round_trip(request_bytes, std::max<std::size_t>(response_bytes, 8));
+  // Re-read at the arrival time so TTL expiry is judged server-side.
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    out.push_back(server_->get(key, arrival));
+  }
+  return out;
+}
+
 bool KvClient::exists(const std::string& key) {
   const double arrival = round_trip(key.size(), 8);
   return server_->exists(key, arrival);

@@ -32,6 +32,13 @@ class KvClient {
   void set_many(const std::vector<std::pair<std::string, Bytes>>& pairs);
 
   std::optional<Bytes> get(const std::string& key);
+
+  /// Pipelined MGET: all keys travel in one request and all values return
+  /// in one response (one network RTT instead of one per key; the dual of
+  /// set_many). Missing keys yield nullopt, position-for-position.
+  std::vector<std::optional<Bytes>> get_many(
+      const std::vector<std::string>& keys);
+
   bool exists(const std::string& key);
   bool del(const std::string& key);
 

@@ -87,6 +87,24 @@ void KvBroker::publish(const std::string& topic, BytesView event) {
                     {topic_key(topic, "head"), std::to_string(head + 1)}});
 }
 
+void KvBroker::publish_batch(const std::string& topic,
+                             const std::vector<Bytes>& events) {
+  if (events.empty()) return;
+  if (client_.exists(topic_key(topic, "closed"))) {
+    throw Error("KvBroker: publish to closed topic '" + topic + "'");
+  }
+  const std::uint64_t head = read_counter(client_, topic_key(topic, "head"));
+  // All events + the head advance travel as one pipelined request.
+  std::vector<std::pair<std::string, Bytes>> pairs;
+  pairs.reserve(events.size() + 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    pairs.emplace_back(event_key(topic, head + i), events[i]);
+  }
+  pairs.emplace_back(topic_key(topic, "head"),
+                     Bytes(std::to_string(head + events.size())));
+  client_.set_many(pairs);
+}
+
 std::shared_ptr<Subscription> KvBroker::subscribe(const std::string& topic) {
   const std::uint64_t cursor =
       read_counter(client_, topic_key(topic, "head"));

@@ -42,6 +42,11 @@ class KvBroker : public PubSub {
   std::string type() const override { return "kv"; }
 
   void publish(const std::string& topic, BytesView event) override;
+  /// Appends the whole batch with one pipelined log write: closed-check +
+  /// head read + a single MSET of every event and the head advance — three
+  /// round trips for N events instead of 3N.
+  void publish_batch(const std::string& topic,
+                     const std::vector<Bytes>& events) override;
   std::shared_ptr<Subscription> subscribe(const std::string& topic) override;
   std::size_t subscriber_count(const std::string& topic) override;
   void close_topic(const std::string& topic) override;

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -51,6 +52,15 @@ class PubSub {
   /// Delivers `event` to every current subscriber of `topic`.
   /// Throws Error when the topic has been closed.
   virtual void publish(const std::string& topic, BytesView event) = 0;
+
+  /// Delivers many events in order. The default loops over publish;
+  /// brokers whose transport can pipeline (KvBroker: one log append round
+  /// trip for the whole batch) override it, so a producer flushing a
+  /// buffered batch pays per-batch instead of per-event channel costs.
+  virtual void publish_batch(const std::string& topic,
+                             const std::vector<Bytes>& events) {
+    for (const Bytes& event : events) publish(topic, event);
+  }
 
   /// Registers a new subscriber positioned at the topic's current tail.
   virtual std::shared_ptr<Subscription> subscribe(const std::string& topic) = 0;

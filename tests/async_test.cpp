@@ -1,0 +1,530 @@
+// Tier-2 suite for the asynchronous operation core: Future/Promise
+// semantics, the bounded AsyncExecutor, single-flight proxy resolution
+// under racing threads, and the Store deserialized-object cache under
+// concurrent get_async / resolve_batch. Built with -DPS_SANITIZE=thread in
+// CI so every cross-thread handoff here is TSan-checked.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "connectors/local.hpp"
+#include "core/async.hpp"
+#include "core/factory.hpp"
+#include "core/future.hpp"
+#include "core/proxy.hpp"
+#include "core/store.hpp"
+#include "obs/metrics.hpp"
+#include "proc/world.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::core {
+namespace {
+
+using connectors::LocalConnector;
+
+// --------------------------------------------------------------- future ----
+
+TEST(Future, ValueRoundTrip) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  EXPECT_TRUE(future.valid());
+  EXPECT_FALSE(future.ready());
+  promise.set_value(7);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.wait(), 7);
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(Future, ErrorRethrowsToEveryWaiter) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  promise.set_error(std::make_exception_ptr(Error("boom")));
+  EXPECT_THROW(future.wait(), Error);
+  EXPECT_THROW(future.get(), Error);  // sticky: rethrows every time
+}
+
+TEST(Future, DoubleCompleteThrows) {
+  Promise<int> promise;
+  promise.set_value(1);
+  EXPECT_THROW(promise.set_value(2), Error);
+}
+
+TEST(Future, DefaultConstructedIsInvalid) {
+  Future<int> future;
+  EXPECT_FALSE(future.valid());
+  EXPECT_THROW(future.wait(), Error);
+}
+
+TEST(Future, WaitMergesCompletingThreadsVtime) {
+  sim::vset(1.0);
+  Promise<Unit> promise;
+  std::thread worker([&promise] {
+    sim::vset(1.25);  // the completing thread's virtual clock
+    promise.set_value(Unit{});
+  });
+  worker.join();
+  promise.future().wait();
+  EXPECT_DOUBLE_EQ(promise.future().done_vtime(), 1.25);
+  EXPECT_GE(sim::vnow(), 1.25);  // waiter merged the completion time
+}
+
+TEST(Future, MakeReadyStampsCurrentVtime) {
+  sim::vset(2.0);
+  Future<int> future = make_ready_future(9);
+  EXPECT_TRUE(future.ready());
+  EXPECT_DOUBLE_EQ(future.done_vtime(), 2.0);
+  EXPECT_EQ(future.get(), 9);
+}
+
+TEST(Future, OnReadyDeferredRunsOnCompletingThread) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  std::thread::id callback_thread;
+  future.on_ready([&callback_thread] {
+    callback_thread = std::this_thread::get_id();
+  });
+  std::thread worker([&promise] { promise.set_value(3); });
+  const std::thread::id worker_id = worker.get_id();
+  worker.join();
+  EXPECT_EQ(callback_thread, worker_id);
+}
+
+TEST(Future, OnReadyRunsInlineWhenAlreadyComplete) {
+  Future<int> future = make_ready_future(3);
+  std::thread::id callback_thread;
+  future.on_ready([&callback_thread] {
+    callback_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(callback_thread, std::this_thread::get_id());
+}
+
+TEST(Future, ThenTransformsValueAndPropagatesError) {
+  Promise<int> promise;
+  Future<int> doubled =
+      promise.future().then([](const int& v) { return v * 2; });
+  promise.set_value(21);
+  EXPECT_EQ(doubled.get(), 42);
+
+  Promise<int> failing;
+  Future<int> derived =
+      failing.future().then([](const int& v) { return v + 1; });
+  failing.set_error(std::make_exception_ptr(Error("upstream")));
+  EXPECT_THROW(derived.get(), Error);
+}
+
+// ------------------------------------------------------------- executor ----
+
+/// Fixture giving each test a one-host world and a process to run in, so
+/// executor jobs have a submitting process + virtual clock to inherit.
+class AsyncTest : public ::testing::Test {
+ protected:
+  AsyncTest() {
+    world_ = std::make_unique<proc::World>();
+    world_->fabric().add_site("site-a", net::hpc_interconnect(10e-6, 10e9));
+    world_->fabric().add_host("host-a", "site-a");
+    process_ = &world_->spawn("async-proc", "host-a");
+  }
+
+  std::unique_ptr<proc::World> world_;
+  proc::Process* process_ = nullptr;
+};
+
+TEST_F(AsyncTest, RunCarriesProcessAndSeedsVtimeFromSubmitter) {
+  proc::ProcessScope scope(*process_);
+  sim::vset(1.0);
+  Future<std::string> future =
+      AsyncExecutor::shared().run<std::string>([] {
+        sim::vadvance(0.5);  // charged on the worker's seeded clock
+        return proc::current_process().name();
+      });
+  EXPECT_EQ(future.wait(), "async-proc");
+  EXPECT_DOUBLE_EQ(future.done_vtime(), 1.5);
+  EXPECT_DOUBLE_EQ(sim::vnow(), 1.5);  // wait() merged the job's clock
+}
+
+TEST_F(AsyncTest, RunPropagatesJobErrors) {
+  proc::ProcessScope scope(*process_);
+  Future<int> future = AsyncExecutor::shared().run<int>(
+      []() -> int { throw Error("job failed"); });
+  EXPECT_THROW(future.wait(), Error);
+}
+
+TEST_F(AsyncTest, OverlappedJobCostsMaxOfTransferAndCompute) {
+  proc::ProcessScope scope(*process_);
+  sim::vset(10.0);
+  // Background "transfer" of 0.2 virtual seconds...
+  Future<Unit> transfer = AsyncExecutor::shared().run<Unit>([] {
+    sim::vadvance(0.2);
+    return Unit{};
+  });
+  sim::vadvance(0.6);  // ...while the submitter "computes" for 0.6.
+  transfer.wait();
+  EXPECT_DOUBLE_EQ(sim::vnow(), 10.6);  // max(0.2, 0.6), not the sum
+
+  Future<Unit> slow = AsyncExecutor::shared().run<Unit>([] {
+    sim::vadvance(0.9);
+    return Unit{};
+  });
+  sim::vadvance(0.1);
+  slow.wait();
+  EXPECT_DOUBLE_EQ(sim::vnow(), 11.5);  // 10.6 + max(0.9, 0.1)
+}
+
+TEST_F(AsyncTest, BoundedQueueBlocksSubmitterAndCountsSaturation) {
+  AsyncExecutor executor(AsyncExecutor::Options{/*workers=*/1,
+                                                /*max_queue=*/1});
+  proc::ProcessScope scope(*process_);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  const auto gate = [&mu, &cv, &release] {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&release] { return release; });
+    return Unit{};
+  };
+
+  const std::uint64_t saturated_before =
+      obs::MetricsRegistry::global().counter("async.executor.saturated")
+          .value();
+
+  // First job occupies the single worker (blocked on the gate)...
+  Future<Unit> first = executor.run<Unit>(gate);
+  while (executor.queue_depth() > 0) std::this_thread::yield();
+  // ...second fills the one queue slot...
+  Future<Unit> second = executor.run<Unit>(gate);
+  EXPECT_EQ(executor.queue_depth(), 1u);
+
+  // ...so a third submission must block until a slot frees. It cannot
+  // complete before the gate opens no matter how long we wait: the worker
+  // holds job one and the queue is full.
+  std::atomic<bool> third_submitted{false};
+  std::thread submitter([&] {
+    proc::ProcessScope worker_scope(*process_);
+    Future<Unit> third = executor.run<Unit>(gate);
+    third_submitted.store(true);
+    third.wait();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_submitted.load());
+
+  {
+    std::lock_guard lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  first.wait();
+  second.wait();
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  EXPECT_GT(obs::MetricsRegistry::global()
+                .counter("async.executor.saturated")
+                .value(),
+            saturated_before);
+}
+
+// ---------------------------------------------------- proxy single-flight --
+
+TEST_F(AsyncTest, RacingResolversInvokeFactoryExactlyOnce) {
+  constexpr int kThreads = 8;
+  constexpr double kStart = 5.0;
+  constexpr double kTransfer = 0.3;
+  std::atomic<int> invocations{0};
+  Proxy<int> proxy(Factory<int>(std::function<int()>([&invocations] {
+    invocations.fetch_add(1, std::memory_order_relaxed);
+    sim::vadvance(kTransfer);
+    // Widen the race window so waiters genuinely pile onto the pending
+    // future instead of arriving after completion.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return 42;
+  })));
+
+  std::vector<std::thread> threads;
+  std::vector<double> observed_vtime(kThreads, 0.0);
+  std::atomic<int> wrong_values{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      proc::ProcessScope scope(*process_);
+      sim::vset(kStart);
+      if (i % 2 == 0) proxy.resolve_async();  // mix async and sync entry
+      if (proxy.resolve() != 42) wrong_values.fetch_add(1);
+      observed_vtime[static_cast<std::size_t>(i)] = sim::vnow();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(invocations.load(), 1);  // single-flight: one factory call
+  EXPECT_EQ(wrong_values.load(), 0);
+  EXPECT_TRUE(proxy.resolved());
+  // Every observer, resolver or waiter, merged the transfer's virtual cost.
+  for (const double vtime : observed_vtime) {
+    EXPECT_GE(vtime, kStart + kTransfer);
+  }
+}
+
+TEST_F(AsyncTest, FailedResolveRethrowsAndPermitsRetry) {
+  std::atomic<int> calls{0};
+  Proxy<int> proxy(Factory<int>(std::function<int()>([&calls]() -> int {
+    if (calls.fetch_add(1) == 0) throw Error("transient");
+    return 7;
+  })));
+  proc::ProcessScope scope(*process_);
+  EXPECT_THROW(proxy.resolve(), Error);
+  EXPECT_FALSE(proxy.resolved());
+  EXPECT_EQ(proxy.resolve(), 7);  // pending slot was cleared: retry works
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST_F(AsyncTest, ProxyAsyncResolveOverlapsCompute) {
+  proc::ProcessScope scope(*process_);
+  sim::vset(0.0);
+  Proxy<int> proxy(Factory<int>(std::function<int()>([] {
+    sim::vadvance(0.3);  // simulated transfer
+    return 5;
+  })));
+  sim::VtimeScope elapsed;
+  proxy.resolve_async();  // transfer rides the shared executor
+  sim::vadvance(0.5);     // compute proceeds meanwhile
+  EXPECT_EQ(proxy.resolve(), 5);
+  // Access merges the resolver's completion vtime: cost is max(T, C), i.e.
+  // strictly less than the 0.8 a sync resolve-then-compute would pay.
+  EXPECT_DOUBLE_EQ(elapsed.elapsed(), 0.5);
+}
+
+// --------------------------------------------------- store async fetches ---
+
+/// Delegates synchronous ops to an in-process LocalConnector but keeps the
+/// base-class executor-backed async adapters and the default looping
+/// get_batch, so Store's async paths genuinely cross threads here. The
+/// small wall-clock delay in get() widens race windows for TSan.
+class AdapterConnector : public Connector {
+ public:
+  std::string type() const override { return "adapter-test"; }
+  ConnectorConfig config() const override { return inner_.config(); }
+  ConnectorTraits traits() const override { return inner_.traits(); }
+  Key put(BytesView data) override { return inner_.put(data); }
+  std::optional<Bytes> get(const Key& key) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return inner_.get(key);
+  }
+  bool exists(const Key& key) override { return inner_.exists(key); }
+  void evict(const Key& key) override { inner_.evict(key); }
+
+ private:
+  LocalConnector inner_;
+};
+
+TEST_F(AsyncTest, DefaultAsyncAdaptersRideTheSharedExecutor) {
+  proc::ProcessScope scope(*process_);
+  AdapterConnector connector;
+  const Key key = connector.put(Bytes("abc"));
+
+  // .get() (by value) — .wait()'s reference would dangle once the
+  // temporary future releases the shared state.
+  const std::optional<Bytes> got = connector.get_async(key).get();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "abc");
+  EXPECT_TRUE(connector.exists_async(key).wait());
+  connector.evict_async(key).wait();
+  EXPECT_FALSE(connector.exists(key));
+
+  const Key stored = connector.put_async(Bytes("xyz")).wait();
+  EXPECT_EQ(*connector.get_async(stored).wait(), "xyz");
+}
+
+TEST_F(AsyncTest, LocalConnectorAsyncOpsCompleteInline) {
+  proc::ProcessScope scope(*process_);
+  LocalConnector connector;
+  Future<Key> put = connector.put_async(Bytes("abc"));
+  EXPECT_TRUE(put.ready());  // native override: no executor hop
+  Future<std::optional<Bytes>> get = connector.get_async(put.wait());
+  EXPECT_TRUE(get.ready());
+  EXPECT_EQ(*get.wait(), "abc");
+}
+
+/// Store over `connector` with a deserializer that counts invocations, so
+/// tests can assert the single-deserialization-per-key guarantee.
+std::shared_ptr<Store> counting_store(const std::string& name,
+                                      std::shared_ptr<Connector> connector,
+                                      Store::Options options,
+                                      std::atomic<int>& deserializations) {
+  auto store = std::make_shared<Store>(name, std::move(connector), options);
+  store->register_serializer<std::string>(
+      [](const std::string& value) { return Bytes(value); },
+      [&deserializations](BytesView data) {
+        deserializations.fetch_add(1, std::memory_order_relaxed);
+        return std::string(data);
+      });
+  return store;
+}
+
+TEST_F(AsyncTest, ConcurrentAsyncFetchesDeserializeOncePerKey) {
+  constexpr int kObjects = 8;
+  constexpr int kBatchThreads = 3;
+  constexpr int kSingleThreads = 3;
+  std::atomic<int> deserializations{0};
+  auto store =
+      counting_store("async-flight", std::make_shared<AdapterConnector>(),
+                     Store::Options{.cache_size = 64}, deserializations);
+
+  std::vector<Key> keys;
+  std::vector<std::string> expected;
+  {
+    proc::ProcessScope scope(*process_);
+    for (int i = 0; i < kObjects; ++i) {
+      expected.push_back("object-" + std::to_string(i));
+      keys.push_back(store->put(expected.back()));
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kBatchThreads; ++t) {
+    threads.emplace_back([&] {
+      proc::ProcessScope scope(*process_);
+      const std::vector<std::optional<std::string>> values =
+          store->resolve_batch<std::string>(keys);
+      for (int i = 0; i < kObjects; ++i) {
+        const auto index = static_cast<std::size_t>(i);
+        if (!values[index] || *values[index] != expected[index]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kSingleThreads; ++t) {
+    threads.emplace_back([&] {
+      proc::ProcessScope scope(*process_);
+      for (int i = 0; i < kObjects; ++i) {
+        const auto index = static_cast<std::size_t>(i);
+        const std::optional<std::string> value =
+            store->get_async<std::string>(keys[index]).get();
+        if (!value || *value != expected[index]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Single-flight: no matter how the six threads interleave, each object
+  // crosses the deserializer exactly once and lands in the cache.
+  EXPECT_EQ(deserializations.load(), kObjects);
+  const Store::Metrics metrics = store->metrics();
+  EXPECT_EQ(metrics.gets,
+            static_cast<std::uint64_t>((kBatchThreads + kSingleThreads) *
+                                       kObjects));
+  EXPECT_EQ(metrics.cache_evictions, 0u);  // capacity 64 never pressured
+  EXPECT_LE(metrics.cache_hits,
+            metrics.gets - static_cast<std::uint64_t>(kObjects));
+}
+
+TEST_F(AsyncTest, ResolveBatchDedupsRepeatsAndReportsMisses) {
+  proc::ProcessScope scope(*process_);
+  std::atomic<int> deserializations{0};
+  auto store =
+      counting_store("async-dedup", std::make_shared<LocalConnector>(),
+                     Store::Options{.cache_size = 16}, deserializations);
+  const Key alpha = store->put(std::string("alpha"));
+  const Key beta = store->put(std::string("beta"));
+  const Key missing{.object_id = "never-stored"};
+
+  const std::vector<std::optional<std::string>> values =
+      store->resolve_batch<std::string>(
+          {alpha, beta, alpha, missing, beta, alpha});
+  ASSERT_EQ(values.size(), 6u);
+  EXPECT_EQ(values[0], "alpha");
+  EXPECT_EQ(values[1], "beta");
+  EXPECT_EQ(values[2], "alpha");
+  EXPECT_EQ(values[3], std::nullopt);  // miss yields nullopt in place
+  EXPECT_EQ(values[4], "beta");
+  EXPECT_EQ(values[5], "alpha");
+  // Batch-internal duplicates collapse onto one fetch + deserialization.
+  EXPECT_EQ(deserializations.load(), 2);
+}
+
+TEST_F(AsyncTest, ResolveBatchEvictionMetricsStayConsistent) {
+  proc::ProcessScope scope(*process_);
+  std::atomic<int> deserializations{0};
+  auto store =
+      counting_store("async-evict", std::make_shared<LocalConnector>(),
+                     Store::Options{.cache_size = 2}, deserializations);
+  std::vector<Key> keys;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back(store->put("value-" + std::to_string(i)));
+  }
+  const std::vector<std::optional<std::string>> values =
+      store->resolve_batch<std::string>(keys);
+  for (int i = 0; i < 6; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    ASSERT_TRUE(values[index].has_value());
+    EXPECT_EQ(*values[index], "value-" + std::to_string(i));
+  }
+  const Store::Metrics metrics = store->metrics();
+  EXPECT_EQ(metrics.gets, 6u);
+  EXPECT_EQ(metrics.cache_hits, 0u);
+  EXPECT_EQ(metrics.cache_evictions, 4u);  // 6 inserts into a 2-slot LRU
+  EXPECT_EQ(store->cache().size(), 2u);
+  EXPECT_EQ(deserializations.load(), 6);
+}
+
+TEST_F(AsyncTest, GetAsyncCachesAndCompletesInlineOnHit) {
+  proc::ProcessScope scope(*process_);
+  std::atomic<int> deserializations{0};
+  auto store =
+      counting_store("async-hit", std::make_shared<LocalConnector>(),
+                     Store::Options{.cache_size = 16}, deserializations);
+  const Key key = store->put(std::string("payload"));
+
+  const std::optional<std::string> first =
+      store->get_async<std::string>(key).get();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "payload");
+
+  Future<std::optional<std::string>> second =
+      store->get_async<std::string>(key);
+  EXPECT_TRUE(second.ready());  // cache hit completes inline
+  EXPECT_EQ(*second.wait(), "payload");
+  EXPECT_EQ(deserializations.load(), 1);
+  EXPECT_GE(store->metrics().cache_hits, 1u);
+}
+
+TEST_F(AsyncTest, PrefetchWarmsTheDeserializedCache) {
+  proc::ProcessScope scope(*process_);
+  std::atomic<int> deserializations{0};
+  auto store =
+      counting_store("async-prefetch", std::make_shared<LocalConnector>(),
+                     Store::Options{.cache_size = 16}, deserializations);
+  std::vector<Key> keys;
+  for (int i = 0; i < 4; ++i) {
+    keys.push_back(store->put("warm-" + std::to_string(i)));
+  }
+
+  store->prefetch<std::string>(keys);
+  // LocalConnector's native get_async completes inline, so the cache is
+  // warm (and the metrics stable) by the time prefetch returns.
+  EXPECT_EQ(deserializations.load(), 4);
+  for (const Key& key : keys) {
+    EXPECT_TRUE(store->cache().contains(key.canonical()));
+  }
+  const std::optional<std::string> hit = store->get<std::string>(keys[0]);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "warm-0");
+  EXPECT_EQ(deserializations.load(), 4);  // pure cache hit: no re-decode
+
+  store->prefetch<std::string>(keys);  // cached keys are skipped entirely
+  EXPECT_EQ(deserializations.load(), 4);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -644,7 +644,14 @@ class BatchCountingConnector : public Connector {
     return inner_->put_batch(items);
   }
   std::optional<Bytes> get(const Key& key) override {
+    ++gets;
     return inner_->get(key);
+  }
+  std::vector<std::optional<Bytes>> get_batch(
+      const std::vector<Key>& keys) override {
+    ++get_batch_calls;
+    get_batch_items += keys.size();
+    return inner_->get_batch(keys);
   }
   bool exists(const Key& key) override { return inner_->exists(key); }
   void evict(const Key& key) override { inner_->evict(key); }
@@ -652,6 +659,9 @@ class BatchCountingConnector : public Connector {
   int puts = 0;
   int batch_calls = 0;
   std::size_t batch_items = 0;
+  int gets = 0;
+  int get_batch_calls = 0;
+  std::size_t get_batch_items = 0;
 
  private:
   std::string type_;
@@ -702,6 +712,54 @@ TEST_F(MultiTest, PutBatchForwardsGroupsAsBatches) {
   EXPECT_EQ(large->puts, 0);
 }
 
+TEST_F(MultiTest, GetBatchRoutesPerKeyToOwningChildren) {
+  auto multi = make_multi();
+  proc::ProcessScope scope(*producer_);
+  const std::vector<Bytes> items = {
+      pattern_bytes(100, 0), pattern_bytes(5000, 1), pattern_bytes(200, 2),
+      pattern_bytes(20000, 3), pattern_bytes(999, 4)};
+  const std::vector<Key> keys = multi->put_batch(items);
+  // Batched read returns every value position-for-position even though the
+  // keys interleave across the two children.
+  const std::vector<std::optional<Bytes>> values = multi->get_batch(keys);
+  ASSERT_EQ(values.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(values[i].has_value()) << "item " << i;
+    EXPECT_EQ(*values[i], items[i]) << "item " << i;
+  }
+  // A missing key reads back as nullopt in place, not an error.
+  std::vector<Key> with_missing = keys;
+  multi->evict(with_missing[1]);
+  const auto sparse = multi->get_batch(with_missing);
+  EXPECT_FALSE(sparse[1].has_value());
+  EXPECT_TRUE(sparse[0].has_value());
+}
+
+TEST_F(MultiTest, GetBatchForwardsGroupsAsBatches) {
+  // Children must receive one get_batch per group — never the base class's
+  // one-by-one fallback (mirrors PutBatchForwardsGroupsAsBatches).
+  proc::ProcessScope scope(*producer_);
+  auto small = std::make_shared<BatchCountingConnector>("count-small");
+  auto large = std::make_shared<BatchCountingConnector>("count-large");
+  Policy small_policy;
+  small_policy.max_size = 1000;
+  small_policy.priority = 1;
+  MultiConnector multi(std::vector<MultiConnector::Entry>{
+      {"small", small, small_policy}, {"large", large, Policy{}}});
+  const std::vector<Bytes> items = {
+      pattern_bytes(10, 0), pattern_bytes(4000, 1), pattern_bytes(20, 2),
+      pattern_bytes(8000, 3)};
+  const std::vector<Key> keys = multi.put_batch(items);
+  const auto values = multi.get_batch(keys);
+  ASSERT_EQ(values.size(), keys.size());
+  EXPECT_EQ(small->get_batch_calls, 1);
+  EXPECT_EQ(small->get_batch_items, 2u);
+  EXPECT_EQ(large->get_batch_calls, 1);
+  EXPECT_EQ(large->get_batch_items, 2u);
+  EXPECT_EQ(small->gets, 0);
+  EXPECT_EQ(large->gets, 0);
+}
+
 TEST(Instrumented, PutBatchRecordsBatchSizeMetricAndForwards) {
   obs::set_enabled(true);
   auto world = proc::World::make_local();
@@ -718,6 +776,30 @@ TEST(Instrumented, PutBatchRecordsBatchSizeMetricAndForwards) {
   EXPECT_EQ(registry.counter("connector.batch-metric.put_batch").value(), 1u);
   const obs::Histogram* items_hist =
       registry.find_histogram("connector.batch-metric.put_batch.items");
+  ASSERT_NE(items_hist, nullptr);
+  EXPECT_EQ(items_hist->count(), 1u);
+  EXPECT_DOUBLE_EQ(items_hist->mean(), 3.0);
+}
+
+TEST(Instrumented, GetBatchRecordsBatchSizeMetricAndForwards) {
+  obs::set_enabled(true);
+  auto world = proc::World::make_local();
+  proc::ProcessScope scope(world->spawn("p", "localhost"));
+  auto counting = std::make_shared<BatchCountingConnector>("get-batch-metric");
+  InstrumentedConnector instrumented(counting);
+  const std::vector<Bytes> items = {pattern_bytes(10, 0), pattern_bytes(20, 1),
+                                    pattern_bytes(30, 2)};
+  const std::vector<Key> keys = instrumented.put_batch(items);
+  const auto values = instrumented.get_batch(keys);
+  ASSERT_EQ(values.size(), keys.size());
+  // Forwarded as one bulk call, not unrolled through get().
+  EXPECT_EQ(counting->get_batch_calls, 1);
+  EXPECT_EQ(counting->gets, 0);
+  auto& registry = obs::MetricsRegistry::global();
+  EXPECT_EQ(registry.counter("connector.get-batch-metric.get_batch").value(),
+            1u);
+  const obs::Histogram* items_hist =
+      registry.find_histogram("connector.get-batch-metric.get_batch.items");
   ASSERT_NE(items_hist, nullptr);
   EXPECT_EQ(items_hist->count(), 1u);
   EXPECT_DOUBLE_EQ(items_hist->mean(), 3.0);

@@ -69,6 +69,10 @@ run_bench fig4_handshake
 run_bench ablation_design
 run_bench fig6_inmemory --max-size 1MB
 run_bench fig_stream
+run_bench micro_async
+# The async executor must have surfaced its queue/saturation metrics after
+# the bench exercised the shared pool.
+./build/tools/psctl metrics --prom | grep -q '^ps_async_executor_'
 # The committed baselines themselves must stay schema-valid.
 ./build/tools/psctl bench check results/baselines/BENCH_*.json
 

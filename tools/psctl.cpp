@@ -376,6 +376,23 @@ int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
       store->exists(core::Key{.object_id = "no-such-object", .meta = {}});
     }
 
+    // Async path: batched + pipelined gets and an async proxy resolve, so
+    // the async.executor.* queue/saturation metrics and the per-connector
+    // *_async / get_batch series have data.
+    {
+      std::vector<std::string> values(8, std::string(1024, 'a'));
+      const std::vector<core::Key> keys = local->put_batch(values);
+      for (const core::Key& key : keys) local->cache().erase(key.canonical());
+      local->resolve_batch<std::string>(keys);
+      for (const core::Key& key : keys) local->cache().erase(key.canonical());
+      local->get_async<std::string>(keys.front()).wait();
+      file->connector().exists_async(keys.front()).wait();
+      core::Proxy<std::string> warm =
+          local->proxy(std::string("async-demo"));
+      warm.resolve_async();
+      warm.resolve();
+    }
+
     // One proxy resolved in a different simulated process: the full
     // lifecycle (created -> serialized -> deserialized -> resolved) lands
     // in the trace recorder.

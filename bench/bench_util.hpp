@@ -35,8 +35,19 @@ struct Args {
   std::uint64_t seed = ps::Stats::kDefaultSeed;  // --seed <n>
   int reps = 0;                 // --reps <n>; 0 keeps the bench default
   std::size_t max_size = 0;     // --max-size <bytes|1MB>; 0 = uncapped
+  // Load-shaping knobs shared by every harness (the load_* generators are
+  // the primary consumers; figure benches may map them onto their own
+  // fan-out/duration notions or ignore them).
+  int clients = 0;              // --clients <n>; 0 keeps the bench default
+  double duration_s = 0.0;      // --duration <vtime s>; 0 = bench default
 
   int reps_or(int fallback) const { return reps > 0 ? reps : fallback; }
+  int clients_or(int fallback) const {
+    return clients > 0 ? clients : fallback;
+  }
+  double duration_or(double fallback) const {
+    return duration_s > 0.0 ? duration_s : fallback;
+  }
 
   /// Drops payload sizes above --max-size (all of them when uncapped).
   std::vector<std::size_t> cap(std::vector<std::size_t> sizes) const {
@@ -76,10 +87,15 @@ inline Args parse_args(const std::string& bench_name, int argc, char** argv) {
       args.reps = std::atoi(argv[++i]);
     } else if (flag == "--max-size" && has_value) {
       args.max_size = parse_size(argv[++i]);
+    } else if (flag == "--clients" && has_value) {
+      args.clients = std::atoi(argv[++i]);
+    } else if (flag == "--duration" && has_value) {
+      args.duration_s = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.json] [--json out.json] "
-                   "[--seed n] [--reps n] [--max-size 1MB]\n",
+                   "[--seed n] [--reps n] [--max-size 1MB] "
+                   "[--clients n] [--duration vtime_s]\n",
                    bench_name.c_str());
       std::exit(2);
     }

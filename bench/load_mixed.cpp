@@ -1,0 +1,321 @@
+// load_mixed: the million-client-shaped mixed-scenario load harness behind
+// the CI SLO gate (declared objectives evaluated into the BENCH artifact).
+//
+// A ClientFleet (bench/load_util.hpp) multiplexes thousands of simulated
+// client processes over the testbed fabric inside one driver thread — every
+// client has its own process, RNG stream, and virtual clock — so the run is
+// deterministic in virtual time: same seed and client count produce the
+// same series bit for bit, which is what lets `psctl bench diff` compare
+// the artifact exactly against results/baselines/BENCH_load_mixed.json.
+//
+// Four phases, each registering p50/p99/p999 latency series and covered by
+// declared SLOs:
+//   hotkey — closed-loop Zipfian get/put mix (90/10) against a Redis-like
+//            kv store on the Theta login node, object cache disabled so
+//            every get pays the connector;
+//   fanout — ProxyStream fan-out: one producer streams payload proxies to
+//            8 cross-site consumers; the measured op is per-item resolve
+//            (the data-channel transfer ProxyStream moves off the broker);
+//   burst  — open-loop pipelined resolve_batch bursts (16 keys each) on an
+//            exponential arrival schedule, so service inflation surfaces
+//            as queueing delay (no coordinated omission);
+//   faas   — FaaS dispatch bursts: 4 tasks submitted back-to-back through
+//            the cloud service to a compute endpoint, inputs passed by
+//            proxy, burst RTT measured at the client.
+//
+// PS_LOAD_INJECT_LATENCY_MS=<ms> injects that much virtual latency into
+// every measured op — the hook tools/ci.sh uses to prove the SLO gate
+// actually trips (injection must flip `psctl bench diff` to exit 1).
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "connectors/redis.hpp"
+#include "core/store.hpp"
+#include "faas/cloud.hpp"
+#include "faas/executor.hpp"
+#include "faas/registry.hpp"
+#include "kv/server.hpp"
+#include "load_util.hpp"
+#include "obs/slo.hpp"
+#include "sim/vtime.hpp"
+#include "stream/queue_broker.hpp"
+#include "stream/stream.hpp"
+#include "testbed/testbed.hpp"
+
+namespace {
+
+using namespace ps;
+
+void register_tasks() {
+  faas::FunctionRegistry::instance().register_function(
+      "load-task", [](BytesView request_bytes) {
+        // The task input is a serialized proxy: deserializing rebuilds the
+        // factory (re-registering the store if needed) and first access
+        // resolves the payload over the data channel.
+        auto data = serde::from_bytes<core::Proxy<Bytes>>(request_bytes);
+        return serde::to_bytes(data->size());
+      });
+}
+
+void print_phase(const std::string& series_name) {
+  const obs::Histogram* h =
+      obs::MetricsRegistry::global().find_histogram(series_name);
+  if (h == nullptr) return;
+  ps::bench::print_row({series_name, std::to_string(h->count()),
+                        ps::bench::fmt_seconds(h->percentile(50.0)),
+                        ps::bench::fmt_seconds(h->percentile(99.0)),
+                        ps::bench::fmt_seconds(h->p999())},
+                       18);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ps::bench::Args args = ps::bench::parse_args("load_mixed", argc, argv);
+  testbed::Testbed tb = testbed::build();
+  proc::World& world = *tb.world;
+
+  // The latency-regression injection hook (virtual seconds added inside
+  // every measured op) — see the header comment.
+  double inject_s = 0.0;
+  if (const char* ms = std::getenv("PS_LOAD_INJECT_LATENCY_MS")) {
+    inject_s = std::atof(ms) / 1000.0;
+  }
+
+  const int clients = args.clients_or(1024);
+  const int ops_per_client = args.reps_or(4);
+  const std::vector<std::string> hosts = {
+      tb.theta_compute0, tb.theta_compute1,  tb.polaris_compute0,
+      tb.polaris_compute1, tb.perlmutter_compute, tb.chameleon0,
+      tb.chameleon1,     tb.midway_login};
+
+  // Shared fabric services: payload kv server on the Theta login node.
+  kv::KvServer::start(world, tb.theta_login, "load");
+  proc::Process& admin = world.spawn("load-admin", tb.theta_login);
+
+  // Object caches disabled on both stores: every resolve pays the
+  // connector, so the measured latency is the transfer, not an LRU hit.
+  std::shared_ptr<core::Store> kv_store;
+  std::shared_ptr<core::Store> stream_store;
+  {
+    proc::ProcessScope scope(admin);
+    kv_store = std::make_shared<core::Store>(
+        "load-kv",
+        std::make_shared<connectors::RedisConnector>(
+            kv::kv_address(tb.theta_login, "load")),
+        core::Store::Options{.cache_size = 0});
+    core::register_store(kv_store);
+    stream_store = std::make_shared<core::Store>(
+        "load-stream",
+        std::make_shared<connectors::RedisConnector>(
+            kv::kv_address(tb.theta_login, "load")),
+        core::Store::Options{.cache_size = 0});
+    core::register_store(stream_store);
+  }
+
+  ps::bench::print_header(
+      "load_mixed: " + std::to_string(clients) +
+      " simulated clients, 4 scenario phases (vtime, deterministic)\n"
+      "hotkey = Zipfian 90/10 get/put; fanout = ProxyStream resolve x8;\n"
+      "burst = open-loop resolve_batch; faas = proxy-input dispatch bursts");
+
+  // ---- phase 1: hot-key skewed kv traffic (closed loop) -----------------
+  const std::size_t kHotKeys = 64;
+  const std::size_t kHotBytes = 4096;
+  std::vector<core::Key> hot_keys;
+  {
+    proc::ProcessScope scope(admin);
+    std::vector<Bytes> values;
+    for (std::size_t k = 0; k < kHotKeys; ++k) {
+      values.push_back(pattern_bytes(kHotBytes, args.seed + k));
+    }
+    hot_keys = kv_store->put_batch(values);
+  }
+  ps::bench::Zipf hot_zipf(kHotKeys, 1.1);
+  ps::bench::ClientFleet fleet(world, "load", hosts,
+                               static_cast<std::size_t>(clients), args.seed);
+  // Staggered starts + jittered think keep the offered load production-
+  // shaped: without them every client arrives at t=0 and the phase measures
+  // one thundering herd's queue ramp at the single-threaded kv server.
+  fleet.stagger(0.001);
+  fleet.set_injected_latency(inject_s);
+  obs::Histogram& hot_lat = ps::bench::series("load.hotkey.op");
+  const auto hotkey_op = [&](std::size_t, Rng& rng) {
+    const std::size_t k = hot_zipf.sample(rng);
+    if (rng.bernoulli(0.10)) {
+      // Writers rotate the hot object in place (the table is shared and
+      // the fleet is driven sequentially, so this stays deterministic).
+      hot_keys[k] = kv_store->put(pattern_bytes(kHotBytes, rng.next_u64()));
+    } else if (!kv_store->get<Bytes>(hot_keys[k])) {
+      throw Error("load_mixed: hot key vanished");
+    }
+  };
+  // ~80-120 ms think per client keeps the aggregate arrival rate below the
+  // kv server's service capacity at the CI fleet size, so the percentiles
+  // are steady-state latency rather than an unbounded saturation ramp.
+  if (args.duration_s > 0.0) {
+    fleet.run_closed_loop_for(args.duration_s, /*think_s=*/0.080, hot_lat,
+                              hotkey_op, /*think_jitter_s=*/0.040);
+  } else {
+    fleet.run_closed_loop(ops_per_client, /*think_s=*/0.080, hot_lat,
+                          hotkey_op, /*think_jitter_s=*/0.040);
+  }
+
+  // ---- phase 2: ProxyStream fan-out ------------------------------------
+  const int kFanEvents = 32;
+  const std::size_t kFanBytes = 8192;
+  const int kFanConsumers = 8;
+  proc::Process& producer = world.spawn("fan-producer", tb.theta_compute0);
+  auto broker = std::make_shared<stream::QueueBroker>();
+  std::vector<proc::Process*> fan_consumers;
+  std::vector<std::unique_ptr<stream::StreamConsumer<Bytes>>> sinks;
+  for (int c = 0; c < kFanConsumers; ++c) {
+    proc::Process& p = world.spawn("fan-consumer-" + std::to_string(c),
+                                   hosts[c % hosts.size()]);
+    fan_consumers.push_back(&p);
+    proc::ProcessScope scope(p);
+    sinks.push_back(
+        std::make_unique<stream::StreamConsumer<Bytes>>(broker, "grads"));
+  }
+  {
+    proc::ProcessScope scope(producer);
+    stream::StreamProducer<Bytes> source(
+        stream_store, broker, "grads",
+        stream::StreamProducerOptions{.max_batch_items = 4});
+    for (int e = 0; e < kFanEvents; ++e) {
+      source.send(pattern_bytes(kFanBytes, args.seed + 1000 + e));
+    }
+    source.close();
+  }
+  obs::Histogram& fan_lat = ps::bench::series("load.fanout.resolve");
+  // All consumers drain "concurrently" from the moment the producer closed:
+  // resetting each consumer's clock to fan_start means their resolves
+  // contend at the payload store the way a real fan-out would.
+  const double fan_start = sim::vnow();
+  for (int c = 0; c < kFanConsumers; ++c) {
+    proc::ProcessScope scope(*fan_consumers[c]);
+    sim::vset(fan_start);
+    int received = 0;
+    while (auto item = sinks[c]->next_item()) {
+      sim::VtimeScope resolve;
+      if (item->proxy.resolve().size() != kFanBytes) {
+        throw Error("load_mixed: fanout payload mismatch");
+      }
+      if (inject_s > 0.0) sim::vadvance(inject_s);
+      fan_lat.observe(resolve.elapsed());
+      ++received;
+    }
+    if (received != kFanEvents) {
+      throw Error("load_mixed: fanout dropped events");
+    }
+  }
+
+  // ---- phase 3: pipelined resolve_batch bursts (open loop) -------------
+  const std::size_t kChunks = 256;
+  const std::size_t kChunkBytes = 16384;
+  const std::size_t kBurstKeys = 16;
+  std::vector<core::Key> chunk_keys;
+  {
+    proc::ProcessScope scope(admin);
+    std::vector<Bytes> chunks;
+    for (std::size_t k = 0; k < kChunks; ++k) {
+      chunks.push_back(pattern_bytes(kChunkBytes, args.seed + 2000 + k));
+    }
+    chunk_keys = kv_store->put_batch(chunks);
+  }
+  ps::bench::Zipf chunk_zipf(kChunks, 0.9);
+  ps::bench::ClientFleet burst_fleet(
+      world, "burst", hosts,
+      static_cast<std::size_t>(std::max(clients / 8, 8)), args.seed + 1);
+  burst_fleet.set_injected_latency(inject_s);
+  obs::Histogram& burst_lat = ps::bench::series("load.burst.batch");
+  const std::size_t total_bursts = burst_fleet.size() * 2;
+  // Aggregate arrival rate sized under the kv server's batch service
+  // capacity (~80/s at 16x16 KB per burst), so the recorded queueing delay
+  // reflects arrival burstiness, not a saturation ramp.
+  const double burst_rate_hz = 40.0;
+  burst_fleet.run_open_loop(
+      burst_rate_hz, total_bursts, burst_lat, [&](std::size_t, Rng& rng) {
+        std::vector<core::Key> batch;
+        batch.reserve(kBurstKeys);
+        for (std::size_t j = 0; j < kBurstKeys; ++j) {
+          batch.push_back(chunk_keys[chunk_zipf.sample(rng)]);
+        }
+        const auto got = kv_store->resolve_batch<Bytes>(batch);
+        for (const auto& value : got) {
+          if (!value) throw Error("load_mixed: burst chunk vanished");
+        }
+      });
+
+  // ---- phase 4: FaaS dispatch bursts -----------------------------------
+  register_tasks();
+  auto cloud = faas::CloudService::start(world, tb.cloud);
+  proc::Process& worker = world.spawn("faas-worker", tb.midway_login);
+  faas::ComputeEndpoint endpoint(cloud, worker);
+  const std::size_t kFaasBytes = 4096;
+  const int kFaasBurst = 4;
+  // The compute endpoint executes tasks one at a time (a serial vtime
+  // queue), so the dispatch fleet stays small and thinks for seconds
+  // between bursts — utilization ~0.5, not a pile-up measuring only its
+  // own backlog.
+  ps::bench::ClientFleet faas_fleet(
+      world, "faas", hosts,
+      static_cast<std::size_t>(std::clamp(clients / 16, 4, 32)),
+      args.seed + 2);
+  faas_fleet.stagger(0.250);
+  faas_fleet.set_injected_latency(inject_s);
+  obs::Histogram& faas_lat = ps::bench::series("load.faas.rtt");
+  faas_fleet.run_closed_loop(
+      /*ops_per_client=*/2, /*think_s=*/3.0, faas_lat,
+      [&](std::size_t, Rng& rng) {
+        // Back-to-back dispatches, each awaited before the next: one
+        // outstanding task keeps the driver and the endpoint worker thread
+        // strictly alternating, so the shared service queues see a
+        // deterministic arrival order (concurrent submits would race the
+        // worker at the cloud-ingest resource and break reproducibility).
+        faas::Executor executor(cloud, endpoint.uuid());
+        for (int t = 0; t < kFaasBurst; ++t) {
+          core::Proxy<Bytes> input = kv_store->proxy(
+              pattern_bytes(kFaasBytes, rng.next_u64()), /*evict=*/true);
+          executor.submit("load-task", serde::to_bytes(input)).get();
+        }
+      },
+      /*think_jitter_s=*/1.0);
+
+  // ---- SLOs -------------------------------------------------------------
+  // Thresholds carry ~2x headroom over the blessed-baseline percentiles:
+  // they are absolute latency promises (breaches fail `psctl bench diff`
+  // regardless of drift), not change detectors — the exact vtime series
+  // comparison already catches any drift.
+  // The tails are dominated by the WAN-distant client sites (Chameleon /
+  // Midway -> Theta login), so the promises are absolute cross-site ones.
+  obs::SloRegistry& slos = obs::SloRegistry::global();
+  slos.declare({"load.hotkey.p99", "load.hotkey.op", "p99",
+                /*threshold_s=*/0.100, /*min_samples=*/64});
+  slos.declare({"load.hotkey.p999", "load.hotkey.op", "p999",
+                /*threshold_s=*/0.120, /*min_samples=*/64});
+  slos.declare({"load.fanout.p99", "load.fanout.resolve", "p99",
+                /*threshold_s=*/0.120, /*min_samples=*/32});
+  slos.declare({"load.burst.p999", "load.burst.batch", "p999",
+                /*threshold_s=*/0.350, /*min_samples=*/16});
+  slos.declare({"load.faas.p99", "load.faas.rtt", "p99",
+                /*threshold_s=*/6.0, /*min_samples=*/16});
+
+  ps::bench::print_row({"phase", "count", "p50", "p99", "p999"}, 18);
+  print_phase("load.hotkey.op");
+  print_phase("load.fanout.resolve");
+  print_phase("load.burst.batch");
+  print_phase("load.faas.rtt");
+
+  const obs::SloReport report = slos.evaluate();
+  std::printf("\n%s", report.table().c_str());
+  std::printf("slo: %zu objectives, %zu breach(es)\n", report.verdicts.size(),
+              report.breaches());
+
+  ps::bench::finish(args);
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Load-generation helpers for the load_* harnesses.
+//
+// A ClientFleet simulates N client processes on the testbed fabric inside
+// one driver thread: every client owns a simulated proc::Process (pinned to
+// a host), a private RNG stream, and a private virtual clock. Ops are
+// driven round-robin — client clocks interleave the way truly concurrent
+// clients would — while execution stays sequential, so a run is
+// deterministic: same seed, same client count, same vtime series, bit for
+// bit. That is what lets `psctl bench diff` gate CI on the load artifact.
+//
+// Two generator shapes:
+//   * closed loop — each client issues its next op as soon as the previous
+//     one (plus think time) finishes; offered load tracks service capacity;
+//   * open loop — ops arrive on a fixed exponential schedule regardless of
+//     completions, so service-time inflation shows up as queueing delay in
+//     the recorded latency (no coordinated omission: latency is measured
+//     from scheduled arrival, not from op start).
+//
+// The Zipf sampler provides the hot-key skew (a small head of keys takes
+// most of the traffic) that turns a uniform kv load into the contended,
+// production-shaped one the SLO phases bound.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "proc/process.hpp"
+#include "proc/world.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::bench {
+
+/// Zipfian distribution over ranks [0, n): P(k) proportional to
+/// 1 / (k + 1)^exponent. Sampled by binary search over the precomputed
+/// CDF — deterministic given the caller's RNG stream.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double exponent) : cdf_(n) {
+    if (n == 0) throw Error("Zipf: empty support");
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// N simulated client processes sharing one driver thread, each with its
+/// own virtual clock and RNG stream.
+class ClientFleet {
+ public:
+  /// The op body: runs inside the client's process scope with the client's
+  /// virtual clock installed; whatever vtime it charges is the measured
+  /// service latency.
+  using Op = std::function<void(std::size_t client, Rng& rng)>;
+
+  ClientFleet(proc::World& world, const std::string& prefix,
+              const std::vector<std::string>& hosts, std::size_t count,
+              std::uint64_t seed)
+      : arrivals_(seed ^ 0x9e3779b97f4a7c15ULL) {
+    if (hosts.empty()) throw Error("ClientFleet: no hosts");
+    clients_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Client client{
+          &world.spawn(prefix + "-" + std::to_string(i),
+                       hosts[i % hosts.size()]),
+          /*vnow=*/0.0,
+          // Distinct, seed-derived stream per client (splitmix-style odd
+          // multiplier keeps streams decorrelated).
+          Rng(seed + 0x9e3779b97f4a7c15ULL * (i + 1))};
+      clients_.push_back(std::move(client));
+    }
+  }
+
+  std::size_t size() const { return clients_.size(); }
+
+  /// Staggers client start times: client i begins at `i * spacing_s` virtual
+  /// seconds. Without it every client arrives at t=0 and the first round
+  /// measures a thundering herd's queue ramp instead of steady-state load.
+  void stagger(double spacing_s) {
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      clients_[i].vnow = static_cast<double>(i) * spacing_s;
+    }
+  }
+
+  /// Virtual seconds injected inside every measured op window — the
+  /// latency-regression hook the CI negative test uses to prove the SLO
+  /// gate trips (see PS_LOAD_INJECT_LATENCY_MS in load_mixed).
+  void set_injected_latency(double seconds) {
+    injected_latency_s_ = seconds;
+  }
+
+  /// Closed loop: `ops_per_client` rounds, all clients advancing one op
+  /// per round, `think_s` of client-side virtual think time between ops
+  /// (plus uniform jitter in [0, think_jitter_s), drawn from the client's
+  /// RNG stream, so arrivals desynchronize instead of marching in phase).
+  void run_closed_loop(int ops_per_client, double think_s,
+                       obs::Histogram& latency, const Op& op,
+                       double think_jitter_s = 0.0) {
+    for (int round = 0; round < ops_per_client; ++round) {
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        step(i, clients_[i].vnow, latency, op);
+        clients_[i].vnow += think(i, think_s, think_jitter_s);
+      }
+    }
+  }
+
+  /// Closed loop until every client's virtual clock passes `duration_s`
+  /// (relative to the fleet's current maximum — phases compose).
+  void run_closed_loop_for(double duration_s, double think_s,
+                           obs::Histogram& latency, const Op& op,
+                           double think_jitter_s = 0.0) {
+    const double deadline = max_vnow() + duration_s;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t i = 0; i < clients_.size(); ++i) {
+        if (clients_[i].vnow >= deadline) continue;
+        any = true;
+        step(i, clients_[i].vnow, latency, op);
+        clients_[i].vnow += think(i, think_s, think_jitter_s);
+      }
+    }
+  }
+
+  /// Open loop: `total_ops` arrivals on an exponential schedule at
+  /// aggregate rate `rate_hz`, assigned round-robin. A client still busy at
+  /// an op's scheduled arrival serves it late, and the wait counts — the
+  /// recorded latency is completion minus scheduled arrival.
+  void run_open_loop(double rate_hz, std::size_t total_ops,
+                     obs::Histogram& latency, const Op& op) {
+    if (!(rate_hz > 0.0)) throw Error("ClientFleet: open loop needs a rate");
+    double arrival = max_vnow();
+    for (std::size_t k = 0; k < total_ops; ++k) {
+      arrival += -std::log(1.0 - arrivals_.uniform()) / rate_hz;
+      const std::size_t i = k % clients_.size();
+      const double start = std::max(arrival, clients_[i].vnow);
+      step(i, start, latency, op, /*measure_from=*/arrival);
+    }
+  }
+
+  double max_vnow() const {
+    double max = 0.0;
+    for (const Client& client : clients_) {
+      if (client.vnow > max) max = client.vnow;
+    }
+    return max;
+  }
+
+ private:
+  struct Client {
+    proc::Process* process;
+    double vnow;
+    Rng rng;
+  };
+
+  double think(std::size_t i, double think_s, double jitter_s) {
+    if (jitter_s <= 0.0) return think_s;
+    return think_s + clients_[i].rng.uniform(0.0, jitter_s);
+  }
+
+  /// Runs one op for client `i` starting at virtual time `start`,
+  /// recording completion - measure_from (default: start) as its latency.
+  void step(std::size_t i, double start, obs::Histogram& latency,
+            const Op& op, double measure_from = -1.0) {
+    Client& client = clients_[i];
+    proc::ProcessScope scope(*client.process);
+    sim::vset(start);
+    op(i, client.rng);
+    if (injected_latency_s_ > 0.0) sim::vadvance(injected_latency_s_);
+    client.vnow = sim::vnow();
+    const double from = measure_from < 0.0 ? start : measure_from;
+    latency.observe(client.vnow - from);
+  }
+
+  std::vector<Client> clients_;
+  Rng arrivals_;
+  double injected_latency_s_ = 0.0;
+};
+
+}  // namespace ps::bench

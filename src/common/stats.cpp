@@ -80,6 +80,11 @@ double Stats::percentile(double p) const {
   return s[lo] * (1.0 - frac) + s[hi] * frac;
 }
 
+double Stats::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile range");
+  return percentile(q * 100.0);
+}
+
 std::string Stats::mean_pm_stdev(double scale, int precision) const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, mean() * scale,

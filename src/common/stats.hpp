@@ -49,9 +49,13 @@ class Stats {
   double max() const;
   double median() const;
   double percentile(double p) const;  // p in [0, 100]
+  /// quantile(q) == percentile(100 q); q in [0, 1]. The form SLO
+  /// objectives and the Prometheus summary exposition speak.
+  double quantile(double q) const;
   double p50() const { return percentile(50.0); }
   double p95() const { return percentile(95.0); }
   double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
   double sum() const { return sum_; }
 
   /// "123.4 ± 5.6" formatted with the given unit scale (e.g. 1e3 for ms

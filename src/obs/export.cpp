@@ -202,6 +202,21 @@ std::string prometheus_text(const MetricsRegistry& registry) {
     out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
     out += prom + "_sum " + fmt_double(h->sum()) + "\n";
     out += prom + "_count " + std::to_string(h->count()) + "\n";
+
+    // Companion summary family: precomputed tail quantiles (p50/p99/p999)
+    // so scrapers and SLO dashboards need not reconstruct percentiles from
+    // the log-spaced buckets. A distinct family name keeps both expositions
+    // conformant (one # TYPE per family).
+    const std::string summary = prom_name(name) + "_quantiles_seconds";
+    out += "# HELP " + summary + " Latency quantiles of " + name +
+           " in seconds.\n";
+    out += "# TYPE " + summary + " summary\n";
+    for (const double q : {0.5, 0.99, 0.999}) {
+      out += summary + "{quantile=\"" + fmt_double(q) + "\"} " +
+             fmt_double(h->quantile(q)) + "\n";
+    }
+    out += summary + "_sum " + fmt_double(h->sum()) + "\n";
+    out += summary + "_count " + std::to_string(h->count()) + "\n";
   }
 
   return out;

@@ -278,6 +278,7 @@ std::string MetricsRegistry::dump_json() const {
     out += ",\"p50_s\":" + fmt_double(hist->p50());
     out += ",\"p95_s\":" + fmt_double(hist->p95());
     out += ",\"p99_s\":" + fmt_double(hist->p99());
+    out += ",\"p999_s\":" + fmt_double(hist->p999());
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (const auto& [le, n] : hist->nonzero_buckets()) {

@@ -93,9 +93,13 @@ class Histogram {
   /// p in [0, 100]. Exact while count() <= kReservoir, else interpolated
   /// from bucket boundaries.
   double percentile(double p) const;
+  /// quantile(q) == percentile(100 q); q in [0, 1]. The form SLO
+  /// objectives and the Prometheus summary exposition speak.
+  double quantile(double q) const { return percentile(q * 100.0); }
   double p50() const { return percentile(50.0); }
   double p95() const { return percentile(95.0); }
   double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
 
   /// (upper_bound, count) for buckets with at least one sample.
   std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
@@ -132,7 +136,7 @@ class MetricsRegistry {
   /// Machine-readable export: {"schema_version": 2,
   /// "bucket_bounds_s": [...], "counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum_s, mean_s, min_s, max_s, p50_s,
-  /// p95_s, p99_s, buckets: [[le, n], ...]}}}.
+  /// p95_s, p99_s, p999_s, buckets: [[le, n], ...]}}}.
   std::string dump_json() const;
 
   /// Columnar export: counters, then per-histogram count/mean/p50/p95/p99/max.

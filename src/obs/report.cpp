@@ -10,6 +10,7 @@
 #include <variant>
 
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace ps::obs {
@@ -267,12 +268,26 @@ BenchArtifact collect_bench_artifact(
     stats.mean_s = h->mean();
     stats.p50_s = h->p50();
     stats.p99_s = h->p99();
+    stats.p999_s = h->p999();
     stats.min_s = h->min();
     stats.max_s = h->max();
     stats.sum_s = h->sum();
     stats.units = meta.units;
     stats.kind = meta.kind;
     artifact.series.emplace(name, stats);
+  }
+  const SloReport slo_report = SloRegistry::global().evaluate(registry);
+  for (const SloVerdict& v : slo_report.verdicts) {
+    SloResult result;
+    result.name = v.objective.name;
+    result.metric = v.objective.metric;
+    result.percentile = v.objective.percentile;
+    result.threshold_s = v.objective.threshold_s;
+    result.min_samples = v.objective.min_samples;
+    result.status = to_string(v.status);
+    result.observed_s = v.observed_s;
+    result.samples = v.samples;
+    artifact.slos.push_back(std::move(result));
   }
   artifact.profile_top =
       Profile::from_recorder(TraceRecorder::global()).top_nodes(profile_top_n);
@@ -298,6 +313,7 @@ std::string bench_artifact_json(const BenchArtifact& artifact) {
     out += ",\"mean_s\":" + fmt_double(s.mean_s);
     out += ",\"p50_s\":" + fmt_double(s.p50_s);
     out += ",\"p99_s\":" + fmt_double(s.p99_s);
+    out += ",\"p999_s\":" + fmt_double(s.p999_s);
     out += ",\"min_s\":" + fmt_double(s.min_s);
     out += ",\"max_s\":" + fmt_double(s.max_s);
     out += ",\"sum_s\":" + fmt_double(s.sum_s);
@@ -307,7 +323,26 @@ std::string bench_artifact_json(const BenchArtifact& artifact) {
     json_escape_into(out, s.kind);
     out += "\"}";
   }
-  out += "\n },\"profile_top\":[";
+  out += "\n },\"slos\":[";
+  first = true;
+  for (const SloResult& slo : artifact.slos) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"";
+    json_escape_into(out, slo.name);
+    out += "\",\"metric\":\"";
+    json_escape_into(out, slo.metric);
+    out += "\",\"percentile\":\"";
+    json_escape_into(out, slo.percentile);
+    out += "\",\"threshold_s\":" + fmt_double(slo.threshold_s);
+    out += ",\"min_samples\":" + std::to_string(slo.min_samples);
+    out += ",\"status\":\"";
+    json_escape_into(out, slo.status);
+    out += "\",\"observed_s\":" + fmt_double(slo.observed_s);
+    out += ",\"samples\":" + std::to_string(slo.samples);
+    out += "}";
+  }
+  out += "\n ],\"profile_top\":[";
   first = true;
   for (const ProfileEntry& entry : artifact.profile_top) {
     if (!first) out += ",";
@@ -349,7 +384,11 @@ std::optional<BenchArtifact> parse_bench_artifact(const std::string& text,
   }
   BenchArtifact artifact;
   artifact.schema_version = static_cast<int>(version->second.num());
-  if (artifact.schema_version != kBenchSchemaVersion) {
+  // v1 artifacts (no p999 column, no SLO section) are still readable so a
+  // schema bump never orphans blessed baselines mid-transition; anything
+  // newer than this build is rejected.
+  if (artifact.schema_version < 1 ||
+      artifact.schema_version > kBenchSchemaVersion) {
     schema_error(error, "unsupported schema_version " +
                             std::to_string(artifact.schema_version));
     return std::nullopt;
@@ -392,6 +431,9 @@ std::optional<BenchArtifact> parse_bench_artifact(const std::string& text,
     stats.mean_s = mean->second.num();
     stats.p50_s = num_or(s, "p50_s", stats.mean_s);
     stats.p99_s = num_or(s, "p99_s", stats.mean_s);
+    // v1 artifacts have no p999 column; the p99 value keeps vtime diffs
+    // against them meaningful without inventing a tail.
+    stats.p999_s = num_or(s, "p999_s", stats.p99_s);
     stats.min_s = num_or(s, "min_s", stats.mean_s);
     stats.max_s = num_or(s, "max_s", stats.mean_s);
     stats.sum_s = num_or(s, "sum_s", 0.0);
@@ -403,6 +445,43 @@ std::optional<BenchArtifact> parse_bench_artifact(const std::string& text,
       return std::nullopt;
     }
     artifact.series.emplace(name, stats);
+  }
+
+  const auto slos = obj.find("slos");
+  if (artifact.schema_version >= 2 &&
+      (slos == obj.end() || !slos->second.is_array())) {
+    schema_error(error, "missing slos array");
+    return std::nullopt;
+  }
+  if (slos != obj.end() && slos->second.is_array()) {
+    for (const JsonValue& value : slos->second.arr()) {
+      if (!value.is_object()) {
+        schema_error(error, "slos entry is not an object");
+        return std::nullopt;
+      }
+      const auto& s = value.obj();
+      SloResult result;
+      result.name = str_or(s, "name", "");
+      result.metric = str_or(s, "metric", "");
+      result.percentile = str_or(s, "percentile", "");
+      result.status = str_or(s, "status", "");
+      if (result.name.empty() || result.metric.empty()) {
+        schema_error(error, "slos entry missing name/metric");
+        return std::nullopt;
+      }
+      if (result.status != "pass" && result.status != "breach" &&
+          result.status != "insufficient_data") {
+        schema_error(error, "slo '" + result.name + "' has unknown status '" +
+                                result.status + "'");
+        return std::nullopt;
+      }
+      result.threshold_s = num_or(s, "threshold_s", 0.0);
+      result.min_samples =
+          static_cast<std::uint64_t>(num_or(s, "min_samples", 1.0));
+      result.observed_s = num_or(s, "observed_s", 0.0);
+      result.samples = static_cast<std::uint64_t>(num_or(s, "samples", 0.0));
+      artifact.slos.push_back(std::move(result));
+    }
   }
 
   const auto profile = obj.find("profile_top");
@@ -483,11 +562,13 @@ DiffResult diff_bench_artifacts(const BenchArtifact& baseline,
     if (base.kind == "vtime") {
       // Deterministic series: any difference — count or statistics — is
       // drift, faster or slower.
-      const bool same = base.count == cand.count &&
-                        close(base.mean_s, cand.mean_s, options.vtime_rel_tol) &&
-                        close(base.p50_s, cand.p50_s, options.vtime_rel_tol) &&
-                        close(base.p99_s, cand.p99_s, options.vtime_rel_tol) &&
-                        close(base.max_s, cand.max_s, options.vtime_rel_tol);
+      const bool same =
+          base.count == cand.count &&
+          close(base.mean_s, cand.mean_s, options.vtime_rel_tol) &&
+          close(base.p50_s, cand.p50_s, options.vtime_rel_tol) &&
+          close(base.p99_s, cand.p99_s, options.vtime_rel_tol) &&
+          close(base.p999_s, cand.p999_s, options.vtime_rel_tol) &&
+          close(base.max_s, cand.max_s, options.vtime_rel_tol);
       delta.verdict = same ? "ok" : "drift";
     } else {
       // Wall clock: only a mean beyond the noise tolerance fails, and only
@@ -510,15 +591,30 @@ DiffResult diff_bench_artifacts(const BenchArtifact& baseline,
     result.deltas.push_back(std::move(delta));
   }
 
-  result.failed = failing > 0;
-  char summary[128];
-  if (failing == 0) {
+  // The SLO gate: a candidate artifact carrying any breached objective
+  // fails the diff even when every series matches its baseline — the
+  // objective is a promise about absolute latency, not relative drift.
+  for (const SloResult& slo : candidate.slos) {
+    if (slo.status == "breach") result.slo_breaches.push_back(slo);
+  }
+
+  result.failed = failing > 0 || !result.slo_breaches.empty();
+  char summary[160];
+  if (!result.failed) {
     std::snprintf(summary, sizeof(summary),
-                  "all %zu baseline series match", baseline.series.size());
+                  "all %zu baseline series match, %zu SLO breaches",
+                  baseline.series.size(), result.slo_breaches.size());
+  } else if (failing == 0) {
+    std::snprintf(summary, sizeof(summary),
+                  "series match but %zu SLO objective%s breached",
+                  result.slo_breaches.size(),
+                  result.slo_breaches.size() == 1 ? " is" : "s are");
   } else {
     std::snprintf(summary, sizeof(summary),
-                  "%zu of %zu baseline series drifted or regressed", failing,
-                  baseline.series.size());
+                  "%zu of %zu baseline series drifted or regressed, "
+                  "%zu SLO breaches",
+                  failing, baseline.series.size(),
+                  result.slo_breaches.size());
   }
   result.summary = summary;
   return result;

@@ -3,14 +3,16 @@
 //
 // Every bench harness emits, via bench_util's shared reporter, one JSON
 // artifact describing the run: schema_version, bench name, RNG seed, git
-// revision, per-series statistics (count/mean/p50/p99/min/max/sum pulled
-// from the MetricsRegistry histograms the bench observed into), and the
-// top-N call-tree profile nodes from the span profiler. Blessed baselines
-// live under results/baselines/; `psctl bench diff <baseline> <candidate>`
-// compares series with a noise-aware threshold — series measured in
-// deterministic virtual time must match exactly (count and stats), while
-// wall-clock series get a configurable relative tolerance — and reports
-// drift with a nonzero exit so CI can gate on it.
+// revision, per-series statistics (count/mean/p50/p99/p999/min/max/sum
+// pulled from the MetricsRegistry histograms the bench observed into), the
+// SLO verdicts of every objective declared in the global SloRegistry, and
+// the top-N call-tree profile nodes from the span profiler. Blessed
+// baselines live under results/baselines/; `psctl bench diff <baseline>
+// <candidate>` compares series with a noise-aware threshold — series
+// measured in deterministic virtual time must match exactly (count and
+// stats), while wall-clock series get a configurable relative tolerance —
+// and additionally fails any candidate carrying an SLO breach, reporting
+// both with a nonzero exit so CI can gate on them.
 #pragma once
 
 #include <cstdint>
@@ -26,19 +28,36 @@ namespace ps::obs {
 class MetricsRegistry;
 
 /// Current BENCH_*.json schema. Bump when fields change meaning; the parser
-/// rejects artifacts with a different major version.
-inline constexpr int kBenchSchemaVersion = 1;
+/// rejects artifacts with a newer (unknown) version but still reads v1
+/// artifacts (no p999 column — it defaults to p99 — and no SLO section).
+/// v2 adds per-series p999_s and the top-level "slos" verdict array.
+inline constexpr int kBenchSchemaVersion = 2;
 
 struct SeriesStats {
   std::uint64_t count = 0;
   double mean_s = 0.0;
   double p50_s = 0.0;
   double p99_s = 0.0;
+  double p999_s = 0.0;
   double min_s = 0.0;
   double max_s = 0.0;
   double sum_s = 0.0;
   std::string units = "s";     // "s" for latencies, "ratio" for fractions
   std::string kind = "vtime";  // "vtime" (deterministic) | "wall"
+};
+
+/// One evaluated SLO verdict embedded in the artifact (the flattened form
+/// of obs::SloVerdict): what was promised, what was observed, and whether
+/// it held. `psctl bench diff` fails any artifact containing a breach.
+struct SloResult {
+  std::string name;
+  std::string metric;
+  std::string percentile;   // "p50" | "p99" | "p999"
+  double threshold_s = 0.0;
+  std::uint64_t min_samples = 1;
+  std::string status;       // "pass" | "breach" | "insufficient_data"
+  double observed_s = 0.0;
+  std::uint64_t samples = 0;
 };
 
 /// Metadata a bench registers per series: measurement clock + units.
@@ -53,6 +72,9 @@ struct BenchArtifact {
   std::uint64_t seed = 0;
   std::string git_rev;   // best-effort HEAD commit, "unknown" otherwise
   std::map<std::string, SeriesStats> series;
+  /// Verdicts of every objective declared in the global SloRegistry at
+  /// collection time (declaration order).
+  std::vector<SloResult> slos;
   std::vector<ProfileEntry> profile_top;  // hottest-first, may be empty
 };
 
@@ -63,8 +85,9 @@ std::string git_revision(const std::string& start_dir = {});
 
 /// Builds an artifact from the process-wide MetricsRegistry: one SeriesStats
 /// per entry of `series_meta` (names not present in the registry are
-/// skipped), plus the top `profile_top_n` nodes of the span profile
-/// aggregated from the global TraceRecorder.
+/// skipped), one SloResult per objective in the global SloRegistry, plus
+/// the top `profile_top_n` nodes of the span profile aggregated from the
+/// global TraceRecorder.
 BenchArtifact collect_bench_artifact(
     const std::string& bench_name, std::uint64_t seed,
     const std::map<std::string, SeriesMeta>& series_meta,
@@ -114,7 +137,10 @@ struct SeriesDelta {
 
 struct DiffResult {
   std::vector<SeriesDelta> deltas;
-  bool failed = false;  // any drift/regression/missing
+  /// Candidate SLO verdicts with status "breach"; any entry fails the diff
+  /// (the CI SLO gate), independent of series drift.
+  std::vector<SloResult> slo_breaches;
+  bool failed = false;  // any drift/regression/missing/SLO breach
   std::string summary;  // one line, e.g. "2 of 14 series drifted"
 };
 

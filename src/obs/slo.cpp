@@ -1,0 +1,229 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace ps::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+double percentile_rank(const std::string& percentile) {
+  if (percentile == "p50") return 50.0;
+  if (percentile == "p99") return 99.0;
+  if (percentile == "p999") return 99.9;
+  throw Error("SloRegistry: unknown percentile '" + percentile +
+              "' (expected p50, p99, or p999)");
+}
+
+std::string fmt_latency(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool valid_slo_percentile(const std::string& percentile) {
+  for (const char* known : kSloPercentiles) {
+    if (percentile == known) return true;
+  }
+  return false;
+}
+
+std::string to_string(SloStatus status) {
+  switch (status) {
+    case SloStatus::kPass:
+      return "pass";
+    case SloStatus::kBreach:
+      return "breach";
+    case SloStatus::kInsufficientData:
+      return "insufficient_data";
+  }
+  return "insufficient_data";
+}
+
+std::size_t SloReport::breaches() const {
+  std::size_t n = 0;
+  for (const SloVerdict& v : verdicts) {
+    if (v.status == SloStatus::kBreach) ++n;
+  }
+  return n;
+}
+
+std::size_t SloReport::insufficient() const {
+  std::size_t n = 0;
+  for (const SloVerdict& v : verdicts) {
+    if (v.status == SloStatus::kInsufficientData) ++n;
+  }
+  return n;
+}
+
+std::string SloReport::table() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-34s %-6s %10s %10s %8s  %s\n",
+                "objective", "tail", "observed", "target", "samples",
+                "status");
+  out += line;
+  for (const SloVerdict& v : verdicts) {
+    std::snprintf(line, sizeof(line), "%-34s %-6s %10s %10s %8llu  %s\n",
+                  v.objective.name.c_str(), v.objective.percentile.c_str(),
+                  fmt_latency(v.observed_s).c_str(),
+                  fmt_latency(v.objective.threshold_s).c_str(),
+                  static_cast<unsigned long long>(v.samples),
+                  to_string(v.status).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string slo_report_json(const SloReport& report) {
+  std::string out = "{\"slos\":[";
+  bool first = true;
+  for (const SloVerdict& v : report.verdicts) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n {\"name\":\"";
+    json_escape_into(out, v.objective.name);
+    out += "\",\"metric\":\"";
+    json_escape_into(out, v.objective.metric);
+    out += "\",\"percentile\":\"";
+    json_escape_into(out, v.objective.percentile);
+    out += "\",\"threshold_s\":" + fmt_double(v.objective.threshold_s);
+    out += ",\"min_samples\":" + std::to_string(v.objective.min_samples);
+    out += ",\"status\":\"" + to_string(v.status);
+    out += "\",\"observed_s\":" + fmt_double(v.observed_s);
+    out += ",\"samples\":" + std::to_string(v.samples);
+    out += "}";
+  }
+  out += "\n],\"breaches\":" + std::to_string(report.breaches());
+  out += ",\"passed\":" + std::string(report.passed() ? "1" : "0") + "}\n";
+  return out;
+}
+
+SloRegistry& SloRegistry::global() {
+  static SloRegistry* registry = new SloRegistry();  // never destroyed
+  return *registry;
+}
+
+void SloRegistry::declare(SloObjective objective) {
+  if (objective.name.empty()) {
+    throw Error("SloRegistry: objective name must be non-empty");
+  }
+  if (objective.metric.empty()) {
+    throw Error("SloRegistry: objective '" + objective.name +
+                "' needs a metric selector");
+  }
+  if (!valid_slo_percentile(objective.percentile)) {
+    throw Error("SloRegistry: objective '" + objective.name +
+                "' has unknown percentile '" + objective.percentile + "'");
+  }
+  if (!(objective.threshold_s > 0.0)) {
+    throw Error("SloRegistry: objective '" + objective.name +
+                "' needs a positive threshold");
+  }
+  if (objective.min_samples == 0) objective.min_samples = 1;
+  std::lock_guard lock(mu_);
+  for (SloObjective& existing : objectives_) {
+    if (existing.name == objective.name) {
+      existing = std::move(objective);
+      return;
+    }
+  }
+  objectives_.push_back(std::move(objective));
+}
+
+bool SloRegistry::remove(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (auto it = objectives_.begin(); it != objectives_.end(); ++it) {
+    if (it->name == name) {
+      objectives_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SloRegistry::clear() {
+  std::lock_guard lock(mu_);
+  objectives_.clear();
+}
+
+std::vector<SloObjective> SloRegistry::objectives() const {
+  std::lock_guard lock(mu_);
+  return objectives_;
+}
+
+std::size_t SloRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return objectives_.size();
+}
+
+SloReport SloRegistry::evaluate(const MetricsRegistry& registry) const {
+  SloReport report;
+  for (const SloObjective& objective : objectives()) {
+    SloVerdict verdict;
+    verdict.objective = objective;
+    const Histogram* h = registry.find_histogram(objective.metric);
+    if (h != nullptr) {
+      verdict.samples = h->count();
+      verdict.observed_s = h->percentile(percentile_rank(objective.percentile));
+    }
+    if (verdict.samples < objective.min_samples) {
+      verdict.status = SloStatus::kInsufficientData;
+    } else if (verdict.observed_s > objective.threshold_s) {
+      verdict.status = SloStatus::kBreach;
+    } else {
+      verdict.status = SloStatus::kPass;
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+SloReport SloRegistry::evaluate() const {
+  return evaluate(MetricsRegistry::global());
+}
+
+}  // namespace ps::obs

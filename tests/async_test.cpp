@@ -234,6 +234,94 @@ TEST_F(AsyncTest, BoundedQueueBlocksSubmitterAndCountsSaturation) {
             saturated_before);
 }
 
+TEST_F(AsyncTest, EightWritersRacingBoundedQueueKeepTelemetryConsistent) {
+  // 8 producer threads race a 2-worker pool whose queue holds 4 jobs while
+  // the workers are gated shut, so every producer slams into blocking
+  // backpressure at once. Under -DPS_SANITIZE=thread this is the data-race
+  // gate for the saturation-telemetry counters themselves.
+  constexpr std::size_t kWriters = 8;
+  constexpr std::size_t kJobsPerWriter = 4;
+  constexpr std::size_t kWorkers = 2;
+  constexpr std::size_t kQueue = 4;
+
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t submitted_before =
+      registry.counter("async.executor.submitted").value();
+  const std::uint64_t completed_before =
+      registry.counter("async.executor.completed").value();
+  const std::uint64_t saturated_before =
+      registry.counter("async.executor.saturated").value();
+
+  {
+    AsyncExecutor executor(
+        AsyncExecutor::Options{/*workers=*/kWorkers, /*max_queue=*/kQueue});
+    proc::ProcessScope scope(*process_);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    const auto gate = [&mu, &cv, &release] {
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&release] { return release; });
+      return Unit{};
+    };
+
+    // Gate both workers, then fill every queue slot with gated jobs.
+    std::vector<Future<Unit>> gated;
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      gated.push_back(executor.run<Unit>(gate));
+    }
+    while (executor.queue_depth() > 0) std::this_thread::yield();
+    for (std::size_t i = 0; i < kQueue; ++i) {
+      gated.push_back(executor.run<Unit>(gate));
+    }
+    EXPECT_EQ(executor.queue_depth(), kQueue);
+
+    // Every writer's first submission must block: the queue is full and no
+    // worker can drain it until the gate opens.
+    std::atomic<std::size_t> writers_done{0};
+    std::vector<std::thread> writers;
+    for (std::size_t w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&] {
+        proc::ProcessScope writer_scope(*process_);
+        std::vector<Future<Unit>> futures;
+        for (std::size_t j = 0; j < kJobsPerWriter; ++j) {
+          futures.push_back(executor.run<Unit>([] { return Unit{}; }));
+        }
+        for (Future<Unit>& future : futures) future.wait();
+        writers_done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Saturation is counted before the blocking wait, so once 8 increments
+    // are visible every writer is provably stuck in its first submit.
+    while (registry.counter("async.executor.saturated").value() <
+           saturated_before + kWriters) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(writers_done.load(), 0u);
+
+    {
+      std::lock_guard lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    for (std::thread& writer : writers) writer.join();
+    for (Future<Unit>& future : gated) future.wait();
+    EXPECT_EQ(writers_done.load(), kWriters);
+    EXPECT_EQ(executor.queue_depth(), 0u);
+  }  // destructor joins the workers: counters are final below
+
+  const std::uint64_t total = kWorkers + kQueue + kWriters * kJobsPerWriter;
+  EXPECT_EQ(registry.counter("async.executor.submitted").value(),
+            submitted_before + total);
+  EXPECT_EQ(registry.counter("async.executor.completed").value(),
+            completed_before + total);
+  // Each writer's first push found the queue full, so at least 8 blocking
+  // submissions were counted (later pushes may or may not block).
+  EXPECT_GE(registry.counter("async.executor.saturated").value(),
+            saturated_before + kWriters);
+}
+
 // ---------------------------------------------------- proxy single-flight --
 
 TEST_F(AsyncTest, RacingResolversInvokeFactoryExactlyOnce) {

@@ -364,6 +364,18 @@ TEST(Stats, NamedPercentileShortcuts) {
   EXPECT_NEAR(s.p99(), 99.01, 1e-9);
 }
 
+TEST(Stats, QuantileAndP999TrackPercentile) {
+  Stats s;
+  for (int i = 1; i <= 1000; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), s.percentile(50.0));
+  EXPECT_DOUBLE_EQ(s.quantile(0.999), s.percentile(99.9));
+  EXPECT_DOUBLE_EQ(s.p999(), s.percentile(99.9));
+  EXPECT_NEAR(s.p999(), 999.0, 1.5);
+  EXPECT_GE(s.p999(), s.p99());
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
 TEST(Stats, FormatsMeanPmStdev) {
   Stats s;
   s.add(0.001);

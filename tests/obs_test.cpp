@@ -20,6 +20,7 @@
 #include <sstream>
 
 #include "common/bytes.hpp"
+#include "common/error.hpp"
 #include "common/stats.hpp"
 #include "connectors/endpoint.hpp"
 #include "connectors/local.hpp"
@@ -35,6 +36,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "proc/world.hpp"
@@ -1194,6 +1196,101 @@ TEST(BenchDiff, MissingSeriesFailsAndNewSeriesInforms) {
   EXPECT_TRUE(found);
 }
 
+TEST(BenchReport, SloVerdictsRoundTripAndV1ArtifactsStillParse) {
+  BenchArtifact artifact = sample_artifact();
+  artifact.series["cell.vtime"].p999_s = 0.95;
+  SloResult slo;
+  slo.name = "cell.p999";
+  slo.metric = "cell.vtime";
+  slo.percentile = "p999";
+  slo.threshold_s = 1.0;
+  slo.min_samples = 8;
+  slo.status = "pass";
+  slo.observed_s = 0.95;
+  slo.samples = 10;
+  artifact.slos.push_back(slo);
+
+  std::string error;
+  const auto parsed =
+      parse_bench_artifact(bench_artifact_json(artifact), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_NEAR(parsed->series.at("cell.vtime").p999_s, 0.95, 1e-12);
+  ASSERT_EQ(parsed->slos.size(), 1u);
+  EXPECT_EQ(parsed->slos[0].name, "cell.p999");
+  EXPECT_EQ(parsed->slos[0].percentile, "p999");
+  EXPECT_EQ(parsed->slos[0].status, "pass");
+  EXPECT_NEAR(parsed->slos[0].threshold_s, 1.0, 1e-12);
+  EXPECT_EQ(parsed->slos[0].min_samples, 8u);
+  EXPECT_EQ(parsed->slos[0].samples, 10u);
+
+  // A v1 artifact (no p999_s column, no slos section) still parses:
+  // p999_s falls back to p99_s, slos stay empty.
+  const std::string v1 =
+      "{\"schema_version\":1,\"bench\":\"old\",\"seed\":7,"
+      "\"git_rev\":\"abc\",\"series\":{\"cell.vtime\":{\"count\":2,"
+      "\"mean_s\":0.5,\"p50_s\":0.4,\"p99_s\":0.9,\"min_s\":0.1,"
+      "\"max_s\":1.0,\"sum_s\":1.0,\"units\":\"s\",\"kind\":\"vtime\"}},"
+      "\"profile_top\":[]}";
+  const auto old = parse_bench_artifact(v1, &error);
+  ASSERT_TRUE(old.has_value()) << error;
+  EXPECT_EQ(old->schema_version, 1);
+  EXPECT_NEAR(old->series.at("cell.vtime").p999_s, 0.9, 1e-12);
+  EXPECT_TRUE(old->slos.empty());
+
+  // A v2 artifact without the slos array is malformed...
+  const std::string v2_missing =
+      "{\"schema_version\":2,\"bench\":\"b\",\"seed\":1,\"git_rev\":\"x\","
+      "\"series\":{},\"profile_top\":[]}";
+  EXPECT_FALSE(parse_bench_artifact(v2_missing, &error).has_value());
+  EXPECT_NE(error.find("slos"), std::string::npos) << error;
+
+  // ...and an unknown verdict status is a schema violation.
+  artifact.slos[0].status = "maybe";
+  EXPECT_FALSE(parse_bench_artifact(bench_artifact_json(artifact), &error)
+                   .has_value());
+}
+
+TEST(BenchDiff, CandidateSloBreachFailsIndependentOfSeriesDrift) {
+  const BenchArtifact base = sample_artifact();
+
+  SloResult breach;
+  breach.name = "cell.p99";
+  breach.metric = "cell.vtime";
+  breach.percentile = "p99";
+  breach.threshold_s = 0.5;
+  breach.status = "breach";
+  breach.observed_s = 0.9;
+  breach.samples = 10;
+
+  // Identical series, but the candidate carries a breach: the gate fails.
+  BenchArtifact cand = sample_artifact();
+  cand.slos.push_back(breach);
+  const DiffResult result = diff_bench_artifacts(base, cand);
+  EXPECT_TRUE(result.failed);
+  ASSERT_EQ(result.slo_breaches.size(), 1u);
+  EXPECT_EQ(result.slo_breaches[0].name, "cell.p99");
+  for (const SeriesDelta& delta : result.deltas) {
+    EXPECT_EQ(delta.verdict, "ok") << delta.name;  // no series drift
+  }
+
+  // Pass and insufficient-data verdicts never fail the gate.
+  BenchArtifact healthy = sample_artifact();
+  SloResult pass = breach;
+  pass.status = "pass";
+  pass.observed_s = 0.3;
+  SloResult scarce = breach;
+  scarce.name = "cell.scarce";
+  scarce.status = "insufficient_data";
+  healthy.slos = {pass, scarce};
+  EXPECT_FALSE(diff_bench_artifacts(base, healthy).failed);
+
+  // A breach recorded in the BASELINE does not fail a clean candidate —
+  // the gate judges the run under test, not history.
+  BenchArtifact old_breach = sample_artifact();
+  old_breach.slos.push_back(breach);
+  EXPECT_FALSE(diff_bench_artifacts(old_breach, sample_artifact()).failed);
+}
+
 TEST(BenchReport, WriteAndReadArtifactFile) {
   const BenchArtifact artifact = sample_artifact();
   const std::filesystem::path path =
@@ -1282,6 +1379,146 @@ TEST(PrometheusExport, ConformsToTextExpositionFormat) {
   EXPECT_NE(text.find("ps_conf_latency_seconds_count 3\n"),
             std::string::npos);
   EXPECT_NE(text.find("ps_conf_latency_seconds_sum "), std::string::npos);
+}
+
+TEST(PrometheusExport, SummaryQuantileFamilyConforms) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("conf.latency");
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-4);
+
+  const std::string text = prometheus_text(registry);
+  // The quantile exposition is its own summary family (mixing quantile
+  // labels into the histogram family would violate one-TYPE-per-family).
+  EXPECT_NE(text.find("# TYPE ps_conf_latency_quantiles_seconds summary"),
+            std::string::npos);
+  const std::size_t help =
+      text.find("# HELP ps_conf_latency_quantiles_seconds ");
+  ASSERT_NE(help, std::string::npos);
+  EXPECT_LT(help, text.find("# TYPE ps_conf_latency_quantiles_seconds"));
+
+  const auto quantile_value = [&text](const std::string& q) {
+    const std::string needle =
+        "ps_conf_latency_quantiles_seconds{quantile=\"" + q + "\"} ";
+    const std::size_t pos = text.find(needle);
+    EXPECT_NE(pos, std::string::npos) << q;
+    return std::stod(text.substr(pos + needle.size()));
+  };
+  const double p50 = quantile_value("0.5");
+  const double p99 = quantile_value("0.99");
+  const double p999 = quantile_value("0.999");
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_NEAR(p999, h.p999(), 1e-12);
+  EXPECT_NE(text.find("ps_conf_latency_quantiles_seconds_count 1000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ps_conf_latency_quantiles_seconds_sum "),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ quantiles ----
+
+TEST(HistogramQuantiles, P999AndQuantileTrackPercentileAndExportInJson) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("quant.lat");
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-3);
+
+  EXPECT_DOUBLE_EQ(h.p999(), h.percentile(99.9));
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), h.percentile(99.9));
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), h.percentile(50.0));
+  // 1000 samples fit the reservoir, so the quantiles are exact.
+  EXPECT_NEAR(h.p999(), 0.999, 2e-3);
+  EXPECT_GE(h.p999(), h.percentile(99.0));
+
+  const JsonValue root = JsonReader(registry.dump_json()).parse();
+  const JsonValue& hist = root.at("histograms").at("quant.lat");
+  ASSERT_TRUE(hist.has("p999_s"));
+  EXPECT_NEAR(hist.at("p999_s").num(), h.p999(), 1e-9);
+  EXPECT_GE(hist.at("p999_s").num(), hist.at("p99_s").num());
+}
+
+// ------------------------------------------------------------------- slo ----
+
+TEST(Slo, DeclareValidatesReplacesAndRemoves) {
+  SloRegistry slos;
+  slos.declare({"a.p99", "metric.a", "p99", 0.1, 8});
+  EXPECT_EQ(slos.size(), 1u);
+
+  // Replacement is by name, not accumulation.
+  slos.declare({"a.p99", "metric.a", "p999", 0.2, 8});
+  ASSERT_EQ(slos.size(), 1u);
+  EXPECT_EQ(slos.objectives()[0].percentile, "p999");
+  EXPECT_DOUBLE_EQ(slos.objectives()[0].threshold_s, 0.2);
+
+  EXPECT_THROW(slos.declare({"", "m", "p99", 0.1, 1}), Error);
+  EXPECT_THROW(slos.declare({"n", "", "p99", 0.1, 1}), Error);
+  EXPECT_THROW(slos.declare({"n", "m", "p95", 0.1, 1}), Error);
+  EXPECT_THROW(slos.declare({"n", "m", "p99", 0.0, 1}), Error);
+  EXPECT_EQ(slos.size(), 1u);
+
+  EXPECT_TRUE(slos.remove("a.p99"));
+  EXPECT_FALSE(slos.remove("a.p99"));
+  EXPECT_EQ(slos.size(), 0u);
+
+  EXPECT_TRUE(valid_slo_percentile("p50"));
+  EXPECT_TRUE(valid_slo_percentile("p999"));
+  EXPECT_FALSE(valid_slo_percentile("p95"));
+}
+
+TEST(Slo, EvaluateProducesPassBreachAndInsufficientVerdicts) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 100; ++i) registry.histogram("slo.fast").observe(1e-3);
+  for (int i = 0; i < 100; ++i) registry.histogram("slo.slow").observe(0.2);
+  for (int i = 0; i < 3; ++i) registry.histogram("slo.scarce").observe(1e-3);
+
+  SloRegistry slos;
+  slos.declare({"fast.p99", "slo.fast", "p99", 0.010, 10});
+  slos.declare({"slow.p99", "slo.slow", "p99", 0.010, 10});
+  slos.declare({"scarce.p999", "slo.scarce", "p999", 0.010, 10});
+  slos.declare({"absent.p50", "slo.absent", "p50", 0.010, 1});
+
+  const SloReport report = slos.evaluate(registry);
+  ASSERT_EQ(report.verdicts.size(), 4u);
+  EXPECT_EQ(report.verdicts[0].status, SloStatus::kPass);
+  EXPECT_NEAR(report.verdicts[0].observed_s, 1e-3, 1e-4);
+  EXPECT_EQ(report.verdicts[0].samples, 100u);
+  EXPECT_EQ(report.verdicts[1].status, SloStatus::kBreach);
+  EXPECT_GT(report.verdicts[1].observed_s, 0.010);
+  EXPECT_EQ(report.verdicts[2].status, SloStatus::kInsufficientData);
+  EXPECT_EQ(report.verdicts[2].samples, 3u);
+  EXPECT_EQ(report.verdicts[3].status, SloStatus::kInsufficientData);
+  EXPECT_EQ(report.verdicts[3].samples, 0u);
+
+  EXPECT_EQ(report.breaches(), 1u);
+  EXPECT_EQ(report.insufficient(), 2u);
+  EXPECT_FALSE(report.passed());
+
+  const std::string table = report.table();
+  EXPECT_NE(table.find("slow.p99"), std::string::npos);
+  EXPECT_NE(table.find("breach"), std::string::npos);
+  EXPECT_NE(table.find("insufficient"), std::string::npos);
+
+  const JsonValue root = JsonReader(slo_report_json(report)).parse();
+  EXPECT_EQ(root.at("breaches").num(), 1.0);
+  EXPECT_EQ(root.at("passed").num(), 0.0);
+  ASSERT_EQ(root.at("slos").arr().size(), 4u);
+  EXPECT_EQ(std::get<std::string>(root.at("slos").arr()[1].at("status").v),
+            "breach");
+}
+
+TEST(Slo, CollectEmbedsGlobalRegistryVerdictsInArtifact) {
+  SloRegistry::global().clear();
+  auto& h = MetricsRegistry::global().histogram("slo.collect.lat");
+  for (int i = 0; i < 20; ++i) h.observe(1e-3);
+  SloRegistry::global().declare(
+      {"slo.collect.p99", "slo.collect.lat", "p99", 0.010, 10});
+
+  const BenchArtifact artifact =
+      collect_bench_artifact("slo_bench", 1, {}, 0);
+  ASSERT_EQ(artifact.slos.size(), 1u);
+  EXPECT_EQ(artifact.slos[0].name, "slo.collect.p99");
+  EXPECT_EQ(artifact.slos[0].status, "pass");
+  EXPECT_EQ(artifact.slos[0].samples, 20u);
+  SloRegistry::global().clear();
 }
 
 // ------------------------------------------------- concurrent exports ------

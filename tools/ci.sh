@@ -11,7 +11,12 @@
 #      the same flags its baseline was blessed with), the artifacts
 #      re-validate against the schema (`psctl bench check`) and must match
 #      the blessed baselines in results/baselines/ (`psctl bench diff` —
-#      any vtime drift fails the build).
+#      any vtime drift fails the build);
+#   5. load-smoke: the mixed-scenario load harness (bench/load_mixed) at
+#      the blessed fleet size — baseline diff (which also fails on any SLO
+#      breach in the artifact), a double-run determinism check, and a
+#      negative test proving an injected latency regression flips the SLO
+#      gate to a nonzero exit.
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -42,12 +47,27 @@ trap 'rm -f "${TRACE_OUT}"; rm -rf "${BENCH_DIR}"' EXIT
 ./build/tools/psctl trace export "${TRACE_OUT}"
 grep -q '"traceEvents"' "${TRACE_OUT}"
 grep -q '"ph":"X"' "${TRACE_OUT}"
-./build/tools/psctl metrics --prom | grep -q '^# TYPE ps_'
+# Capture-then-grep everywhere below: `cmd | grep -q` lets grep exit at
+# the first match and SIGPIPEs the still-writing producer, which pipefail
+# turns into a spurious CI failure once the output outgrows the pipe
+# buffer.
+PROM_SNAPSHOT="$(./build/tools/psctl metrics --prom)"
+grep -q '^# TYPE ps_' <<<"${PROM_SNAPSHOT}"
+# The new summary exposition must be present alongside counters/gauges.
+grep -q '_quantiles_seconds{quantile="0.999"}' <<<"${PROM_SNAPSHOT}"
 # The stream demo must report both demo topics, and the fully-drained
 # queue topic must end with zero lag.
 STREAM_STATS="$(./build/tools/psctl stream stats)"
 grep -q '^updates .* 0$' <<<"${STREAM_STATS}"
 grep -q '^gradients ' <<<"${STREAM_STATS}"
+# The JSON form must carry the same topics for machine consumers.
+STREAM_JSON="$(./build/tools/psctl stream stats --json)"
+grep -q '"updates":{"published"' <<<"${STREAM_JSON}"
+# The demo SLOs evaluated against the live registry must hold (exit 1 on
+# breach), in both the table and the machine-readable form.
+./build/tools/psctl slo
+SLO_JSON="$(./build/tools/psctl slo --json)"
+grep -q '"passed":1' <<<"${SLO_JSON}"
 
 echo "==> bench-smoke: regenerate artifacts + diff against baselines"
 # Each bench reruns with the exact flags its baseline was blessed with
@@ -72,8 +92,33 @@ run_bench fig_stream
 run_bench micro_async
 # The async executor must have surfaced its queue/saturation metrics after
 # the bench exercised the shared pool.
-./build/tools/psctl metrics --prom | grep -q '^ps_async_executor_'
+PROM_SNAPSHOT="$(./build/tools/psctl metrics --prom)"
+grep -q '^ps_async_executor_' <<<"${PROM_SNAPSHOT}"
 # The committed baselines themselves must stay schema-valid.
 ./build/tools/psctl bench check results/baselines/BENCH_*.json
+
+echo "==> load-smoke: mixed-scenario load harness + SLO gate"
+# The blessed fleet size: 256 simulated clients keeps the run sub-second
+# while exercising all four phases. run_bench covers schema check +
+# baseline diff (the diff also fails on any SLO breach in the candidate).
+run_bench load_mixed --clients 256
+# Determinism: a second identical run must reproduce the artifact exactly
+# (same vtime series, same SLO verdicts).
+./build/bench/load_mixed --clients 256 \
+  --json "${BENCH_DIR}/BENCH_load_mixed_rerun.json" >/dev/null
+./build/tools/psctl bench diff \
+  "${BENCH_DIR}/BENCH_load_mixed.json" \
+  "${BENCH_DIR}/BENCH_load_mixed_rerun.json"
+# Negative test: an injected 75ms per-op latency regression must breach
+# the SLOs and flip the gate to a nonzero exit — proves the gate can fail.
+PS_LOAD_INJECT_LATENCY_MS=75 ./build/bench/load_mixed --clients 256 \
+  --json "${BENCH_DIR}/BENCH_load_mixed_inject.json" >/dev/null
+if ./build/tools/psctl bench diff \
+    results/baselines/BENCH_load_mixed.json \
+    "${BENCH_DIR}/BENCH_load_mixed_inject.json" >/dev/null 2>&1; then
+  echo "load-smoke: injected latency did NOT trip the SLO gate" >&2
+  exit 1
+fi
+grep -q '"status":"breach"' "${BENCH_DIR}/BENCH_load_mixed_inject.json"
 
 echo "==> CI pass complete"

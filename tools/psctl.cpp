@@ -28,16 +28,25 @@
 //   psctl bench diff <baseline.json> <candidate.json> [--wall-tol <rel>]
 //                                 compare two BENCH_*.json artifacts:
 //                                 deterministic vtime series must match
-//                                 exactly, wall series tolerate <rel>
-//                                 (default 0.25) relative slowdown; exits
-//                                 1 on drift/regression, 2 on parse errors
+//                                 exactly (count/mean/p50/p99/p999/max),
+//                                 wall series tolerate <rel> (default 0.25)
+//                                 relative slowdown, and a candidate
+//                                 carrying any SLO breach fails; exits 1
+//                                 on drift/regression/breach, 2 on parse
+//                                 errors
 //   psctl bench check <file>...   schema-validate BENCH_*.json artifacts
-//   psctl stream stats            run a two-broker ProxyStream demo (an
+//   psctl slo [--json]            run the instrumented demo workload under
+//                                 the default SLO set and print the verdict
+//                                 report (objective, observed vs target
+//                                 quantile, pass/breach/insufficient-data);
+//                                 exits 1 when any objective is breached
+//   psctl stream stats [--json]   run a two-broker ProxyStream demo (an
 //                                 in-process queue topic with two consumers
 //                                 and a cross-site kv topic with a lagging
 //                                 consumer) and print per-topic publish/
 //                                 deliver/consume counts and consumer lag
-//                                 from the metrics registry
+//                                 from the metrics registry (machine-
+//                                 readable JSON with --json)
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -63,6 +72,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "relay/relay.hpp"
 #include "serde/serde.hpp"
@@ -79,14 +89,15 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics|trace|profile|bench|stream> [args...]\n"
+               "metrics|trace|profile|bench|slo|stream> [args...]\n"
                "       psctl metrics [--json|--prom]\n"
                "       psctl trace export <file>\n"
                "       psctl profile [--folded <file>] [--wall]\n"
                "       psctl bench diff <baseline.json> <candidate.json> "
                "[--wall-tol <rel>]\n"
                "       psctl bench check <file>...\n"
-               "       psctl stream stats\n");
+               "       psctl slo [--json]\n"
+               "       psctl stream stats [--json]\n");
   return 2;
 }
 
@@ -292,9 +303,11 @@ int cmd_bench_check(const std::vector<std::string>& paths) {
       std::fprintf(stderr, "psctl: %s: %s\n", path.c_str(), error.c_str());
       return 2;
     }
-    std::printf("%s: ok (bench=%s, %zu series, %zu profile nodes)\n",
+    std::printf("%s: ok (bench=%s, schema v%d, %zu series, %zu slos, "
+                "%zu profile nodes)\n",
                 path.c_str(), artifact->bench.c_str(),
-                artifact->series.size(), artifact->profile_top.size());
+                artifact->schema_version, artifact->series.size(),
+                artifact->slos.size(), artifact->profile_top.size());
   }
   return 0;
 }
@@ -334,14 +347,23 @@ int cmd_bench_diff(const std::string& base_path, const std::string& cand_path,
                 delta.name.c_str(), delta.base_mean_s, delta.cand_mean_s,
                 100.0 * delta.rel_delta);
   }
+  for (const obs::SloResult& slo : result.slo_breaches) {
+    std::printf("  slo breach %-44s %s(%s) observed=%.9g target=%.9g "
+                "(%llu samples)\n",
+                slo.name.c_str(), slo.percentile.c_str(), slo.metric.c_str(),
+                slo.observed_s, slo.threshold_s,
+                static_cast<unsigned long long>(slo.samples));
+  }
   std::printf("%s\n", result.summary.c_str());
   return result.failed ? 1 : 0;
 }
 
 // Exercises instrumented local- and file-connector stores (puts, gets,
-// exists, a cross-process proxy resolve) so the registry and trace recorder
-// have something to show, then dumps them.
-int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
+// exists, batched/async resolves, a cross-process proxy resolve) so the
+// registry and trace recorder have something to show. Returns nonzero on a
+// demo failure; on success `subject` (when non-null) receives the trace
+// subject of the demo proxy whose lifecycle landed in the recorder.
+int run_instrumented_demo(testbed::Testbed& tb, std::string* subject_out) {
   obs::set_enabled(true);
   obs::TraceRecorder::global().set_enabled(true);
 
@@ -410,6 +432,13 @@ int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
     }
   }
   std::filesystem::remove_all(file_dir);
+  if (subject_out != nullptr) *subject_out = subject;
+  return 0;
+}
+
+int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
+  std::string subject;
+  if (const int rc = run_instrumented_demo(tb, &subject); rc != 0) return rc;
 
   if (json) {
     std::printf("%s\n", obs::MetricsRegistry::global().dump_json().c_str());
@@ -432,7 +461,51 @@ int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
   return 0;
 }
 
-int cmd_stream_stats(testbed::Testbed& tb) {
+// `psctl slo [--json]`: the default SLO set evaluated against the
+// instrumented demo workload. The same engine the load harness and the
+// BENCH_*.json artifacts use — this command is the quick interactive probe.
+int cmd_slo(testbed::Testbed& tb, bool json) {
+  obs::SloRegistry& slos = obs::SloRegistry::global();
+  slos.clear();
+  // Generous bounds for the in-process demo: the point here is wiring, not
+  // tuning. Scenario-scale objectives live in bench/load_mixed.cpp.
+  slos.declare({.name = "demo.local.get.p99",
+                .metric = "connector.local.get.vtime",
+                .percentile = "p99",
+                .threshold_s = 0.010,
+                .min_samples = 8});
+  slos.declare({.name = "demo.local.put.p999",
+                .metric = "connector.local.put.vtime",
+                .percentile = "p999",
+                .threshold_s = 0.010,
+                .min_samples = 8});
+  slos.declare({.name = "demo.file.put.p99",
+                .metric = "connector.file.put.vtime",
+                .percentile = "p99",
+                .threshold_s = 0.100,
+                .min_samples = 8});
+  slos.declare({.name = "demo.async.service.p99",
+                .metric = "async.executor.service.vtime",
+                .percentile = "p99",
+                .threshold_s = 0.250,
+                .min_samples = 4});
+
+  if (const int rc = run_instrumented_demo(tb, nullptr); rc != 0) return rc;
+
+  const obs::SloReport report = slos.evaluate();
+  if (json) {
+    std::printf("%s", obs::slo_report_json(report).c_str());
+  } else {
+    std::printf("%s", report.table().c_str());
+    std::printf("\n%zu objectives: %zu breached, %zu with insufficient "
+                "data\n",
+                report.verdicts.size(), report.breaches(),
+                report.insufficient());
+  }
+  return report.passed() ? 0 : 1;
+}
+
+int cmd_stream_stats(testbed::Testbed& tb, bool json) {
   obs::set_enabled(true);
 
   proc::Process& producer = tb.world->spawn("psctl-prod", tb.theta_compute0);
@@ -515,6 +588,29 @@ int cmd_stream_stats(testbed::Testbed& tb) {
     }
   }
 
+  if (json) {
+    // Machine-readable form so the load harness and CI can assert on
+    // per-topic lag without scraping the table.
+    std::string out = "{\"schema_version\":1,\"topics\":{";
+    bool first = true;
+    for (const auto& [topic, stats] : topics) {
+      const std::uint64_t lag =
+          stats.delivered > stats.consumed ? stats.delivered - stats.consumed
+                                           : 0;
+      if (!first) out += ",";
+      first = false;
+      out += "\n \"" + topic + "\":{\"published\":" +
+             std::to_string(stats.published) +
+             ",\"delivered\":" + std::to_string(stats.delivered) +
+             ",\"consumed\":" + std::to_string(stats.consumed) +
+             ",\"dispatched\":" + std::to_string(stats.dispatched) +
+             ",\"lag\":" + std::to_string(lag) + "}";
+    }
+    out += "\n}}\n";
+    std::printf("%s", out.c_str());
+    return 0;
+  }
+
   std::printf("%-14s %10s %10s %10s %11s %6s\n", "topic", "published",
               "delivered", "consumed", "dispatched", "lag");
   for (const auto& [topic, stats] : topics) {
@@ -573,9 +669,16 @@ int main(int argc, char** argv) {
         std::string(argv[2]) == "export") {
       return cmd_trace_export(tb, argv[3]);
     }
-    if (command == "stream" && argc == 3 &&
+    if (command == "stream" && (argc == 3 || argc == 4) &&
         std::string(argv[2]) == "stats") {
-      return cmd_stream_stats(tb);
+      const std::string flag = argc == 4 ? argv[3] : "";
+      if (argc == 4 && flag != "--json") return usage();
+      return cmd_stream_stats(tb, flag == "--json");
+    }
+    if (command == "slo") {
+      const std::string flag = argc >= 3 ? argv[2] : "";
+      if (argc > 3 || (argc == 3 && flag != "--json")) return usage();
+      return cmd_slo(tb, flag == "--json");
     }
     if (command == "profile") {
       std::string folded_path;

@@ -19,6 +19,7 @@
 #include "common/bytes.hpp"
 #include "common/stats.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -121,8 +122,11 @@ inline void finish_trace(const std::string& path) {
 
 /// Emits the end-of-run artifacts parse_args() was asked for: the Perfetto
 /// trace (--trace) and the machine-readable BENCH_<name>.json (--json) with
-/// per-series statistics plus the top profile nodes. Call once before
-/// returning from main().
+/// per-series statistics plus the top profile nodes. When the run tripped
+/// the flight recorder (an SLO breach or a latency-watchdog anomaly), the
+/// captured span ring is dumped next to the artifact as
+/// <json_path>.flight.json so the forensic trace survives the run. Call
+/// once before returning from main().
 inline void finish(const Args& args) {
   finish_trace(args.trace_path);
   if (args.json_path.empty()) return;
@@ -136,6 +140,19 @@ inline void finish(const Args& args) {
   std::printf("\nbench: wrote %zu series + %zu profile nodes to %s\n",
               artifact.series.size(), artifact.profile_top.size(),
               args.json_path.c_str());
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  if (flight.has_snapshot()) {
+    const std::string flight_path = args.json_path + ".flight.json";
+    const obs::FlightRecorder::Snapshot snap = flight.latest_or_live();
+    if (obs::FlightRecorder::dump(flight_path, snap)) {
+      std::printf("bench: flight recorder dumped %zu spans to %s (%s)\n",
+                  snap.spans.size(), flight_path.c_str(),
+                  snap.reason.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write flight dump to '%s'\n",
+                   flight_path.c_str());
+    }
+  }
 }
 
 /// Named measurement series in the process-wide registry; `kind` declares

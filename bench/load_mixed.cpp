@@ -40,6 +40,8 @@
 #include "faas/registry.hpp"
 #include "kv/server.hpp"
 #include "load_util.hpp"
+#include "obs/context.hpp"
+#include "obs/flight.hpp"
 #include "obs/slo.hpp"
 #include "sim/vtime.hpp"
 #include "stream/queue_broker.hpp"
@@ -201,6 +203,10 @@ int main(int argc, char** argv) {
     sim::vset(fan_start);
     int received = 0;
     while (auto item = sinks[c]->next_item()) {
+      // Root span per measured item: the resolve's connector/serde spans
+      // nest under it, and observing inside the scope links the series'
+      // exemplar to this exact window for critical-path attribution.
+      obs::SpanScope span("load.fanout.item", {}, "client");
       sim::VtimeScope resolve;
       if (item->proxy.resolve().size() != kFanBytes) {
         throw Error("load_mixed: fanout payload mismatch");
@@ -304,6 +310,19 @@ int main(int argc, char** argv) {
                 /*threshold_s=*/0.350, /*min_samples=*/16});
   slos.declare({"load.faas.p99", "load.faas.rtt", "p99",
                 /*threshold_s=*/6.0, /*min_samples=*/16});
+
+  // Latency watchdog: max-latency tripwires with ~2x headroom over the SLO
+  // thresholds. A crossing freezes the flight recorder, so even anomalies
+  // that stay under the percentile SLOs leave a forensic trace. Checked
+  // once here (after all phases) — the histograms keep per-phase maxima.
+  obs::LatencyWatchdog& watchdog = obs::LatencyWatchdog::global();
+  watchdog.watch("load.hotkey.op", 0.200);
+  watchdog.watch("load.burst.batch", 0.500);
+  watchdog.watch("load.faas.rtt", 8.0);
+  const std::size_t anomalies = watchdog.check();
+  if (anomalies > 0) {
+    std::printf("watchdog: %zu anomaly snapshot(s) captured\n", anomalies);
+  }
 
   ps::bench::print_row({"phase", "count", "p50", "p99", "p999"}, 18);
   print_phase("load.hotkey.op");

@@ -30,7 +30,9 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proc/process.hpp"
 #include "proc/world.hpp"
 #include "sim/vtime.hpp"
@@ -83,7 +85,7 @@ class ClientFleet {
   ClientFleet(proc::World& world, const std::string& prefix,
               const std::vector<std::string>& hosts, std::size_t count,
               std::uint64_t seed)
-      : arrivals_(seed ^ 0x9e3779b97f4a7c15ULL) {
+      : prefix_(prefix), arrivals_(seed ^ 0x9e3779b97f4a7c15ULL) {
     if (hosts.empty()) throw Error("ClientFleet: no hosts");
     clients_.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -187,18 +189,73 @@ class ClientFleet {
 
   /// Runs one op for client `i` starting at virtual time `start`,
   /// recording completion - measure_from (default: start) as its latency.
+  ///
+  /// When tracing is enabled, every op gets a fresh root trace: the op body
+  /// and the latency observation both run under it, so the histogram's
+  /// exemplar carries the root span id and the critical-path analyzer can
+  /// decompose exactly the measured [from, completion] window. Open-loop
+  /// sched wait (start > arrival) is recorded as a "<prefix>.sched_wait"
+  /// child classified "executor-queue"; the root span itself is kind
+  /// "client", so uninstrumented op time (think-side compute, injected
+  /// latency) lands in the "client" segment rather than vanishing.
   void step(std::size_t i, double start, obs::Histogram& latency,
             const Op& op, double measure_from = -1.0) {
     Client& client = clients_[i];
     proc::ProcessScope scope(*client.process);
     sim::vset(start);
-    op(i, client.rng);
-    if (injected_latency_s_ > 0.0) sim::vadvance(injected_latency_s_);
-    client.vnow = sim::vnow();
     const double from = measure_from < 0.0 ? start : measure_from;
-    latency.observe(client.vnow - from);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (!recorder.enabled()) {
+      op(i, client.rng);
+      if (injected_latency_s_ > 0.0) sim::vadvance(injected_latency_s_);
+      client.vnow = sim::vnow();
+      latency.observe(client.vnow - from);
+      return;
+    }
+    const obs::TraceContext root = obs::new_root_context();
+    const double wall_start = recorder.wall_now();
+    {
+      obs::ContextScope trace(root);
+      if (start > from) {
+        // The client was still busy at the scheduled arrival: the wait is
+        // queueing delay, charged to the executor-queue segment.
+        obs::SpanRecord wait;
+        wait.ctx = obs::child_of(root);
+        wait.name = prefix_ + ".sched_wait";
+        wait.kind = "executor-queue";
+        obs::SpanLocality locality = obs::current_locality();
+        wait.process = std::move(locality.process);
+        wait.host = std::move(locality.host);
+        wait.site = std::move(locality.site);
+        wait.wall_start = wall_start;
+        wait.wall_end = wall_start;
+        wait.vtime_start = from;
+        wait.vtime_end = start;
+        recorder.record_span(std::move(wait));
+      }
+      op(i, client.rng);
+      if (injected_latency_s_ > 0.0) sim::vadvance(injected_latency_s_);
+      client.vnow = sim::vnow();
+      latency.observe(client.vnow - from);
+    }
+    // Close the root by hand: it must span [from, completion] — exactly the
+    // window observe() measured — so attribution sums to the sample.
+    obs::SpanRecord span;
+    span.ctx = root;
+    span.name = prefix_ + ".op";
+    span.kind = "client";
+    obs::SpanLocality locality = obs::current_locality();
+    span.process = std::move(locality.process);
+    span.host = std::move(locality.host);
+    span.site = std::move(locality.site);
+    span.wall_start = wall_start;
+    span.wall_end = recorder.wall_now();
+    span.vtime_start = from;
+    span.vtime_end = client.vnow;
+    recorder.record_span(std::move(span));
   }
 
+  std::string prefix_;
   std::vector<Client> clients_;
   Rng arrivals_;
   double injected_latency_s_ = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace ps::core {
 
 namespace {
@@ -57,7 +59,7 @@ AsyncExecutor& AsyncExecutor::shared() {
 
 void AsyncExecutor::submit(std::function<void()> fn) {
   Job job{std::move(fn), &proc::current_process(), sim::vnow(),
-          std::chrono::steady_clock::now()};
+          std::chrono::steady_clock::now(), obs::current_context()};
   {
     std::unique_lock lock(mu_);
     if (queue_.size() >= options_.max_queue) {
@@ -94,13 +96,36 @@ void AsyncExecutor::worker_loop() {
     }
     not_full_.notify_one();
     const auto started = std::chrono::steady_clock::now();
-    queue_wait_wall_.observe(
-        std::chrono::duration<double>(started - job.enqueued).count());
+    const double wait_s =
+        std::chrono::duration<double>(started - job.enqueued).count();
+    queue_wait_wall_.observe(wait_s);
     // Run inside the submitter's simulated process, clock seeded from its
     // submission-time "now": costs the job charges continue the submitter's
     // timeline, and the result future's wait() merges them back.
     proc::ProcessScope scope(*job.process);
     sim::vset(job.submit_vtime);
+    obs::ContextScope adopt(job.ctx);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled() && job.ctx.valid()) {
+      // Queue wait is pure wall time on the deterministic simulator (the
+      // submitter's virtual clock does not advance while the job sits in
+      // the queue), so the span is a zero-width vtime interval positioned
+      // at the submission vtime — the critical-path analyzer still counts
+      // it toward the "executor-queue" segment.
+      obs::SpanRecord wait_span;
+      wait_span.ctx = obs::child_of(job.ctx);
+      wait_span.name = "async.executor.queue";
+      wait_span.kind = "executor-queue";
+      obs::SpanLocality locality = obs::current_locality();
+      wait_span.process = std::move(locality.process);
+      wait_span.host = std::move(locality.host);
+      wait_span.site = std::move(locality.site);
+      wait_span.wall_end = recorder.wall_now();
+      wait_span.wall_start = wait_span.wall_end - wait_s;
+      wait_span.vtime_start = job.submit_vtime;
+      wait_span.vtime_end = job.submit_vtime;
+      recorder.record_span(std::move(wait_span));
+    }
     job.fn();
     service_vtime_.observe(sim::vnow() - job.submit_vtime);
     service_wall_.observe(std::chrono::duration<double>(

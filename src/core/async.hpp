@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/future.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "proc/process.hpp"
 
@@ -92,6 +93,10 @@ class AsyncExecutor {
     proc::Process* process;
     sim::SimTime submit_vtime;
     std::chrono::steady_clock::time_point enqueued;
+    /// Submitter's trace context: the worker adopts it so spans opened by
+    /// the job parent correctly, and the measured queue wait is recorded as
+    /// an "executor-queue" segment on the submitter's critical path.
+    obs::TraceContext ctx;
   };
 
   void worker_loop();

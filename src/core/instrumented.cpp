@@ -40,7 +40,7 @@ std::shared_ptr<Connector> InstrumentedConnector::wrap(
 }
 
 Key InstrumentedConnector::put(BytesView data) {
-  obs::SpanScope span(put_.span_name);
+  obs::SpanScope span(put_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put(data);
   put_.count.inc();
   obs::Timer timer(&put_.vtime, &put_.wall);
@@ -48,7 +48,7 @@ Key InstrumentedConnector::put(BytesView data) {
 }
 
 Key InstrumentedConnector::put_hinted(BytesView data, const PutHints& hints) {
-  obs::SpanScope span(put_.span_name);
+  obs::SpanScope span(put_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put_hinted(data, hints);
   put_.count.inc();
   obs::Timer timer(&put_.vtime, &put_.wall);
@@ -56,7 +56,7 @@ Key InstrumentedConnector::put_hinted(BytesView data, const PutHints& hints) {
 }
 
 bool InstrumentedConnector::put_at(const Key& key, BytesView data) {
-  obs::SpanScope span(put_.span_name);
+  obs::SpanScope span(put_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put_at(key, data);
   put_.count.inc();
   obs::Timer timer(&put_.vtime, &put_.wall);
@@ -67,7 +67,7 @@ Key InstrumentedConnector::reserve_key() { return inner_->reserve_key(); }
 
 std::vector<Key> InstrumentedConnector::put_batch(
     const std::vector<Bytes>& items) {
-  obs::SpanScope span(put_batch_.span_name);
+  obs::SpanScope span(put_batch_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put_batch(items);
   put_batch_.count.inc();
   put_batch_items_.observe(static_cast<double>(items.size()));
@@ -76,7 +76,7 @@ std::vector<Key> InstrumentedConnector::put_batch(
 }
 
 std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
-  obs::SpanScope span(get_.span_name);
+  obs::SpanScope span(get_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->get(key);
   get_.count.inc();
   obs::Timer timer(&get_.vtime, &get_.wall);
@@ -85,7 +85,7 @@ std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
 
 std::vector<std::optional<Bytes>> InstrumentedConnector::get_batch(
     const std::vector<Key>& keys) {
-  obs::SpanScope span(get_batch_.span_name);
+  obs::SpanScope span(get_batch_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->get_batch(keys);
   get_batch_.count.inc();
   get_batch_items_.observe(static_cast<double>(keys.size()));
@@ -127,7 +127,7 @@ Future<Unit> InstrumentedConnector::evict_async(const Key& key) {
 }
 
 bool InstrumentedConnector::exists(const Key& key) {
-  obs::SpanScope span(exists_.span_name);
+  obs::SpanScope span(exists_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->exists(key);
   exists_.count.inc();
   obs::Timer timer(&exists_.vtime, &exists_.wall);
@@ -135,7 +135,7 @@ bool InstrumentedConnector::exists(const Key& key) {
 }
 
 void InstrumentedConnector::evict(const Key& key) {
-  obs::SpanScope span(evict_.span_name);
+  obs::SpanScope span(evict_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->evict(key);
   evict_.count.inc();
   obs::Timer timer(&evict_.vtime, &evict_.wall);

@@ -156,16 +156,29 @@ class Store : public std::enable_shared_from_this<Store> {
     obs::TraceRecorder& tracer = obs::TraceRecorder::global();
     const bool tracing = tracer.enabled();
     const std::string cache_key = key.canonical();
-    if (auto cached = cache_.get<T>(cache_key)) {
-      ++metrics_cache_hits_;
-      if (tracing) tracer.record(trace_subject(name_, key), "cache.hit");
-      return *cached;
+    {
+      obs::SpanScope probe("store.cache.probe",
+                           tracing ? trace_subject(name_, key)
+                                   : std::string{},
+                           "cache-probe");
+      if (auto cached = cache_.get<T>(cache_key)) {
+        ++metrics_cache_hits_;
+        if (tracing) tracer.record(trace_subject(name_, key), "cache.hit");
+        return *cached;
+      }
     }
     std::optional<Bytes> data = connector_->get(key);
     if (tracing) tracer.record(trace_subject(name_, key), "connector.get");
     if (!data) return std::nullopt;
     metrics_bytes_got_ += data->size();
-    auto value = std::make_shared<const T>(deserialize_value<T>(*data));
+    std::shared_ptr<const T> value;
+    {
+      obs::SpanScope serde("store.deserialize",
+                           tracing ? trace_subject(name_, key)
+                                   : std::string{},
+                           "serde");
+      value = std::make_shared<const T>(deserialize_value<T>(*data));
+    }
     if (tracing) tracer.record(trace_subject(name_, key), "deserialize");
     cache_.put<T>(cache_key, value);
     if (tracing) tracer.record(trace_subject(name_, key), "cache.insert");
@@ -221,7 +234,11 @@ class Store : public std::enable_shared_from_this<Store> {
           return;
         }
         metrics_bytes_got_ += data->size();
-        auto value = std::make_shared<const T>(deserialize_value<T>(*data));
+        std::shared_ptr<const T> value;
+        {
+          obs::SpanScope serde("store.deserialize", cache_key, "serde");
+          value = std::make_shared<const T>(deserialize_value<T>(*data));
+        }
         cache_.put<T>(cache_key, value);
         inflight_erase(in_flight_key);
         promise.set_value(std::optional<T>(*value));
@@ -304,8 +321,13 @@ class Store : public std::enable_shared_from_this<Store> {
             continue;
           }
           metrics_bytes_got_ += results[done]->size();
-          auto value = std::make_shared<const T>(
-              deserialize_value<T>(*results[done]));
+          std::shared_ptr<const T> value;
+          {
+            obs::SpanScope serde("store.deserialize", miss.cache_key,
+                                 "serde");
+            value = std::make_shared<const T>(
+                deserialize_value<T>(*results[done]));
+          }
           cache_.put<T>(miss.cache_key, value);
           out[miss.index] = *value;
           inflight_erase(in_flight_key);

@@ -105,7 +105,7 @@ obs::SpanLocality Endpoint::span_locality() const {
 void Endpoint::on_relay_message(const relay::RelayMessage& message) {
   // Continue the sender's trace through the relay hop.
   obs::ContextScope adopt(message.trace);
-  obs::SpanScope span("endpoint.signal", message.kind);
+  obs::SpanScope span("endpoint.signal", message.kind, "wire-transfer");
   span.set_locality(span_locality());
   sim::vmerge(message.stamp);
   std::unique_lock lock(mu_);
@@ -181,7 +181,7 @@ EndpointResponse Endpoint::handle(const EndpointRequest& request) {
   // Continue the caller's trace carried in the request header.
   obs::ContextScope adopt(request.trace);
   obs::SpanScope span(local ? "endpoint.handle" : "endpoint.forward",
-                      request.op);
+                      request.op, "wire-transfer");
   span.set_locality(span_locality());
   EndpointMetrics& metrics = EndpointMetrics::get();
   if (obs::enabled()) metrics.requests.inc();
@@ -240,7 +240,7 @@ EndpointResponse Endpoint::handle_from_peer(const EndpointRequest& request) {
     ++requests_;
   }
   obs::ContextScope adopt(request.trace);
-  obs::SpanScope span("endpoint.handle", request.op);
+  obs::SpanScope span("endpoint.handle", request.op, "wire-transfer");
   span.set_locality(span_locality());
   EndpointResponse response = local_op(request);
   const std::size_t payload =

@@ -205,7 +205,7 @@ void ComputeEndpoint::worker_loop() {
       // The worker runs on its own thread: stitch into the submitter's
       // trace via the context carried in the task record.
       obs::ContextScope adopt(task->trace);
-      obs::SpanScope dispatch("faas.dispatch", task->function);
+      obs::SpanScope dispatch("faas.dispatch", task->function, "dispatch");
       obs::Timer timer(&exec_vtime, &exec_wall);
       try {
         const TaskFunction fn = FunctionRegistry::instance().lookup(

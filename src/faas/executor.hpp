@@ -83,7 +83,7 @@ class Executor {
     const double submit_vtime = sim::vnow();
     // The span is the thread's current context while cloud_->submit runs,
     // so the task record carries it to the remote worker.
-    obs::SpanScope span("faas.submit", function);
+    obs::SpanScope span("faas.submit", function, "wire-transfer");
     return TaskFuture(cloud_,
                       cloud_->submit(endpoint_, function, std::move(payload)),
                       submit_vtime);

@@ -71,12 +71,14 @@ ContextScope::ContextScope(const TraceContext& ctx) : previous_(t_context) {
 
 ContextScope::~ContextScope() { t_context = previous_; }
 
-SpanScope::SpanScope(const std::string& name, std::string subject) {
+SpanScope::SpanScope(const std::string& name, std::string subject,
+                     std::string kind) {
   TraceRecorder& recorder = TraceRecorder::global();
   if (!recorder.enabled()) return;
   active_ = true;
   name_ = name;
   subject_ = std::move(subject);
+  kind_ = std::move(kind);
   previous_ = t_context;
   ctx_ = previous_.valid() ? child_of(previous_) : new_root_context();
   t_context = ctx_;
@@ -98,6 +100,7 @@ SpanScope::~SpanScope() {
   span.ctx = ctx_;
   span.name = std::move(name_);
   span.subject = std::move(subject_);
+  span.kind = std::move(kind_);
   SpanLocality locality =
       has_locality_override_ ? std::move(locality_override_)
                              : current_locality();

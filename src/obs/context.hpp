@@ -94,7 +94,11 @@ class ContextScope {
 /// TraceRecorder. Inert while tracing is disabled.
 class SpanScope {
  public:
-  explicit SpanScope(const std::string& name, std::string subject = {});
+  /// `kind` tags the recorded span with its critical-path segment
+  /// ("wire-transfer", "serde", ... — see obs/critical.hpp); empty leaves
+  /// classification to the analyzer's name-based fallback.
+  explicit SpanScope(const std::string& name, std::string subject = {},
+                     std::string kind = {});
   ~SpanScope();
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
@@ -115,6 +119,7 @@ class SpanScope {
   TraceContext previous_;
   std::string name_;
   std::string subject_;
+  std::string kind_;
   SpanLocality locality_override_;
   double wall_start_ = 0.0;
   double vtime_start_ = 0.0;

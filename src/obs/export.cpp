@@ -93,6 +93,11 @@ void append_slice(std::string& out, bool& first, const SpanRecord& span,
   out += std::to_string(span.ctx.span_id);
   out += ",\"parent_span_id\":";
   out += std::to_string(span.ctx.parent_span_id);
+  if (!span.kind.empty()) {
+    out += ",\"kind\":\"";
+    json_escape_into(out, span.kind);
+    out += "\"";
+  }
   out += ",\"process\":\"";
   json_escape_into(out, span.process);
   out += "\",\"host\":\"";
@@ -120,9 +125,32 @@ std::string prom_name(const std::string& name) {
 
 }  // namespace
 
-std::string perfetto_trace_json(const TraceRecorder& recorder) {
-  const std::vector<SpanRecord> spans = recorder.spans();
+std::string prom_label_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
+std::string perfetto_trace_json(const TraceRecorder& recorder) {
+  return perfetto_trace_json(recorder.spans());
+}
+
+std::string perfetto_trace_json(const std::vector<SpanRecord>& spans) {
   // Sites become Perfetto processes; each gets a virtual-time pid (1-based)
   // and a wall-clock pid offset by 1000. Simulated processes become threads.
   std::map<std::string, int> site_pid;
@@ -193,11 +221,26 @@ std::string prometheus_text(const MetricsRegistry& registry) {
     out += "# HELP " + prom + " Latency distribution of " + name +
            " in seconds.\n";
     out += "# TYPE " + prom + " histogram\n";
+    // Buckets with a trace-linked exemplar get the OpenMetrics-style
+    // annotation after the cumulative count; exemplar-free buckets (and
+    // whole histograms never observed under a span) are byte-identical to
+    // the pre-exemplar exposition.
+    std::map<double, Exemplar> exemplar_by_le;
+    for (const auto& [le, ex] : h->exemplars()) exemplar_by_le[le] = ex;
     std::uint64_t cumulative = 0;
     for (const auto& [le, n] : h->nonzero_buckets()) {
       cumulative += n;
       out += prom + "_bucket{le=\"" + fmt_double(le) +
-             "\"} " + std::to_string(cumulative) + "\n";
+             "\"} " + std::to_string(cumulative);
+      const auto ex = exemplar_by_le.find(le);
+      if (ex != exemplar_by_le.end()) {
+        out += " # {trace_id=\"" +
+               prom_label_escape(ex->second.trace_id_hex()) +
+               "\",span_id=\"" + std::to_string(ex->second.span_id) +
+               "\"} " + fmt_double(ex->second.value_s) + " " +
+               fmt_double(ex->second.vtime_s);
+      }
+      out += "\n";
     }
     out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
     out += prom + "_sum " + fmt_double(h->sum()) + "\n";

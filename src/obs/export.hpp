@@ -18,23 +18,37 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace ps::obs {
 
 class TraceRecorder;
 class MetricsRegistry;
+struct SpanRecord;
 
 /// Chrome trace-event JSON ({"displayTimeUnit":"ms","traceEvents":[...]})
 /// of all spans currently held by `recorder`.
 std::string perfetto_trace_json(const TraceRecorder& recorder);
 
+/// Same rendering over an explicit span set (flight-recorder snapshots,
+/// tests) — no recorder needed.
+std::string perfetto_trace_json(const std::vector<SpanRecord>& spans);
+
 /// Writes perfetto_trace_json(TraceRecorder::global()) to `path`.
 /// Returns false if the file cannot be written.
 bool write_perfetto_trace(const std::string& path);
 
+/// Prometheus label *value* escaping per the text exposition format:
+/// backslash -> \\, double-quote -> \", newline -> \n. Everything emitting
+/// `{label="value"}` pairs must route values through this.
+std::string prom_label_escape(const std::string& value);
+
 /// Prometheus text exposition of every registered metric. Metric names are
 /// sanitized (dots -> underscores) and prefixed `ps_`; histograms are
-/// exported in seconds with a `_seconds` suffix.
+/// exported in seconds with a `_seconds` suffix. Buckets holding an
+/// exemplar carry an OpenMetrics-style annotation —
+/// `... # {trace_id="...",span_id="..."} <value> <vtime>` — linking the
+/// bucket's worst sample to its trace.
 std::string prometheus_text(const MetricsRegistry& registry);
 
 }  // namespace ps::obs

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/stats.hpp"
+#include "sim/vtime.hpp"
 
 namespace ps::obs {
 
@@ -109,6 +110,27 @@ void Histogram::observe(double seconds) {
   if (idx < kReservoir) {
     reservoir_[idx].store(seconds, std::memory_order_relaxed);
   }
+  maybe_exemplar(bucket_index(seconds), seconds);
+}
+
+void Histogram::maybe_exemplar(std::size_t bucket, double seconds) {
+  // Lock-free fast path: a non-improving sample never takes the mutex.
+  if (seconds <= exemplar_best_[bucket].load(std::memory_order_relaxed)) {
+    return;
+  }
+  const TraceContext ctx = current_context();
+  if (!ctx.valid()) return;  // no trace to link — not exemplar material
+  std::lock_guard lock(exemplar_mu_);
+  if (seconds <= exemplar_best_[bucket].load(std::memory_order_relaxed)) {
+    return;  // lost the race to a larger sample
+  }
+  exemplar_best_[bucket].store(seconds, std::memory_order_relaxed);
+  Exemplar& slot = exemplar_slots_[bucket];
+  slot.value_s = seconds;
+  slot.trace_hi = ctx.trace_hi;
+  slot.trace_lo = ctx.trace_lo;
+  slot.span_id = ctx.span_id;
+  slot.vtime_s = sim::vnow();
 }
 
 double Histogram::mean() const {
@@ -168,12 +190,39 @@ std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets()
   return out;
 }
 
+std::vector<std::pair<double, Exemplar>> Histogram::exemplars() const {
+  std::vector<std::pair<double, Exemplar>> out;
+  std::lock_guard lock(exemplar_mu_);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (exemplar_slots_[i].valid()) {
+      out.emplace_back(bounds()[i], exemplar_slots_[i]);
+    }
+  }
+  return out;
+}
+
+Exemplar Histogram::max_exemplar() const {
+  Exemplar best;
+  std::lock_guard lock(exemplar_mu_);
+  for (const Exemplar& slot : exemplar_slots_) {
+    if (slot.valid() && (!best.valid() || slot.value_s > best.value_s)) {
+      best = slot;
+    }
+  }
+  return best;
+}
+
 void Histogram::reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_ns_.store(0, std::memory_order_relaxed);
   min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
   max_ns_.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(exemplar_mu_);
+  for (auto& best : exemplar_best_) {
+    best.store(-1.0, std::memory_order_relaxed);
+  }
+  for (Exemplar& slot : exemplar_slots_) slot = Exemplar{};
 }
 
 // ------------------------------------------------------------- registry ----
@@ -235,10 +284,12 @@ const Histogram* MetricsRegistry::find_histogram(
 
 std::string MetricsRegistry::dump_json() const {
   std::lock_guard lock(mu_);
-  // schema_version 2: adds this field plus the shared "bucket_bounds_s"
-  // array (all histogram bucket upper bounds, so per-histogram "buckets"
-  // [le, count] pairs can be mapped back to raw bucket indices).
-  std::string out = "{\"schema_version\":2,\"bucket_bounds_s\":[";
+  // schema_version history: v2 added this field plus the shared
+  // "bucket_bounds_s" array (all histogram bucket upper bounds, so
+  // per-histogram "buckets" [le, count] pairs can be mapped back to raw
+  // bucket indices); v3 adds the per-histogram "exemplars" array linking
+  // each bucket's worst sample to its trace/span.
+  std::string out = "{\"schema_version\":3,\"bucket_bounds_s\":[";
   bool first_bound = true;
   for (const double bound : Histogram::bounds()) {
     if (!first_bound) out += ",";
@@ -285,6 +336,17 @@ std::string MetricsRegistry::dump_json() const {
       if (!first_bucket) out += ",";
       first_bucket = false;
       out += "[" + fmt_double(le) + "," + std::to_string(n) + "]";
+    }
+    out += "],\"exemplars\":[";
+    bool first_exemplar = true;
+    for (const auto& [le, ex] : hist->exemplars()) {
+      if (!first_exemplar) out += ",";
+      first_exemplar = false;
+      out += "{\"le\":" + fmt_double(le);
+      out += ",\"value_s\":" + fmt_double(ex.value_s);
+      out += ",\"trace_id\":\"" + ex.trace_id_hex() + "\"";
+      out += ",\"span_id\":" + std::to_string(ex.span_id);
+      out += ",\"vtime_s\":" + fmt_double(ex.vtime_s) + "}";
     }
     out += "]}";
   }

@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/context.hpp"
+
 namespace ps::obs {
 
 /// Global instrumentation switch. Hot-path helpers (InstrumentedConnector,
@@ -59,6 +61,22 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One tail witness: the largest value observed in a bucket, linked to the
+/// trace it came from. Valid only when observed under an active trace
+/// context (exemplar-free histograms export exactly as before).
+struct Exemplar {
+  double value_s = 0.0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  double vtime_s = 0.0;  // observer's sim::vnow() at observe time
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  std::string trace_id_hex() const {
+    return TraceContext{trace_hi, trace_lo, span_id, 0}.trace_id_hex();
+  }
+};
+
 /// Fixed-bucket latency histogram over seconds.
 ///
 /// Buckets are log-spaced upper bounds from 100 ns to 1000 s (four per
@@ -66,10 +84,21 @@ class Gauge {
 /// are relaxed atomics. The first kReservoir raw samples are additionally
 /// retained so percentiles over short series are exact (computed through
 /// ps::Stats); longer series fall back to within-bucket linear interpolation.
+///
+/// Each bucket also keeps one Exemplar — the max value observed in that
+/// bucket under an active trace context (max-value-wins replacement). The
+/// hot path stays lock-free: a relaxed load of the bucket's current best
+/// rejects non-improving samples before the slow (mutex) replacement path.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 40;
   static constexpr std::size_t kReservoir = 1024;
+
+  Histogram() {
+    for (auto& best : exemplar_best_) {
+      best.store(-1.0, std::memory_order_relaxed);
+    }
+  }
 
   /// Upper bounds (seconds) of each bucket, strictly increasing.
   static const std::array<double, kBuckets>& bounds();
@@ -104,15 +133,27 @@ class Histogram {
   /// (upper_bound, count) for buckets with at least one sample.
   std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
 
+  /// (bucket upper bound, exemplar) for buckets holding a valid exemplar.
+  std::vector<std::pair<double, Exemplar>> exemplars() const;
+  /// The largest-valued exemplar across all buckets (invalid when none —
+  /// i.e. the histogram was never observed under a trace context).
+  Exemplar max_exemplar() const;
+
   void reset();
 
  private:
+  void maybe_exemplar(std::size_t bucket, double seconds);
+
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_ns_{0};
   std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
   std::atomic<std::uint64_t> max_ns_{0};
   std::array<std::atomic<double>, kReservoir> reservoir_{};
+  /// Best value per bucket (-1 = empty): the lock-free rejection gate.
+  std::array<std::atomic<double>, kBuckets> exemplar_best_{};
+  mutable std::mutex exemplar_mu_;
+  std::array<Exemplar, kBuckets> exemplar_slots_{};
 };
 
 /// Process-wide named-metric registry.
@@ -133,10 +174,12 @@ class MetricsRegistry {
   std::vector<std::string> histogram_names() const;
   const Histogram* find_histogram(const std::string& name) const;
 
-  /// Machine-readable export: {"schema_version": 2,
+  /// Machine-readable export: {"schema_version": 3,
   /// "bucket_bounds_s": [...], "counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum_s, mean_s, min_s, max_s, p50_s,
-  /// p95_s, p99_s, p999_s, buckets: [[le, n], ...]}}}.
+  /// p95_s, p99_s, p999_s, buckets: [[le, n], ...], exemplars: [{le,
+  /// value_s, trace_id, span_id, vtime_s}, ...]}}}. v3 adds the (possibly
+  /// empty) per-histogram exemplars array.
   std::string dump_json() const;
 
   /// Columnar export: counters, then per-histogram count/mean/p50/p95/p99/max.

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <variant>
 
+#include "obs/critical.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
@@ -260,6 +262,11 @@ BenchArtifact collect_bench_artifact(
   artifact.seed = seed;
   artifact.git_rev = git_revision();
   const MetricsRegistry& registry = MetricsRegistry::global();
+  // Built lazily on the first series that actually has an exemplar; the
+  // flight ring is the fallback when the exemplar's trace already rolled
+  // out of the (larger but clearable) TraceRecorder.
+  std::optional<CriticalPath> recorded_paths;
+  std::optional<CriticalPath> flight_paths;
   for (const auto& [name, meta] : series_meta) {
     const Histogram* h = registry.find_histogram(name);
     if (h == nullptr || h->count() == 0) continue;
@@ -274,6 +281,34 @@ BenchArtifact collect_bench_artifact(
     stats.sum_s = h->sum();
     stats.units = meta.units;
     stats.kind = meta.kind;
+    const Exemplar exemplar = h->max_exemplar();
+    if (exemplar.valid()) {
+      if (!recorded_paths) {
+        recorded_paths = CriticalPath::from_recorder(TraceRecorder::global());
+      }
+      // Only a trace *root* explains the whole measured sample; an inner
+      // hop's subtree would under-account and fail the 5% sum check.
+      std::optional<CriticalPathReport> path = recorded_paths->for_span(
+          exemplar.trace_hi, exemplar.trace_lo, exemplar.span_id,
+          /*require_root=*/true);
+      if (!path) {
+        if (!flight_paths) {
+          flight_paths =
+              CriticalPath::from_spans(FlightRecorder::global().recent());
+        }
+        path = flight_paths->for_span(exemplar.trace_hi, exemplar.trace_lo,
+                                      exemplar.span_id, /*require_root=*/true);
+      }
+      if (path) {
+        SeriesAttribution attribution;
+        attribution.trace_id = path->trace_id;
+        attribution.span_id = exemplar.span_id;
+        attribution.sample_s = exemplar.value_s;
+        attribution.attributed_s = path->attributed_s;
+        attribution.segments = std::move(path->segments);
+        stats.attribution = std::move(attribution);
+      }
+    }
     artifact.series.emplace(name, stats);
   }
   const SloReport slo_report = SloRegistry::global().evaluate(registry);
@@ -321,7 +356,27 @@ std::string bench_artifact_json(const BenchArtifact& artifact) {
     json_escape_into(out, s.units);
     out += "\",\"kind\":\"";
     json_escape_into(out, s.kind);
-    out += "\"}";
+    out += "\"";
+    if (s.attribution) {
+      const SeriesAttribution& a = *s.attribution;
+      out += ",\"attribution\":{\"trace_id\":\"";
+      json_escape_into(out, a.trace_id);
+      out += "\",\"span_id\":" + std::to_string(a.span_id);
+      out += ",\"sample_s\":" + fmt_double(a.sample_s);
+      out += ",\"attributed_s\":" + fmt_double(a.attributed_s);
+      out += ",\"segments\":[";
+      bool first_seg = true;
+      for (const SegmentShare& seg : a.segments) {
+        if (!first_seg) out += ",";
+        first_seg = false;
+        out += "{\"segment\":\"";
+        json_escape_into(out, seg.segment);
+        out += "\",\"vtime_s\":" + fmt_double(seg.vtime_s);
+        out += ",\"spans\":" + std::to_string(seg.spans) + "}";
+      }
+      out += "]}";
+    }
+    out += "}";
   }
   out += "\n },\"slos\":[";
   first = true;
@@ -443,6 +498,49 @@ std::optional<BenchArtifact> parse_bench_artifact(const std::string& text,
       schema_error(error, "series '" + name + "' has unknown kind '" +
                               stats.kind + "'");
       return std::nullopt;
+    }
+    // Optional (v3) attribution: validated when present, never required —
+    // v1/v2 artifacts and exemplar-free v3 series simply lack it.
+    const auto attribution = s.find("attribution");
+    if (attribution != s.end()) {
+      if (!attribution->second.is_object()) {
+        schema_error(error,
+                     "series '" + name + "' attribution is not an object");
+        return std::nullopt;
+      }
+      const auto& a = attribution->second.obj();
+      SeriesAttribution attr;
+      attr.trace_id = str_or(a, "trace_id", "");
+      attr.span_id = static_cast<std::uint64_t>(num_or(a, "span_id", 0.0));
+      attr.sample_s = num_or(a, "sample_s", 0.0);
+      attr.attributed_s = num_or(a, "attributed_s", 0.0);
+      const auto segments = a.find("segments");
+      if (attr.trace_id.size() != 32 || segments == a.end() ||
+          !segments->second.is_array() || segments->second.arr().empty()) {
+        schema_error(error, "series '" + name +
+                                "' attribution needs a 32-hex trace_id and "
+                                "a non-empty segments array");
+        return std::nullopt;
+      }
+      for (const JsonValue& value : segments->second.arr()) {
+        if (!value.is_object()) {
+          schema_error(error,
+                       "series '" + name + "' has a non-object segment");
+          return std::nullopt;
+        }
+        const auto& seg = value.obj();
+        SegmentShare share;
+        share.segment = str_or(seg, "segment", "");
+        if (share.segment.empty()) {
+          schema_error(error,
+                       "series '" + name + "' has a segment without a name");
+          return std::nullopt;
+        }
+        share.vtime_s = num_or(seg, "vtime_s", 0.0);
+        share.spans = static_cast<std::uint64_t>(num_or(seg, "spans", 0.0));
+        attr.segments.push_back(std::move(share));
+      }
+      stats.attribution = std::move(attr);
     }
     artifact.series.emplace(name, stats);
   }

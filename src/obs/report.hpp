@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical.hpp"
 #include "obs/profile.hpp"
 
 namespace ps::obs {
@@ -31,7 +32,21 @@ class MetricsRegistry;
 /// rejects artifacts with a newer (unknown) version but still reads v1
 /// artifacts (no p999 column — it defaults to p99 — and no SLO section).
 /// v2 adds per-series p999_s and the top-level "slos" verdict array.
-inline constexpr int kBenchSchemaVersion = 2;
+/// v3 adds the optional per-series "attribution" breakdown (critical-path
+/// segments explaining the series' worst exemplar); v1/v2 artifacts still
+/// parse — the field is simply absent.
+inline constexpr int kBenchSchemaVersion = 3;
+
+/// Critical-path breakdown of one series' worst trace-linked sample: the
+/// exemplar's value and root span, and the segment shares that sum to it
+/// (within float noise; `psctl bench check` enforces 5%).
+struct SeriesAttribution {
+  std::string trace_id;       // 32 hex digits
+  std::uint64_t span_id = 0;  // the exemplar's (root) span
+  double sample_s = 0.0;      // the exemplar value being explained
+  double attributed_s = 0.0;  // sum over segments
+  std::vector<SegmentShare> segments;
+};
 
 struct SeriesStats {
   std::uint64_t count = 0;
@@ -44,6 +59,10 @@ struct SeriesStats {
   double sum_s = 0.0;
   std::string units = "s";     // "s" for latencies, "ratio" for fractions
   std::string kind = "vtime";  // "vtime" (deterministic) | "wall"
+  /// Present when the series held a trace-linked exemplar whose root span
+  /// was still in a span buffer at collection time. Never diffed — the
+  /// trace ids are run-local.
+  std::optional<SeriesAttribution> attribution;
 };
 
 /// One evaluated SLO verdict embedded in the artifact (the flattened form

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace ps::obs {
@@ -142,6 +144,36 @@ std::string slo_report_json(const SloReport& report) {
   return out;
 }
 
+std::string slo_prometheus_text(const SloReport& report) {
+  std::string out;
+  out += "# HELP ps_slo_status SLO verdict per objective "
+         "(0=pass, 1=breach, 2=insufficient_data).\n";
+  out += "# TYPE ps_slo_status gauge\n";
+  for (const SloVerdict& v : report.verdicts) {
+    int code = 2;
+    if (v.status == SloStatus::kPass) code = 0;
+    if (v.status == SloStatus::kBreach) code = 1;
+    out += "ps_slo_status{objective=\"" +
+           prom_label_escape(v.objective.name) + "\"} " +
+           std::to_string(code) + "\n";
+  }
+  out += "# HELP ps_slo_observed_seconds Observed quantile per objective.\n";
+  out += "# TYPE ps_slo_observed_seconds gauge\n";
+  for (const SloVerdict& v : report.verdicts) {
+    out += "ps_slo_observed_seconds{objective=\"" +
+           prom_label_escape(v.objective.name) + "\"} " +
+           fmt_double(v.observed_s) + "\n";
+  }
+  out += "# HELP ps_slo_threshold_seconds Declared bound per objective.\n";
+  out += "# TYPE ps_slo_threshold_seconds gauge\n";
+  for (const SloVerdict& v : report.verdicts) {
+    out += "ps_slo_threshold_seconds{objective=\"" +
+           prom_label_escape(v.objective.name) + "\"} " +
+           fmt_double(v.objective.threshold_s) + "\n";
+  }
+  return out;
+}
+
 SloRegistry& SloRegistry::global() {
   static SloRegistry* registry = new SloRegistry();  // never destroyed
   return *registry;
@@ -218,6 +250,13 @@ SloReport SloRegistry::evaluate(const MetricsRegistry& registry) const {
       verdict.status = SloStatus::kPass;
     }
     report.verdicts.push_back(std::move(verdict));
+  }
+  // A breach freezes the flight recorder: the spans behind the offending
+  // tail are preserved for the auto-dump even if tracing keeps running.
+  for (const SloVerdict& v : report.verdicts) {
+    if (v.status != SloStatus::kBreach) continue;
+    FlightRecorder::global().snapshot("slo-breach: " + v.objective.name);
+    break;  // one snapshot covers the whole evaluation
   }
   return report;
 }

@@ -79,6 +79,13 @@ struct SloReport {
 /// observed_s, samples}, ...], "breaches": n, "passed": 0|1}.
 std::string slo_report_json(const SloReport& report);
 
+/// Prometheus text exposition of a report: one `ps_slo_status{objective=
+/// "..."}` gauge per verdict (0 = pass, 1 = breach, 2 = insufficient_data)
+/// plus companion `ps_slo_observed_seconds` / `ps_slo_threshold_seconds`
+/// gauges, so the load-harness gates are scrapeable alongside the metrics
+/// they bound. Objective names are label-escaped.
+std::string slo_prometheus_text(const SloReport& report);
+
 /// Named-objective registry. Like the metrics registry there is one global
 /// instance; scenario phases declare into it and the artifact collector
 /// evaluates it at the end of the run.

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -50,6 +51,11 @@ struct SpanRecord {
   TraceContext ctx;
   std::string name;     // e.g. "faas.submit", "proxy.resolve"
   std::string subject;  // optional "<store>/<key>" attribution
+  /// Critical-path segment this span's self-time belongs to (e.g.
+  /// "wire-transfer", "serde", "executor-queue"); empty means the
+  /// CriticalPath analyzer classifies by span name, falling back to
+  /// "other". See obs/critical.hpp for the taxonomy.
+  std::string kind;
   std::string process;  // simulated process the span ran in
   std::string host;     // fabric host
   std::string site;     // fabric site
@@ -61,6 +67,13 @@ struct SpanRecord {
 
 class TraceRecorder {
  public:
+  /// Default ceiling on retained events and spans (each). Overridable at
+  /// process start via PROXYSTORE_TRACE_CAP (positive integer) and at
+  /// runtime via set_capacity().
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  TraceRecorder();
+
   static TraceRecorder& global();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -86,6 +99,17 @@ class TraceRecorder {
   void clear();
 
   void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Monotonic counts of records evicted by the capacity ceiling (never
+  /// reset by clear(); mirrored into the metrics registry as
+  /// "trace.dropped.events" / "trace.dropped.spans").
+  std::uint64_t dropped_events() const {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
 
   /// Wall seconds since the recorder's origin (the clock span timestamps
   /// are expressed in).
@@ -95,11 +119,16 @@ class TraceRecorder {
   std::string dump_json() const;
 
  private:
+  void note_dropped_events(std::size_t n);
+  void note_dropped_spans(std::size_t n);
+
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::deque<TraceEvent> events_;
   std::deque<SpanRecord> spans_;
-  std::size_t capacity_ = 65536;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::atomic<std::uint64_t> dropped_events_{0};
+  std::atomic<std::uint64_t> dropped_spans_{0};
   std::chrono::steady_clock::time_point origin_ =
       std::chrono::steady_clock::now();
 };

@@ -62,7 +62,7 @@ void RelayServer::forward(RelayMessage message) {
   }
   // The relay is its own actor: record the forward under the relay host's
   // locality, not the calling endpoint's process.
-  obs::SpanScope span("relay.forward", message.kind);
+  obs::SpanScope span("relay.forward", message.kind, "wire-transfer");
   std::string site;
   try {
     site = world_.fabric().host(host_).site;

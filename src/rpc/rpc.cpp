@@ -47,7 +47,7 @@ std::pair<Bytes, double> RpcServer::handle(const std::string& op,
     handler = it->second;
   }
   obs::ContextScope adopt(ctx);
-  obs::SpanScope span("rpc.handle", op);
+  obs::SpanScope span("rpc.handle", op, "wire-transfer");
   Bytes response = handler(request);
   const double done = queue_.schedule(
       arrival, service_time(request.size() + response.size()));
@@ -64,7 +64,7 @@ Bytes RpcClient::call(const std::string& op, BytesView request) {
   const std::string& there = server_->host();
   const TransportProfile& transport = server_->transport();
 
-  obs::SpanScope span("rpc.call", op);
+  obs::SpanScope span("rpc.call", op, "wire-transfer");
   const double arrival =
       sim::vnow() +
       transport.transfer_time(world.fabric(), here, there, request.size());

@@ -227,7 +227,13 @@ class StreamConsumer {
   /// proxy is unresolved — the payload transfers on first access (or in
   /// the background when prefetch_payloads is on).
   std::optional<StreamItem<T>> next_item() {
-    std::optional<Bytes> wire = subscription_->next();
+    std::optional<Bytes> wire;
+    {
+      // Time blocked on the broker separately from payload handling: the
+      // critical-path analyzer buckets this under "broker-poll".
+      obs::SpanScope poll("stream.poll", topic_, "broker-poll");
+      wire = subscription_->next();
+    }
     if (!wire) return std::nullopt;
     Event event = serde::from_bytes<Event>(*wire);
     // Stitch into the producer's publish span across the broker hop.

@@ -32,7 +32,9 @@
 #include "faas/executor.hpp"
 #include "faas/registry.hpp"
 #include "obs/context.hpp"
+#include "obs/critical.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
@@ -1250,6 +1252,67 @@ TEST(BenchReport, SloVerdictsRoundTripAndV1ArtifactsStillParse) {
                    .has_value());
 }
 
+TEST(BenchReport, V3AttributionRoundTripsAndV2ArtifactsStillParse) {
+  BenchArtifact artifact = sample_artifact();
+  SeriesAttribution attr;
+  attr.trace_id = "70733a74726163650000000000000001";
+  attr.span_id = 42;
+  attr.sample_s = 0.9;
+  attr.attributed_s = 0.9;
+  attr.segments.push_back(SegmentShare{"wire-transfer", 0.6, 3});
+  attr.segments.push_back(SegmentShare{"client", 0.3, 1});
+  artifact.series["cell.vtime"].attribution = attr;
+
+  const std::string text = bench_artifact_json(artifact);
+  EXPECT_NE(text.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"attribution\":{\"trace_id\":"), std::string::npos);
+
+  std::string error;
+  const auto parsed = parse_bench_artifact(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto& got = parsed->series.at("cell.vtime").attribution;
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->trace_id, attr.trace_id);
+  EXPECT_EQ(got->span_id, 42u);
+  EXPECT_NEAR(got->sample_s, 0.9, 1e-12);
+  EXPECT_NEAR(got->attributed_s, 0.9, 1e-12);
+  ASSERT_EQ(got->segments.size(), 2u);
+  EXPECT_EQ(got->segments[0].segment, "wire-transfer");
+  EXPECT_NEAR(got->segments[0].vtime_s, 0.6, 1e-12);
+  EXPECT_EQ(got->segments[0].spans, 3u);
+  // Attribution is per-series: the others stay absent.
+  EXPECT_FALSE(parsed->series.at("cell.wall").attribution.has_value());
+
+  // Series diffing ignores the attribution block entirely (trace ids are
+  // run-local): identical stats with different attributions still pass.
+  BenchArtifact cand = sample_artifact();
+  EXPECT_FALSE(diff_bench_artifacts(artifact, cand).failed);
+
+  // A v2 artifact (p999 + slos but no attribution) still parses...
+  const std::string v2 =
+      "{\"schema_version\":2,\"bench\":\"old\",\"seed\":7,"
+      "\"git_rev\":\"abc\",\"series\":{\"cell.vtime\":{\"count\":2,"
+      "\"mean_s\":0.5,\"p50_s\":0.4,\"p99_s\":0.9,\"p999_s\":0.95,"
+      "\"min_s\":0.1,\"max_s\":1.0,\"sum_s\":1.0,\"units\":\"s\","
+      "\"kind\":\"vtime\"}},\"slos\":[],\"profile_top\":[]}";
+  const auto old = parse_bench_artifact(v2, &error);
+  ASSERT_TRUE(old.has_value()) << error;
+  EXPECT_EQ(old->schema_version, 2);
+  EXPECT_FALSE(old->series.at("cell.vtime").attribution.has_value());
+
+  // ...and a malformed v3 attribution (bad trace id, empty segments) is a
+  // schema violation, not silently accepted.
+  BenchArtifact bad = sample_artifact();
+  bad.series["cell.vtime"].attribution = attr;
+  bad.series["cell.vtime"].attribution->trace_id = "short";
+  EXPECT_FALSE(
+      parse_bench_artifact(bench_artifact_json(bad), &error).has_value());
+  bad.series["cell.vtime"].attribution = attr;
+  bad.series["cell.vtime"].attribution->segments.clear();
+  EXPECT_FALSE(
+      parse_bench_artifact(bench_artifact_json(bad), &error).has_value());
+}
+
 TEST(BenchDiff, CandidateSloBreachFailsIndependentOfSeriesDrift) {
   const BenchArtifact base = sample_artifact();
 
@@ -1521,6 +1584,400 @@ TEST(Slo, CollectEmbedsGlobalRegistryVerdictsInArtifact) {
   SloRegistry::global().clear();
 }
 
+// ------------------------------------------------- histogram exemplars -----
+
+TEST(HistogramExemplars, RequireContextAndMaxValueWinsPerBucket) {
+  Histogram h;
+  // No active trace context: observations never mint exemplars, so the
+  // histogram exports exactly as before the feature existed.
+  h.observe(1e-3);
+  h.observe(0.5);
+  EXPECT_TRUE(h.exemplars().empty());
+  EXPECT_FALSE(h.max_exemplar().valid());
+
+  const TraceContext ctx = new_root_context();
+  {
+    ContextScope scope(ctx);
+    h.observe(1.1e-3);  // same bucket as 1e-3
+    h.observe(1.2e-3);  // larger: replaces
+    h.observe(1.05e-3);  // smaller: rejected by the lock-free gate
+    h.observe(0.7);      // a different bucket gets its own exemplar
+  }
+  const auto exemplars = h.exemplars();
+  ASSERT_EQ(exemplars.size(), 2u);
+  EXPECT_NEAR(exemplars[0].second.value_s, 1.2e-3, 1e-12);
+  EXPECT_NEAR(exemplars[1].second.value_s, 0.7, 1e-12);
+  for (const auto& [le, ex] : exemplars) {
+    EXPECT_LE(ex.value_s, le);
+    EXPECT_EQ(ex.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(ex.trace_lo, ctx.trace_lo);
+    EXPECT_EQ(ex.span_id, ctx.span_id);
+    EXPECT_EQ(ex.trace_id_hex().size(), 32u);
+  }
+  const Exemplar best = h.max_exemplar();
+  ASSERT_TRUE(best.valid());
+  EXPECT_NEAR(best.value_s, 0.7, 1e-12);
+
+  h.reset();
+  EXPECT_TRUE(h.exemplars().empty());
+  EXPECT_FALSE(h.max_exemplar().valid());
+}
+
+TEST(HistogramExemplars, DumpJsonSchemaV3CarriesExemplars) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("ex.lat");
+  {
+    ContextScope scope(new_root_context());
+    h.observe(2e-3);
+  }
+  const JsonValue root = JsonReader(registry.dump_json()).parse();
+  EXPECT_EQ(root.at("schema_version").num(), 3.0);
+  const JsonValue& hist = root.at("histograms").at("ex.lat");
+  ASSERT_TRUE(hist.has("exemplars"));
+  ASSERT_EQ(hist.at("exemplars").arr().size(), 1u);
+  const JsonValue& ex = hist.at("exemplars").arr()[0];
+  EXPECT_NEAR(ex.at("value_s").num(), 2e-3, 1e-12);
+  EXPECT_EQ(std::get<std::string>(ex.at("trace_id").v).size(), 32u);
+  EXPECT_GT(ex.at("span_id").num(), 0.0);
+
+  // An exemplar-free histogram still emits the (empty) array.
+  registry.histogram("ex.bare").observe(1e-3);
+  const JsonValue root2 = JsonReader(registry.dump_json()).parse();
+  EXPECT_TRUE(root2.at("histograms").at("ex.bare").at("exemplars")
+                  .arr().empty());
+}
+
+TEST(PrometheusExport, ExemplarAnnotationsRideOnBucketLines) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("ex.lat");
+  const TraceContext ctx = new_root_context();
+  {
+    ContextScope scope(ctx);
+    h.observe(2e-3);
+  }
+  h.observe(0.9);  // no context: this bucket gets no annotation
+
+  const std::string text = prometheus_text(registry);
+  const std::string needle = "# {trace_id=\"" + ctx.trace_id_hex() +
+                             "\",span_id=\"" + std::to_string(ctx.span_id) +
+                             "\"} 0.002";
+  EXPECT_NE(text.find(needle), std::string::npos) << text;
+  // Exactly one bucket line is annotated — the context-free observation
+  // must not grow one.
+  std::size_t annotations = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(" # {trace_id=") != std::string::npos) {
+      ++annotations;
+      EXPECT_NE(line.find("_bucket{le=\""), std::string::npos) << line;
+    }
+  }
+  EXPECT_EQ(annotations, 1u);
+}
+
+TEST(PrometheusExport, LabelValuesEscapeBackslashQuoteNewline) {
+  EXPECT_EQ(prom_label_escape("plain"), "plain");
+  EXPECT_EQ(prom_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_label_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_label_escape("line\nbreak"), "line\\nbreak");
+
+  // A hostile objective name must come out escaped in the SLO exposition
+  // (and must not smuggle a raw newline into the middle of a sample line).
+  MetricsRegistry registry;
+  for (int i = 0; i < 20; ++i) registry.histogram("evil.lat").observe(1e-3);
+  SloRegistry slos;
+  slos.declare({"evil\"name\\with\nnewline", "evil.lat", "p99", 0.010, 10});
+  const std::string text = slo_prometheus_text(slos.evaluate(registry));
+  EXPECT_NE(
+      text.find(
+          "ps_slo_status{objective=\"evil\\\"name\\\\with\\nnewline\"} 0"),
+      std::string::npos)
+      << text;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Every sample line is complete: name{labels} value.
+    EXPECT_NE(line.find("} "), std::string::npos) << line;
+  }
+}
+
+// ---------------------------------------------------- critical path --------
+
+SpanRecord make_span(const TraceContext& ctx, std::string name,
+                     std::string kind, double start, double end) {
+  SpanRecord span;
+  span.ctx = ctx;
+  span.name = std::move(name);
+  span.kind = std::move(kind);
+  span.process = "test";
+  span.host = "host";
+  span.site = "site";
+  span.vtime_start = start;
+  span.vtime_end = end;
+  span.wall_start = start;
+  span.wall_end = end;
+  return span;
+}
+
+TEST(CriticalPath, SegmentKindExplicitThenNameFallback) {
+  SpanRecord s = make_span(new_root_context(), "anything", "serde", 0, 1);
+  EXPECT_EQ(segment_kind(s), "serde");  // explicit kind wins
+  s.kind.clear();
+  s.name = "connector.redis.get";
+  EXPECT_EQ(segment_kind(s), "wire-transfer");
+  s.name = "endpoint.forward";
+  EXPECT_EQ(segment_kind(s), "wire-transfer");
+  s.name = "store.deserialize";
+  EXPECT_EQ(segment_kind(s), "serde");
+  s.name = "store.cache.probe";
+  EXPECT_EQ(segment_kind(s), "cache-probe");
+  s.name = "stream.poll";
+  EXPECT_EQ(segment_kind(s), "broker-poll");
+  s.name = "async.executor.queue";
+  EXPECT_EQ(segment_kind(s), "executor-queue");
+  s.name = "faas.dispatch";
+  EXPECT_EQ(segment_kind(s), "dispatch");
+  s.name = "mystery";
+  EXPECT_EQ(segment_kind(s), "other");
+}
+
+TEST(CriticalPath, SegmentsSumExactlyToRootWindow) {
+  // root [0, 10] (client)
+  //   wire  [1, 4]  (wire-transfer)
+  //     queue [2, 3] (executor-queue)
+  //   serde [5, 6]  (classified by name)
+  const TraceContext root = new_root_context();
+  const TraceContext wire = child_of(root);
+  const TraceContext queue = child_of(wire);
+  const TraceContext serde = child_of(root);
+  const CriticalPath cp = CriticalPath::from_spans({
+      make_span(root, "fleet.op", "client", 0.0, 10.0),
+      make_span(wire, "connector.kv.get", "wire-transfer", 1.0, 4.0),
+      make_span(queue, "async.executor.queue", "executor-queue", 2.0, 3.0),
+      make_span(serde, "store.deserialize", "", 5.0, 6.0),
+  });
+  ASSERT_EQ(cp.reports().size(), 1u);
+  const CriticalPathReport& report = cp.reports()[0];
+  EXPECT_EQ(report.trace_id, root.trace_id_hex());
+  EXPECT_EQ(report.root_name, "fleet.op");
+  EXPECT_EQ(report.span_count, 4u);
+  EXPECT_DOUBLE_EQ(report.vtime_s, 10.0);
+  EXPECT_DOUBLE_EQ(report.attributed_s, 10.0);  // the exact-sum invariant
+
+  std::map<std::string, double> shares;
+  for (const SegmentShare& s : report.segments) {
+    shares[s.segment] = s.vtime_s;
+  }
+  // client: gaps [0,1) + [4,5) + [6,10] = 6; wire: [1,2) + [3,4) = 2.
+  EXPECT_DOUBLE_EQ(shares.at("client"), 6.0);
+  EXPECT_DOUBLE_EQ(shares.at("wire-transfer"), 2.0);
+  EXPECT_DOUBLE_EQ(shares.at("executor-queue"), 1.0);
+  EXPECT_DOUBLE_EQ(shares.at("serde"), 1.0);
+  // Largest share first.
+  EXPECT_EQ(report.segments[0].segment, "client");
+
+  // table() and json() render every segment.
+  const std::string table = CriticalPath::table(cp.reports());
+  EXPECT_NE(table.find("wire-transfer"), std::string::npos);
+  const JsonValue parsed = JsonReader(CriticalPath::json(cp.top(5))).parse();
+  ASSERT_EQ(parsed.at("critical_paths").arr().size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      parsed.at("critical_paths").arr()[0].at("attributed_s").num(), 10.0);
+}
+
+TEST(CriticalPath, OverlappingChildrenClipAndForSpanRequiresRoot) {
+  const TraceContext root = new_root_context();
+  const TraceContext a = child_of(root);
+  const TraceContext b = child_of(root);
+  const CriticalPath cp = CriticalPath::from_spans({
+      make_span(root, "root.op", "client", 0.0, 10.0),
+      make_span(a, "connector.a.get", "wire-transfer", 1.0, 5.0),
+      // Overlaps its sibling: only the [5, 8] remainder may be credited,
+      // or the sum would exceed the window.
+      make_span(b, "store.deserialize", "serde", 3.0, 8.0),
+  });
+  ASSERT_EQ(cp.reports().size(), 1u);
+  const CriticalPathReport& report = cp.reports()[0];
+  EXPECT_DOUBLE_EQ(report.attributed_s, 10.0);
+  std::map<std::string, double> shares;
+  for (const SegmentShare& s : report.segments) {
+    shares[s.segment] = s.vtime_s;
+  }
+  EXPECT_DOUBLE_EQ(shares.at("wire-transfer"), 4.0);  // [1, 5]
+  EXPECT_DOUBLE_EQ(shares.at("serde"), 3.0);          // clipped to [5, 8]
+  EXPECT_DOUBLE_EQ(shares.at("client"), 3.0);         // [0,1) + [8,10]
+
+  // for_span decomposes an inner hop on demand...
+  const auto inner = cp.for_span(a.trace_hi, a.trace_lo, a.span_id);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_DOUBLE_EQ(inner->vtime_s, 4.0);
+  // ...but not under require_root (the exemplar-attribution rule: only a
+  // whole measured window may explain a series sample).
+  EXPECT_FALSE(cp.for_span(a.trace_hi, a.trace_lo, a.span_id,
+                           /*require_root=*/true)
+                   .has_value());
+  EXPECT_TRUE(cp.for_span(root.trace_hi, root.trace_lo, root.span_id,
+                          /*require_root=*/true)
+                  .has_value());
+  EXPECT_FALSE(cp.for_span(root.trace_hi, root.trace_lo, 0xdead).has_value());
+}
+
+// ---------------------------------------------------- flight recorder ------
+
+TEST(FlightRecorder, ByteBudgetEvictsOldestAndCountsDrops) {
+  FlightRecorder flight;
+  const TraceContext ctx = new_root_context();
+  const SpanRecord span = make_span(ctx, "flight.span", "client", 0.0, 1.0);
+  const std::size_t cost = approx_span_bytes(span);
+  flight.set_budget(cost * 4);
+  for (int i = 0; i < 10; ++i) flight.record(span);
+  EXPECT_LE(flight.size(), 4u);
+  EXPECT_LE(flight.bytes(), flight.budget());
+  EXPECT_GE(flight.dropped(), 6u);
+  const std::uint64_t dropped_before = flight.dropped();
+
+  // Shrinking the budget evicts immediately but always keeps one record.
+  flight.set_budget(1);
+  EXPECT_EQ(flight.size(), 1u);
+  EXPECT_GT(flight.dropped(), dropped_before);
+
+  // clear() empties the ring; drop counters stay monotonic.
+  flight.clear();
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_GT(flight.dropped(), dropped_before);
+}
+
+TEST(FlightRecorder, SnapshotRetentionAndPerfettoLoadableDump) {
+  FlightRecorder flight;
+  const TraceContext ctx = new_root_context();
+  flight.record(make_span(ctx, "flight.op", "client", 0.5, 2.5));
+  EXPECT_FALSE(flight.has_snapshot());
+
+  // latest_or_live falls back to a live capture without retaining it.
+  EXPECT_EQ(flight.latest_or_live().reason, "live");
+  EXPECT_FALSE(flight.has_snapshot());
+
+  for (int i = 0; i < 6; ++i) {
+    flight.snapshot("snap-" + std::to_string(i));
+  }
+  EXPECT_TRUE(flight.has_snapshot());
+  const auto snaps = flight.snapshots();
+  ASSERT_EQ(snaps.size(), FlightRecorder::kMaxSnapshots);
+  EXPECT_EQ(snaps.front().reason, "snap-2");  // oldest rolled out
+  EXPECT_EQ(snaps.back().reason, "snap-5");
+  EXPECT_EQ(flight.latest_or_live().reason, "snap-5");
+
+  // The dump is one JSON document: Chrome-trace traceEvents plus the
+  // "flight" header, and it must re-parse.
+  const FlightRecorder::Snapshot snap = flight.latest_or_live();
+  const std::string dump = FlightRecorder::dump_json(snap);
+  const JsonValue root = JsonReader(dump).parse();
+  EXPECT_EQ(std::get<std::string>(root.at("flight").at("reason").v),
+            "snap-5");
+  EXPECT_EQ(root.at("flight").at("span_count").num(), 1.0);
+  bool saw_complete_event = false;
+  for (const JsonValue& event : root.at("traceEvents").arr()) {
+    if (std::get<std::string>(event.at("ph").v) == "X") {
+      saw_complete_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_complete_event);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "ps_obs_flight_test.json";
+  ASSERT_TRUE(FlightRecorder::dump(path.string(), snap));
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), dump);
+  std::filesystem::remove(path);
+}
+
+TEST(LatencyWatchdog, LatchedThresholdCrossingFreezesFlightRecorder) {
+  FlightRecorder& flight = FlightRecorder::global();
+  flight.clear();
+  LatencyWatchdog& watchdog = LatencyWatchdog::global();
+  watchdog.clear();
+
+  MetricsRegistry registry;
+  auto& h = registry.histogram("dog.lat");
+  h.observe(0.050);
+  watchdog.watch("dog.lat", 0.100);
+  watchdog.watch("dog.absent", 0.100);
+  EXPECT_EQ(watchdog.size(), 2u);
+  EXPECT_EQ(watchdog.check(registry), 0u);  // under threshold: no snapshot
+  EXPECT_FALSE(flight.has_snapshot());
+
+  h.observe(0.250);  // crosses
+  EXPECT_EQ(watchdog.check(registry), 1u);
+  ASSERT_TRUE(flight.has_snapshot());
+  const std::string reason = flight.latest_or_live().reason;
+  EXPECT_NE(reason.find("anomaly: dog.lat"), std::string::npos) << reason;
+
+  // Latched: the same crossing never snapshots twice...
+  EXPECT_EQ(watchdog.check(registry), 0u);
+  // ...until the watch is re-armed.
+  watchdog.watch("dog.lat", 0.100);
+  EXPECT_EQ(watchdog.check(registry), 1u);
+
+  watchdog.clear();
+  EXPECT_EQ(watchdog.size(), 0u);
+  flight.clear();
+}
+
+// ------------------------------------------------ trace capacity ceiling ---
+
+TEST(TraceRecorder, CapacityCeilingEvictsOldestAndCountsDrops) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.capacity(), TraceRecorder::kDefaultCapacity);
+  recorder.set_enabled(true);
+  recorder.set_capacity(4);
+
+  const TraceContext ctx = new_root_context();
+  for (int i = 0; i < 10; ++i) {
+    recorder.record_span(
+        make_span(ctx, "cap.span." + std::to_string(i), "", 0.0, 1.0));
+    recorder.record("cap.subject", "cap.event." + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.span_count(), 4u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped_spans(), 6u);
+  EXPECT_EQ(recorder.dropped_events(), 6u);
+  // The survivors are the newest records.
+  EXPECT_EQ(recorder.spans().front().name, "cap.span.6");
+  EXPECT_EQ(recorder.spans().back().name, "cap.span.9");
+
+  // Shrinking the capacity evicts immediately and keeps counting.
+  recorder.set_capacity(2);
+  EXPECT_EQ(recorder.span_count(), 2u);
+  EXPECT_EQ(recorder.dropped_spans(), 8u);
+  EXPECT_EQ(recorder.dropped_events(), 8u);
+
+  // clear() empties the buffers but never resets the drop counters.
+  recorder.clear();
+  EXPECT_EQ(recorder.dropped_spans(), 8u);
+
+  // The drops are mirrored into the global metrics registry.
+  EXPECT_GE(MetricsRegistry::global().counters().at("trace.dropped.spans"),
+            8u);
+}
+
+TEST(TraceRecorder, TraceCapEnvOverridesDefaultCapacity) {
+  ::setenv("PROXYSTORE_TRACE_CAP", "123", /*overwrite=*/1);
+  const TraceRecorder capped;
+  EXPECT_EQ(capped.capacity(), 123u);
+  // Garbage and zero fall back to the default.
+  ::setenv("PROXYSTORE_TRACE_CAP", "0", 1);
+  const TraceRecorder zero;
+  EXPECT_EQ(zero.capacity(), TraceRecorder::kDefaultCapacity);
+  ::setenv("PROXYSTORE_TRACE_CAP", "junk", 1);
+  const TraceRecorder junk;
+  EXPECT_EQ(junk.capacity(), TraceRecorder::kDefaultCapacity);
+  ::unsetenv("PROXYSTORE_TRACE_CAP");
+}
+
 // ------------------------------------------------- concurrent exports ------
 // Exercises every reader (dump_json, prometheus_text, profiler aggregation)
 // against concurrent writers; run under -DPS_SANITIZE=thread this is the
@@ -1529,8 +1986,13 @@ TEST(Slo, CollectEmbedsGlobalRegistryVerdictsInArtifact) {
 TEST(ObsConcurrency, ExportersAndProfilerRaceRecordersSafely) {
   auto& registry = MetricsRegistry::global();
   TraceRecorder& recorder = TraceRecorder::global();
+  FlightRecorder& flight = FlightRecorder::global();
   recorder.clear();
+  flight.clear();
   recorder.set_enabled(true);
+  // A tight span cap forces concurrent evictions, so the drop accounting
+  // races the writers too.
+  recorder.set_capacity(256);
 
   constexpr int kWriters = 4;
   constexpr int kIterations = 400;
@@ -1554,17 +2016,32 @@ TEST(ObsConcurrency, ExportersAndProfilerRaceRecordersSafely) {
 
   // Readers hammer the export paths until every writer is done.
   std::vector<std::thread> readers;
-  for (int r = 0; r < 3; ++r) {
+  for (int r = 0; r < 5; ++r) {
     readers.emplace_back([&, r] {
+      std::uint64_t last_dropped = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         if (r == 0) {
           (void)registry.dump_json();
         } else if (r == 1) {
           (void)prometheus_text(registry);
-        } else {
+        } else if (r == 2) {
           const Profile profile = Profile::from_recorder(recorder);
           (void)profile.folded();
           (void)profile.top_nodes(4);
+        } else if (r == 3) {
+          // Flight snapshots + critical-path analysis race the recording
+          // threads; no span may come out torn.
+          const auto snap = flight.snapshot("race");
+          for (const SpanRecord& span : snap.spans) {
+            EXPECT_FALSE(span.name.empty());
+            EXPECT_LE(span.vtime_start, span.vtime_end);
+          }
+          (void)CriticalPath::from_recorder(recorder);
+        } else {
+          // Drop counters must be monotonic under concurrent eviction.
+          const std::uint64_t dropped = recorder.dropped_spans();
+          EXPECT_GE(dropped, last_dropped);
+          last_dropped = dropped;
         }
       }
     });
@@ -1579,7 +2056,14 @@ TEST(ObsConcurrency, ExportersAndProfilerRaceRecordersSafely) {
             static_cast<std::uint64_t>(kWriters) * kIterations);
   const Profile profile = Profile::from_recorder(recorder);
   EXPECT_FALSE(profile.empty());
+  // 4 writers x 400 iterations x 2 spans against a 256-span cap: evictions
+  // definitely happened and were all counted.
+  EXPECT_LE(recorder.span_count(), 256u);
+  EXPECT_GE(recorder.dropped_spans(),
+            static_cast<std::uint64_t>(kWriters) * kIterations * 2 - 256);
+  recorder.set_capacity(TraceRecorder::kDefaultCapacity);
   recorder.clear();
+  flight.clear();
 }
 
 }  // namespace

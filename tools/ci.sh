@@ -12,11 +12,18 @@
 #      re-validate against the schema (`psctl bench check`) and must match
 #      the blessed baselines in results/baselines/ (`psctl bench diff` —
 #      any vtime drift fails the build);
-#   5. load-smoke: the mixed-scenario load harness (bench/load_mixed) at
+#   5. forensics-smoke: tail-latency forensics on a traced bench run —
+#      `psctl trace critical --json` must produce a non-empty attribution
+#      whose segments sum back to the root window, the Prometheus export
+#      must carry histogram exemplars with valid 128-bit trace ids, and
+#      `psctl flight dump` must write a Perfetto-loadable snapshot;
+#   6. load-smoke: the mixed-scenario load harness (bench/load_mixed) at
 #      the blessed fleet size — baseline diff (which also fails on any SLO
 #      breach in the artifact), a double-run determinism check, and a
 #      negative test proving an injected latency regression flips the SLO
-#      gate to a nonzero exit.
+#      gate to a nonzero exit, dumps a Perfetto-loadable flight recording,
+#      and embeds a critical-path attribution referencing a trace present
+#      in that dump.
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -68,6 +75,10 @@ grep -q '"updates":{"published"' <<<"${STREAM_JSON}"
 ./build/tools/psctl slo
 SLO_JSON="$(./build/tools/psctl slo --json)"
 grep -q '"passed":1' <<<"${SLO_JSON}"
+# The Prometheus form must expose per-objective verdict gauges.
+SLO_PROM="$(./build/tools/psctl slo --prom)"
+grep -q '^# TYPE ps_slo_status gauge' <<<"${SLO_PROM}"
+grep -q '^ps_slo_status{objective="demo.local.get.p99"} 0' <<<"${SLO_PROM}"
 
 echo "==> bench-smoke: regenerate artifacts + diff against baselines"
 # Each bench reruns with the exact flags its baseline was blessed with
@@ -97,6 +108,30 @@ grep -q '^ps_async_executor_' <<<"${PROM_SNAPSHOT}"
 # The committed baselines themselves must stay schema-valid.
 ./build/tools/psctl bench check results/baselines/BENCH_*.json
 
+echo "==> forensics-smoke: critical-path attribution + exemplars + flight"
+# A traced fig6 rerun (the CI-fast flags) must still produce a
+# schema-valid artifact with the forensics machinery active (bench check
+# also enforces the 5% attribution-sum rule on any attributed series).
+./build/bench/fig6_inmemory --max-size 1MB \
+  --json "${BENCH_DIR}/BENCH_fig6_forensics.json" >/dev/null
+./build/tools/psctl bench check "${BENCH_DIR}/BENCH_fig6_forensics.json"
+# Critical-path attribution over the traced demo round trip: non-empty,
+# and psctl itself asserts each decomposition sums back to its root window.
+CRIT_JSON="$(./build/tools/psctl trace critical --json)"
+grep -q '"segments":' <<<"${CRIT_JSON}"
+grep -q '"trace_id":"' <<<"${CRIT_JSON}"
+# Histogram exemplars must surface in the Prometheus exposition with valid
+# 128-bit (32 hex digit) trace ids on bucket lines.
+PROM_SNAPSHOT="$(./build/tools/psctl metrics --prom)"
+grep -qE '_bucket\{le="[^"]*"\} [0-9]+ # \{trace_id="[0-9a-f]{32}"' \
+  <<<"${PROM_SNAPSHOT}"
+# The flight recorder must dump a Perfetto-loadable snapshot on demand.
+FLIGHT_OUT="${BENCH_DIR}/flight.json"
+./build/tools/psctl flight dump "${FLIGHT_OUT}"
+grep -q '"traceEvents"' "${FLIGHT_OUT}"
+grep -q '"ph":"X"' "${FLIGHT_OUT}"
+grep -q '"flight":{"reason":"psctl flight dump"' "${FLIGHT_OUT}"
+
 echo "==> load-smoke: mixed-scenario load harness + SLO gate"
 # The blessed fleet size: 256 simulated clients keeps the run sub-second
 # while exercising all four phases. run_bench covers schema check +
@@ -120,5 +155,23 @@ if ./build/tools/psctl bench diff \
   exit 1
 fi
 grep -q '"status":"breach"' "${BENCH_DIR}/BENCH_load_mixed_inject.json"
+# Forensics on the breach: the artifact must embed critical-path
+# attribution (bench check enforces that the segments sum to within 5% of
+# the exemplar sample it explains)...
+./build/tools/psctl bench check "${BENCH_DIR}/BENCH_load_mixed_inject.json"
+grep -q '"attribution":{' "${BENCH_DIR}/BENCH_load_mixed_inject.json"
+# ...the breach must have auto-dumped a Perfetto-loadable flight recording
+# naming the breaching objective...
+INJECT_FLIGHT="${BENCH_DIR}/BENCH_load_mixed_inject.json.flight.json"
+test -f "${INJECT_FLIGHT}"
+grep -q '"traceEvents"' "${INJECT_FLIGHT}"
+grep -q '"ph":"X"' "${INJECT_FLIGHT}"
+grep -q '"flight":{"reason":"slo-breach: ' "${INJECT_FLIGHT}"
+# ...and the trace behind an attributed exemplar must still be in the dump.
+ATTR_TRACE="$(grep -o '"attribution":{"trace_id":"[0-9a-f]\{32\}"' \
+  "${BENCH_DIR}/BENCH_load_mixed_inject.json" | head -n 1 | \
+  grep -o '[0-9a-f]\{32\}')"
+test -n "${ATTR_TRACE}"
+grep -q "${ATTR_TRACE}" "${INJECT_FLIGHT}"
 
 echo "==> CI pass complete"

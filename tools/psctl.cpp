@@ -18,6 +18,17 @@
 //                                 with distributed tracing on and write the
 //                                 stitched trace as Chrome trace-event JSON
 //                                 (open in https://ui.perfetto.dev)
+//   psctl trace critical [--top N] [--json]
+//                                 run the traced round trip and decompose the
+//                                 slowest N trace roots (default 5) into
+//                                 critical-path segments (wire-transfer,
+//                                 serde, executor-queue, ...); exits 1 when
+//                                 nothing was recorded or a decomposition
+//                                 fails to sum back to its root window
+//   psctl flight dump <file>      run the traced round trip, freeze the
+//                                 always-on flight recorder, and write the
+//                                 snapshot as Perfetto-loadable JSON with a
+//                                 top-level "flight" header
 //   psctl profile [--folded <file>] [--wall]
 //                                 run the same traced round trip and print
 //                                 the span-derived call-tree profile
@@ -34,11 +45,15 @@
 //                                 carrying any SLO breach fails; exits 1
 //                                 on drift/regression/breach, 2 on parse
 //                                 errors
-//   psctl bench check <file>...   schema-validate BENCH_*.json artifacts
-//   psctl slo [--json]            run the instrumented demo workload under
+//   psctl bench check <file>...   schema-validate BENCH_*.json artifacts;
+//                                 any embedded series attribution must sum
+//                                 to within 5% of the exemplar it explains
+//   psctl slo [--json|--prom]     run the instrumented demo workload under
 //                                 the default SLO set and print the verdict
 //                                 report (objective, observed vs target
 //                                 quantile, pass/breach/insufficient-data);
+//                                 --prom emits ps_slo_status{objective=...}
+//                                 gauges in Prometheus text format;
 //                                 exits 1 when any objective is breached
 //   psctl stream stats [--json]   run a two-broker ProxyStream demo (an
 //                                 in-process queue topic with two consumers
@@ -47,6 +62,7 @@
 //                                 deliver/consume counts and consumer lag
 //                                 from the metrics registry (machine-
 //                                 readable JSON with --json)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -68,7 +84,9 @@
 #include "faas/executor.hpp"
 #include "faas/registry.hpp"
 #include "obs/context.hpp"
+#include "obs/critical.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
@@ -89,14 +107,16 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics|trace|profile|bench|slo|stream> [args...]\n"
+               "metrics|trace|profile|flight|bench|slo|stream> [args...]\n"
                "       psctl metrics [--json|--prom]\n"
                "       psctl trace export <file>\n"
+               "       psctl trace critical [--top <n>] [--json]\n"
+               "       psctl flight dump <file>\n"
                "       psctl profile [--folded <file>] [--wall]\n"
                "       psctl bench diff <baseline.json> <candidate.json> "
                "[--wall-tol <rel>]\n"
                "       psctl bench check <file>...\n"
-               "       psctl slo [--json]\n"
+               "       psctl slo [--json|--prom]\n"
                "       psctl stream stats [--json]\n");
   return 2;
 }
@@ -261,6 +281,66 @@ int cmd_trace_export(testbed::Testbed& tb, const std::string& path) {
   return 0;
 }
 
+// `psctl trace critical [--top N] [--json]`: the traced round trip
+// decomposed into per-trace critical-path segments. Each report is
+// self-checked — the segment shares must reconstruct the root's window (the
+// analyzer's exact-sum invariant) — so a nonzero exit means either nothing
+// was traced or the decomposition is broken.
+int cmd_trace_critical(testbed::Testbed& tb, std::size_t top_n, bool json) {
+  if (const int rc = run_traced_round_trip(tb); rc != 0) return rc;
+
+  const obs::CriticalPath paths =
+      obs::CriticalPath::from_recorder(obs::TraceRecorder::global());
+  const std::vector<obs::CriticalPathReport> top = paths.top(top_n);
+  if (top.empty()) {
+    std::fprintf(stderr, "psctl: no trace roots recorded\n");
+    return 1;
+  }
+  for (const obs::CriticalPathReport& report : top) {
+    const double tolerance = std::max(1e-9, 0.01 * report.vtime_s);
+    if (std::fabs(report.attributed_s - report.vtime_s) > tolerance) {
+      std::fprintf(stderr,
+                   "psctl: attribution for trace %s sums to %.9f s but the "
+                   "root window is %.9f s\n",
+                   report.trace_id.c_str(), report.attributed_s,
+                   report.vtime_s);
+      return 1;
+    }
+  }
+  if (json) {
+    std::printf("%s\n", obs::CriticalPath::json(top).c_str());
+  } else {
+    std::printf("%s", obs::CriticalPath::table(top).c_str());
+    std::printf("\n%zu of %zu trace roots shown (slowest first)\n",
+                top.size(), paths.reports().size());
+  }
+  return 0;
+}
+
+// `psctl flight dump <file>`: the traced round trip's flight-recorder ring
+// frozen and written as a Perfetto-loadable dump.
+int cmd_flight_dump(testbed::Testbed& tb, const std::string& path) {
+  if (const int rc = run_traced_round_trip(tb); rc != 0) return rc;
+
+  const obs::FlightRecorder::Snapshot snap =
+      obs::FlightRecorder::global().snapshot("psctl flight dump");
+  if (snap.spans.empty()) {
+    std::fprintf(stderr, "psctl: flight recorder is empty\n");
+    return 1;
+  }
+  if (!obs::FlightRecorder::dump(path, snap)) {
+    std::fprintf(stderr, "psctl: cannot write flight dump to '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("flight dump: %zu spans (%zu dropped by budget) to %s\n",
+              snap.spans.size(),
+              static_cast<std::size_t>(obs::FlightRecorder::global().dropped()),
+              path.c_str());
+  std::printf("open in https://ui.perfetto.dev or chrome://tracing\n");
+  return 0;
+}
+
 // `psctl profile`: the traced round trip aggregated into a call-tree
 // profile — per-path invocation counts plus total/self time in both the
 // deterministic virtual clock and wall clock. --folded additionally writes
@@ -294,7 +374,9 @@ int cmd_profile(testbed::Testbed& tb, const std::string& folded_path,
 }
 
 // `psctl bench check <file>...`: parse (and thereby schema-validate) each
-// artifact. Exits nonzero on the first invalid file.
+// artifact. Any series carrying a v3 attribution block must explain its
+// exemplar: the segment shares have to sum to within 5% of the sample the
+// exemplar recorded. Exits nonzero on the first invalid file.
 int cmd_bench_check(const std::vector<std::string>& paths) {
   for (const std::string& path : paths) {
     std::string error;
@@ -303,10 +385,25 @@ int cmd_bench_check(const std::vector<std::string>& paths) {
       std::fprintf(stderr, "psctl: %s: %s\n", path.c_str(), error.c_str());
       return 2;
     }
-    std::printf("%s: ok (bench=%s, schema v%d, %zu series, %zu slos, "
-                "%zu profile nodes)\n",
+    std::size_t attributed = 0;
+    for (const auto& [name, stats] : artifact->series) {
+      if (!stats.attribution) continue;
+      ++attributed;
+      const obs::SeriesAttribution& attr = *stats.attribution;
+      const double tolerance = 0.05 * attr.sample_s;
+      if (std::fabs(attr.attributed_s - attr.sample_s) > tolerance) {
+        std::fprintf(stderr,
+                     "psctl: %s: series '%s' attribution sums to %.9f s but "
+                     "its exemplar sample is %.9f s (>5%% apart)\n",
+                     path.c_str(), name.c_str(), attr.attributed_s,
+                     attr.sample_s);
+        return 2;
+      }
+    }
+    std::printf("%s: ok (bench=%s, schema v%d, %zu series, %zu attributed, "
+                "%zu slos, %zu profile nodes)\n",
                 path.c_str(), artifact->bench.c_str(),
-                artifact->schema_version, artifact->series.size(),
+                artifact->schema_version, artifact->series.size(), attributed,
                 artifact->slos.size(), artifact->profile_top.size());
   }
   return 0;
@@ -464,7 +561,7 @@ int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
 // `psctl slo [--json]`: the default SLO set evaluated against the
 // instrumented demo workload. The same engine the load harness and the
 // BENCH_*.json artifacts use — this command is the quick interactive probe.
-int cmd_slo(testbed::Testbed& tb, bool json) {
+int cmd_slo(testbed::Testbed& tb, bool json, bool prom) {
   obs::SloRegistry& slos = obs::SloRegistry::global();
   slos.clear();
   // Generous bounds for the in-process demo: the point here is wiring, not
@@ -493,7 +590,9 @@ int cmd_slo(testbed::Testbed& tb, bool json) {
   if (const int rc = run_instrumented_demo(tb, nullptr); rc != 0) return rc;
 
   const obs::SloReport report = slos.evaluate();
-  if (json) {
+  if (prom) {
+    std::printf("%s", obs::slo_prometheus_text(report).c_str());
+  } else if (json) {
     std::printf("%s", obs::slo_report_json(report).c_str());
   } else {
     std::printf("%s", report.table().c_str());
@@ -669,6 +768,27 @@ int main(int argc, char** argv) {
         std::string(argv[2]) == "export") {
       return cmd_trace_export(tb, argv[3]);
     }
+    if (command == "trace" && argc >= 3 &&
+        std::string(argv[2]) == "critical") {
+      std::size_t top_n = 5;
+      bool json = false;
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--top" && i + 1 < argc) {
+          top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
+          if (top_n == 0) return usage();
+        } else if (flag == "--json") {
+          json = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_trace_critical(tb, top_n, json);
+    }
+    if (command == "flight" && argc == 4 &&
+        std::string(argv[2]) == "dump") {
+      return cmd_flight_dump(tb, argv[3]);
+    }
     if (command == "stream" && (argc == 3 || argc == 4) &&
         std::string(argv[2]) == "stats") {
       const std::string flag = argc == 4 ? argv[3] : "";
@@ -677,8 +797,10 @@ int main(int argc, char** argv) {
     }
     if (command == "slo") {
       const std::string flag = argc >= 3 ? argv[2] : "";
-      if (argc > 3 || (argc == 3 && flag != "--json")) return usage();
-      return cmd_slo(tb, flag == "--json");
+      if (argc > 3 || (argc == 3 && flag != "--json" && flag != "--prom")) {
+        return usage();
+      }
+      return cmd_slo(tb, flag == "--json", flag == "--prom");
     }
     if (command == "profile") {
       std::string folded_path;

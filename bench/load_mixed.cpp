@@ -28,6 +28,7 @@
 // actually trips (injection must flip `psctl bench diff` to exit 1).
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,7 +44,11 @@
 #include "obs/context.hpp"
 #include "obs/flight.hpp"
 #include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/vtime.hpp"
+#include "telemetry/agent.hpp"
+#include "telemetry/aggregator.hpp"
 #include "stream/queue_broker.hpp"
 #include "stream/stream.hpp"
 #include "testbed/testbed.hpp"
@@ -80,12 +85,24 @@ int main(int argc, char** argv) {
   const ps::bench::Args args = ps::bench::parse_args("load_mixed", argc, argv);
   testbed::Testbed tb = testbed::build();
   proc::World& world = *tb.world;
+  // Per-process metrics scoping: substrate instrumentation recorded inside
+  // a client's ProcessScope lands in that process's own registry, which the
+  // per-site telemetry agents below federate. The global bench series (the
+  // artifact) are observed directly and stay byte-identical.
+  world.set_metrics_scoping(true);
 
   // The latency-regression injection hook (virtual seconds added inside
-  // every measured op) — see the header comment.
+  // every measured op) — see the header comment. PS_LOAD_INJECT_SITE
+  // confines the injection to clients of one site, so the telemetry
+  // negative test can degrade a single site's burn rate while the others
+  // stay green.
   double inject_s = 0.0;
   if (const char* ms = std::getenv("PS_LOAD_INJECT_LATENCY_MS")) {
     inject_s = std::atof(ms) / 1000.0;
+  }
+  std::string inject_site;
+  if (const char* site = std::getenv("PS_LOAD_INJECT_SITE")) {
+    inject_site = site;
   }
 
   const int clients = args.clients_or(1024);
@@ -98,6 +115,34 @@ int main(int argc, char** argv) {
   // Shared fabric services: payload kv server on the Theta login node.
   kv::KvServer::start(world, tb.theta_login, "load");
   proc::Process& admin = world.spawn("load-admin", tb.theta_login);
+
+  // ---- telemetry plane --------------------------------------------------
+  // One agent per distinct client site, scraped from a monitor process at a
+  // fixed virtual cadence. VtimeGuard + the trace-recorder gate keep the
+  // scrapes invisible to the workload: the driver clock is restored after
+  // every scrape (telemetry rides its own rpc servers, never the load kv
+  // server) and no scrape spans enter the artifact's profile section.
+  std::map<std::string, std::string> site_agent_hosts;
+  for (const std::string& host : hosts) {
+    site_agent_hosts.emplace(world.fabric().host(host).site, host);
+  }
+  std::vector<std::shared_ptr<telemetry::TelemetryAgent>> agents;
+  telemetry::TelemetryAggregator aggregator;
+  for (const auto& [site, host] : site_agent_hosts) {
+    agents.push_back(telemetry::TelemetryAgent::start(world, host));
+    aggregator.add_agent(agents.back()->address());
+  }
+  proc::Process& monitor = world.spawn("telemetry-monitor", tb.theta_login);
+  const auto scrape = [&](double tick_vnow) {
+    sim::VtimeGuard freeze;
+    proc::ProcessScope scope(monitor);
+    sim::vset(tick_vnow);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    const bool tracing = recorder.enabled();
+    if (tracing) recorder.set_enabled(false);
+    aggregator.scrape_all();
+    if (tracing) recorder.set_enabled(true);
+  };
 
   // Object caches disabled on both stores: every resolve pays the
   // connector, so the measured latency is the transfer, not an LRU hit.
@@ -144,8 +189,27 @@ int main(int argc, char** argv) {
   // shaped: without them every client arrives at t=0 and the phase measures
   // one thundering herd's queue ramp at the single-threaded kv server.
   fleet.stagger(0.001);
-  fleet.set_injected_latency(inject_s);
+  fleet.set_injected_latency(inject_s, inject_site);
+  fleet.set_site_series("load.hotkey.op");
+  fleet.set_tick(0.25, scrape);
   obs::Histogram& hot_lat = ps::bench::series("load.hotkey.op");
+  // Per-site twins of the hot-key series, registered so the artifact
+  // carries per-site tails; their sum reproduces the main series exactly.
+  for (const auto& [site, host] : site_agent_hosts) {
+    ps::bench::series("load.hotkey.op@" + site);
+  }
+  // Burn-rate objective on the hot-key tail: evaluated per site against the
+  // scraped trailing windows right after the phase (the other objectives
+  // are whole-run and declared below). Fast 0.5 s / slow 1.5 s windows at
+  // the same 100 ms promise as the whole-run p99 objective.
+  obs::SloRegistry& slos = obs::SloRegistry::global();
+  {
+    obs::SloObjective burn{"load.hotkey.p99.burn", "load.hotkey.op", "p99",
+                           /*threshold_s=*/0.100, /*min_samples=*/16};
+    burn.burn_fast_window_s = 0.5;
+    burn.burn_slow_window_s = 1.5;
+    slos.declare(burn);
+  }
   const auto hotkey_op = [&](std::size_t, Rng& rng) {
     const std::size_t k = hot_zipf.sample(rng);
     if (rng.bernoulli(0.10)) {
@@ -165,6 +229,17 @@ int main(int argc, char** argv) {
   } else {
     fleet.run_closed_loop(ops_per_client, /*think_s=*/0.080, hot_lat,
                           hotkey_op, /*think_jitter_s=*/0.040);
+  }
+  // Closing scrape + per-site burn-rate verdicts, taken while every site's
+  // window ring still ends at the hotkey phase (the later phases run their
+  // own virtual timelines, so trailing-window math is only meaningful
+  // here). Printed with the end-of-run summary.
+  scrape(fleet.max_vnow() + 0.25);
+  std::map<std::string, obs::SloReport> burn_reports;
+  for (const std::string& site : aggregator.sites()) {
+    if (const obs::TelemetryWindows* win = aggregator.windows(site)) {
+      burn_reports[site] = slos.evaluate_burn(*win);
+    }
   }
 
   // ---- phase 2: ProxyStream fan-out ------------------------------------
@@ -200,6 +275,10 @@ int main(int argc, char** argv) {
   const double fan_start = sim::vnow();
   for (int c = 0; c < kFanConsumers; ++c) {
     proc::ProcessScope scope(*fan_consumers[c]);
+    const std::string consumer_site =
+        world.fabric().host(hosts[c % hosts.size()]).site;
+    const bool inject_here =
+        inject_s > 0.0 && (inject_site.empty() || consumer_site == inject_site);
     sim::vset(fan_start);
     int received = 0;
     while (auto item = sinks[c]->next_item()) {
@@ -211,8 +290,15 @@ int main(int argc, char** argv) {
       if (item->proxy.resolve().size() != kFanBytes) {
         throw Error("load_mixed: fanout payload mismatch");
       }
-      if (inject_s > 0.0) sim::vadvance(inject_s);
-      fan_lat.observe(resolve.elapsed());
+      if (inject_here) sim::vadvance(inject_s);
+      const double elapsed_s = resolve.elapsed();
+      fan_lat.observe(elapsed_s);
+      // Scoped tee: the consumer's site registry carries the fanout series
+      // too, so the federated exports attribute resolves to their site.
+      obs::MetricsRegistry& ambient = obs::MetricsRegistry::ambient();
+      if (&ambient != &obs::MetricsRegistry::global()) {
+        ambient.histogram("load.fanout.resolve").observe(elapsed_s);
+      }
       ++received;
     }
     if (received != kFanEvents) {
@@ -237,7 +323,8 @@ int main(int argc, char** argv) {
   ps::bench::ClientFleet burst_fleet(
       world, "burst", hosts,
       static_cast<std::size_t>(std::max(clients / 8, 8)), args.seed + 1);
-  burst_fleet.set_injected_latency(inject_s);
+  burst_fleet.set_injected_latency(inject_s, inject_site);
+  burst_fleet.set_site_series("load.burst.batch");
   obs::Histogram& burst_lat = ps::bench::series("load.burst.batch");
   const std::size_t total_bursts = burst_fleet.size() * 2;
   // Aggregate arrival rate sized under the kv server's batch service
@@ -273,7 +360,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(std::clamp(clients / 16, 4, 32)),
       args.seed + 2);
   faas_fleet.stagger(0.250);
-  faas_fleet.set_injected_latency(inject_s);
+  faas_fleet.set_injected_latency(inject_s, inject_site);
+  faas_fleet.set_site_series("load.faas.rtt");
   obs::Histogram& faas_lat = ps::bench::series("load.faas.rtt");
   faas_fleet.run_closed_loop(
       /*ops_per_client=*/2, /*think_s=*/3.0, faas_lat,
@@ -299,7 +387,6 @@ int main(int argc, char** argv) {
   // comparison already catches any drift.
   // The tails are dominated by the WAN-distant client sites (Chameleon /
   // Midway -> Theta login), so the promises are absolute cross-site ones.
-  obs::SloRegistry& slos = obs::SloRegistry::global();
   slos.declare({"load.hotkey.p99", "load.hotkey.op", "p99",
                 /*threshold_s=*/0.100, /*min_samples=*/64});
   slos.declare({"load.hotkey.p999", "load.hotkey.op", "p999",
@@ -334,6 +421,57 @@ int main(int argc, char** argv) {
   std::printf("\n%s", report.table().c_str());
   std::printf("slo: %zu objectives, %zu breach(es)\n", report.verdicts.size(),
               report.breaches());
+
+  // ---- per-site telemetry summary ---------------------------------------
+  // One last federated scrape so the cumulative per-site registries cover
+  // every phase, then the site table plus the conservation self-check: the
+  // scoped per-site hotkey ops must sum to the global series exactly.
+  scrape(std::max({fleet.max_vnow(), burst_fleet.max_vnow(),
+                   faas_fleet.max_vnow()}) +
+         0.25);
+  const auto site_registries = aggregator.registries_by_site();
+  std::printf("\nper-site (federated over %zu agents):\n",
+              aggregator.agents());
+  ps::bench::print_row({"site", "hotkey ops", "hotkey p99", "gets", "puts"},
+                       18);
+  std::uint64_t site_hotkey_ops = 0;
+  for (const auto& [site, registry] : site_registries) {
+    std::uint64_t ops = 0;
+    double p99 = 0.0;
+    const auto it = registry.histograms.find("load.hotkey.op");
+    if (it != registry.histograms.end()) {
+      ops = it->second.count;
+      p99 = it->second.percentile(99.0);
+    }
+    site_hotkey_ops += ops;
+    const auto counter_of = [&registry](const char* name) {
+      const auto c = registry.counters.find(name);
+      return c == registry.counters.end() ? std::uint64_t{0} : c->second;
+    };
+    ps::bench::print_row(
+        {site, std::to_string(ops), ps::bench::fmt_seconds(p99),
+         std::to_string(counter_of("store.gets")),
+         std::to_string(counter_of("store.puts"))},
+        18);
+  }
+  std::printf("telemetry: per-site hotkey ops %llu / global %llu (%s)\n",
+              static_cast<unsigned long long>(site_hotkey_ops),
+              static_cast<unsigned long long>(hot_lat.count()),
+              site_hotkey_ops == hot_lat.count() ? "exact" : "MISMATCH");
+  if (site_hotkey_ops != hot_lat.count()) {
+    throw Error("load_mixed: per-site op counts do not sum to the global "
+                "series");
+  }
+  for (const auto& [site, burn] : burn_reports) {
+    for (const obs::SloVerdict& v : burn.verdicts) {
+      std::printf("burn-rate [site=%s] %s %s fast=%s slow=%s samples=%llu\n",
+                  site.c_str(), v.objective.name.c_str(),
+                  obs::to_string(v.status).c_str(),
+                  ps::bench::fmt_seconds(v.observed_s).c_str(),
+                  ps::bench::fmt_seconds(v.slow_observed_s).c_str(),
+                  static_cast<unsigned long long>(v.samples));
+    }
+  }
 
   ps::bench::finish(args);
   return 0;

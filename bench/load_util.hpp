@@ -33,6 +33,7 @@
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "net/fabric.hpp"
 #include "proc/process.hpp"
 #include "proc/world.hpp"
 #include "sim/vtime.hpp"
@@ -89,9 +90,10 @@ class ClientFleet {
     if (hosts.empty()) throw Error("ClientFleet: no hosts");
     clients_.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
+      const std::string& host = hosts[i % hosts.size()];
       Client client{
-          &world.spawn(prefix + "-" + std::to_string(i),
-                       hosts[i % hosts.size()]),
+          &world.spawn(prefix + "-" + std::to_string(i), host),
+          world.fabric().host(host).site,
           /*vnow=*/0.0,
           // Distinct, seed-derived stream per client (splitmix-style odd
           // multiplier keeps streams decorrelated).
@@ -113,9 +115,37 @@ class ClientFleet {
 
   /// Virtual seconds injected inside every measured op window — the
   /// latency-regression hook the CI negative test uses to prove the SLO
-  /// gate trips (see PS_LOAD_INJECT_LATENCY_MS in load_mixed).
-  void set_injected_latency(double seconds) {
+  /// gate trips (see PS_LOAD_INJECT_LATENCY_MS in load_mixed). A non-empty
+  /// `site_filter` confines the injection to clients pinned to that site,
+  /// so the telemetry negative test can degrade one site and assert the
+  /// others stay green (PS_LOAD_INJECT_SITE).
+  void set_injected_latency(double seconds,
+                            const std::string& site_filter = "") {
     injected_latency_s_ = seconds;
+    injected_site_ = site_filter;
+  }
+
+  /// Tees every measured latency into per-site twin series: a global
+  /// "<name>@<site>" histogram (deterministic vtime series — the artifact
+  /// can carry per-site tails), and, under per-process metrics scoping,
+  /// the client's *ambient* registry under `name` itself (what the
+  /// per-site telemetry windows and burn-rate SLOs read). The sum of the
+  /// per-site twins equals the main series exactly, which is how the
+  /// telemetry self-checks prove site attribution lost nothing.
+  void set_site_series(const std::string& name) { site_series_ = name; }
+
+  /// Deterministic periodic hook on the fleet's *virtual* clock: fires
+  /// (from the driver thread, outside any process scope) each time the
+  /// fleet's max vnow first crosses a multiple of `interval_s`. The
+  /// telemetry harness scrapes from it, giving windowed snapshots at fixed
+  /// virtual cadence regardless of host speed.
+  void set_tick(double interval_s, std::function<void(double vnow)> tick) {
+    tick_interval_s_ = interval_s;
+    tick_ = std::move(tick);
+    next_tick_s_ = interval_s > 0.0
+                       ? (std::floor(max_vnow() / interval_s) + 1.0) *
+                             interval_s
+                       : 0.0;
   }
 
   /// Closed loop: `ops_per_client` rounds, all clients advancing one op
@@ -130,6 +160,7 @@ class ClientFleet {
         step(i, clients_[i].vnow, latency, op);
         clients_[i].vnow += think(i, think_s, think_jitter_s);
       }
+      fire_ticks();
     }
   }
 
@@ -148,6 +179,7 @@ class ClientFleet {
         step(i, clients_[i].vnow, latency, op);
         clients_[i].vnow += think(i, think_s, think_jitter_s);
       }
+      fire_ticks();
     }
   }
 
@@ -164,6 +196,7 @@ class ClientFleet {
       const std::size_t i = k % clients_.size();
       const double start = std::max(arrival, clients_[i].vnow);
       step(i, start, latency, op, /*measure_from=*/arrival);
+      fire_ticks();
     }
   }
 
@@ -178,9 +211,35 @@ class ClientFleet {
  private:
   struct Client {
     proc::Process* process;
+    std::string site;
     double vnow;
     Rng rng;
   };
+
+  double injected_for(const Client& client) const {
+    if (injected_latency_s_ <= 0.0) return 0.0;
+    if (!injected_site_.empty() && client.site != injected_site_) return 0.0;
+    return injected_latency_s_;
+  }
+
+  void fire_ticks() {
+    if (!tick_ || tick_interval_s_ <= 0.0) return;
+    const double now = max_vnow();
+    while (next_tick_s_ <= now) {
+      tick_(next_tick_s_);
+      next_tick_s_ += tick_interval_s_;
+    }
+  }
+
+  void observe_site_series(const Client& client, double seconds) {
+    if (site_series_.empty()) return;
+    obs::MetricsRegistry::global()
+        .histogram(site_series_ + "@" + client.site)
+        .observe(seconds);
+    obs::MetricsRegistry& ambient = obs::MetricsRegistry::ambient();
+    if (&ambient == &obs::MetricsRegistry::global()) return;
+    ambient.histogram(site_series_).observe(seconds);
+  }
 
   double think(std::size_t i, double think_s, double jitter_s) {
     if (jitter_s <= 0.0) return think_s;
@@ -205,11 +264,13 @@ class ClientFleet {
     sim::vset(start);
     const double from = measure_from < 0.0 ? start : measure_from;
     obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    const double injected = injected_for(client);
     if (!recorder.enabled()) {
       op(i, client.rng);
-      if (injected_latency_s_ > 0.0) sim::vadvance(injected_latency_s_);
+      if (injected > 0.0) sim::vadvance(injected);
       client.vnow = sim::vnow();
       latency.observe(client.vnow - from);
+      observe_site_series(client, client.vnow - from);
       return;
     }
     const obs::TraceContext root = obs::new_root_context();
@@ -234,9 +295,10 @@ class ClientFleet {
         recorder.record_span(std::move(wait));
       }
       op(i, client.rng);
-      if (injected_latency_s_ > 0.0) sim::vadvance(injected_latency_s_);
+      if (injected > 0.0) sim::vadvance(injected);
       client.vnow = sim::vnow();
       latency.observe(client.vnow - from);
+      observe_site_series(client, client.vnow - from);
     }
     // Close the root by hand: it must span [from, completion] — exactly the
     // window observe() measured — so attribution sums to the sample.
@@ -259,6 +321,11 @@ class ClientFleet {
   std::vector<Client> clients_;
   Rng arrivals_;
   double injected_latency_s_ = 0.0;
+  std::string injected_site_;
+  std::string site_series_;
+  double tick_interval_s_ = 0.0;
+  double next_tick_s_ = 0.0;
+  std::function<void(double)> tick_;
 };
 
 }  // namespace ps::bench

@@ -24,9 +24,9 @@ AsyncExecutor::AsyncExecutor(Options options)
       saturated_(obs::MetricsRegistry::global().counter(
           "async.executor.saturated")),
       depth_gauge_(obs::MetricsRegistry::global().gauge(
-          "async.executor.queue_depth")),
+          "async.executor.queue_depth", obs::GaugeAgg::kSum)),
       workers_gauge_(obs::MetricsRegistry::global().gauge(
-          "async.executor.workers")),
+          "async.executor.workers", obs::GaugeAgg::kSum)),
       queue_wait_wall_(obs::MetricsRegistry::global().histogram(
           "async.executor.queue_wait.wall")),
       service_wall_(obs::MetricsRegistry::global().histogram(

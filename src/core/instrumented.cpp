@@ -8,6 +8,38 @@
 
 namespace ps::core {
 
+namespace {
+
+/// Resolved metric handles for one recording. When the calling thread's
+/// ambient registry is the global one (scoping off — the common case) the
+/// construction-time handles are used untouched; under per-process scoping
+/// the same names are resolved in the ambient registry so the op lands in
+/// the simulated site doing the work.
+struct Handles {
+  obs::Counter* count;
+  obs::Histogram* vtime;
+  obs::Histogram* wall;
+};
+
+Handles resolve(obs::Counter& count, obs::Histogram& vtime,
+                obs::Histogram& wall, const std::string& base) {
+  obs::MetricsRegistry& ambient = obs::MetricsRegistry::ambient();
+  if (&ambient == &obs::MetricsRegistry::global()) {
+    return Handles{&count, &vtime, &wall};
+  }
+  return Handles{&ambient.counter(base), &ambient.histogram(base + ".vtime"),
+                 &ambient.histogram(base + ".wall")};
+}
+
+obs::Histogram& resolve_histogram(obs::Histogram& cached,
+                                  const std::string& name) {
+  obs::MetricsRegistry& ambient = obs::MetricsRegistry::ambient();
+  if (&ambient == &obs::MetricsRegistry::global()) return cached;
+  return ambient.histogram(name);
+}
+
+}  // namespace
+
 InstrumentedConnector::Op InstrumentedConnector::make_op(
     const std::string& type, const char* op) {
   auto& registry = obs::MetricsRegistry::global();
@@ -42,24 +74,30 @@ std::shared_ptr<Connector> InstrumentedConnector::wrap(
 Key InstrumentedConnector::put(BytesView data) {
   obs::SpanScope span(put_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put(data);
-  put_.count.inc();
-  obs::Timer timer(&put_.vtime, &put_.wall);
+  const Handles h = resolve(put_.count, put_.vtime, put_.wall,
+                            put_.span_name);
+  h.count->inc();
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->put(data);
 }
 
 Key InstrumentedConnector::put_hinted(BytesView data, const PutHints& hints) {
   obs::SpanScope span(put_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put_hinted(data, hints);
-  put_.count.inc();
-  obs::Timer timer(&put_.vtime, &put_.wall);
+  const Handles h = resolve(put_.count, put_.vtime, put_.wall,
+                            put_.span_name);
+  h.count->inc();
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->put_hinted(data, hints);
 }
 
 bool InstrumentedConnector::put_at(const Key& key, BytesView data) {
   obs::SpanScope span(put_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put_at(key, data);
-  put_.count.inc();
-  obs::Timer timer(&put_.vtime, &put_.wall);
+  const Handles h = resolve(put_.count, put_.vtime, put_.wall,
+                            put_.span_name);
+  h.count->inc();
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->put_at(key, data);
 }
 
@@ -69,17 +107,22 @@ std::vector<Key> InstrumentedConnector::put_batch(
     const std::vector<Bytes>& items) {
   obs::SpanScope span(put_batch_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->put_batch(items);
-  put_batch_.count.inc();
-  put_batch_items_.observe(static_cast<double>(items.size()));
-  obs::Timer timer(&put_batch_.vtime, &put_batch_.wall);
+  const Handles h = resolve(put_batch_.count, put_batch_.vtime, put_batch_.wall,
+                            put_batch_.span_name);
+  h.count->inc();
+  resolve_histogram(put_batch_items_, put_batch_.span_name + ".items")
+      .observe(static_cast<double>(items.size()));
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->put_batch(items);
 }
 
 std::optional<Bytes> InstrumentedConnector::get(const Key& key) {
   obs::SpanScope span(get_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->get(key);
-  get_.count.inc();
-  obs::Timer timer(&get_.vtime, &get_.wall);
+  const Handles h = resolve(get_.count, get_.vtime, get_.wall,
+                            get_.span_name);
+  h.count->inc();
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->get(key);
 }
 
@@ -87,20 +130,26 @@ std::vector<std::optional<Bytes>> InstrumentedConnector::get_batch(
     const std::vector<Key>& keys) {
   obs::SpanScope span(get_batch_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->get_batch(keys);
-  get_batch_.count.inc();
-  get_batch_items_.observe(static_cast<double>(keys.size()));
-  obs::Timer timer(&get_batch_.vtime, &get_batch_.wall);
+  const Handles h = resolve(get_batch_.count, get_batch_.vtime, get_batch_.wall,
+                            get_batch_.span_name);
+  h.count->inc();
+  resolve_histogram(get_batch_items_, get_batch_.span_name + ".items")
+      .observe(static_cast<double>(keys.size()));
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->get_batch(keys);
 }
 
 template <typename T>
 Future<T> InstrumentedConnector::record_async(const Op& op, Future<T> future) {
   if (!obs::enabled()) return future;
-  op.count.inc();
+  // Resolve at submit time: the completion may run on another thread (the
+  // async executor), whose ambient registry is not the submitter's site.
+  const Handles h = resolve(op.count, op.vtime, op.wall, op.span_name);
+  h.count->inc();
   const double submit_vtime = sim::vnow();
   const auto submit_wall = std::chrono::steady_clock::now();
-  obs::Histogram* vtime = &op.vtime;
-  obs::Histogram* wall = &op.wall;
+  obs::Histogram* vtime = h.vtime;
+  obs::Histogram* wall = h.wall;
   future.on_ready([future, submit_vtime, submit_wall, vtime, wall] {
     vtime->observe(future.done_vtime() - submit_vtime);
     wall->observe(std::chrono::duration<double>(
@@ -129,16 +178,20 @@ Future<Unit> InstrumentedConnector::evict_async(const Key& key) {
 bool InstrumentedConnector::exists(const Key& key) {
   obs::SpanScope span(exists_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->exists(key);
-  exists_.count.inc();
-  obs::Timer timer(&exists_.vtime, &exists_.wall);
+  const Handles h = resolve(exists_.count, exists_.vtime, exists_.wall,
+                            exists_.span_name);
+  h.count->inc();
+  obs::Timer timer(h.vtime, h.wall);
   return inner_->exists(key);
 }
 
 void InstrumentedConnector::evict(const Key& key) {
   obs::SpanScope span(evict_.span_name, {}, "wire-transfer");
   if (!obs::enabled()) return inner_->evict(key);
-  evict_.count.inc();
-  obs::Timer timer(&evict_.vtime, &evict_.wall);
+  const Handles h = resolve(evict_.count, evict_.vtime, evict_.wall,
+                            evict_.span_name);
+  h.count->inc();
+  obs::Timer timer(h.vtime, h.wall);
   inner_->evict(key);
 }
 

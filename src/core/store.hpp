@@ -95,6 +95,7 @@ class Store : public std::enable_shared_from_this<Store> {
     const Bytes data = serialize_value(value);
     metrics_bytes_put_ += data.size();
     ++metrics_puts_;
+    count_event("store.puts");
     return connector_->put(data);
   }
 
@@ -107,6 +108,7 @@ class Store : public std::enable_shared_from_this<Store> {
     const Bytes data = serialize_value(value);
     metrics_bytes_put_ += data.size();
     ++metrics_puts_;
+    count_event("store.puts");
     return connector_->put_hinted(data, hints);
   }
 
@@ -120,6 +122,7 @@ class Store : public std::enable_shared_from_this<Store> {
       blobs.push_back(serialize_value(value));
       metrics_bytes_put_ += blobs.back().size();
       ++metrics_puts_;
+      count_event("store.puts");
     }
     return connector_->put_batch(blobs);
   }
@@ -133,6 +136,7 @@ class Store : public std::enable_shared_from_this<Store> {
     for (const Bytes& blob : blobs) {
       metrics_bytes_put_ += blob.size();
       ++metrics_puts_;
+      count_event("store.puts");
     }
     return connector_->put_batch(blobs);
   }
@@ -152,6 +156,7 @@ class Store : public std::enable_shared_from_this<Store> {
   std::optional<T> get(const Key& key) {
     check_open();
     ++metrics_gets_;
+    count_event("store.gets");
     obs::Timer timer(&get_metrics().vtime, &get_metrics().wall);
     obs::TraceRecorder& tracer = obs::TraceRecorder::global();
     const bool tracing = tracer.enabled();
@@ -163,10 +168,12 @@ class Store : public std::enable_shared_from_this<Store> {
                            "cache-probe");
       if (auto cached = cache_.get<T>(cache_key)) {
         ++metrics_cache_hits_;
+        count_event("store.cache.hits");
         if (tracing) tracer.record(trace_subject(name_, key), "cache.hit");
         return *cached;
       }
     }
+    count_event("store.cache.misses");
     std::optional<Bytes> data = connector_->get(key);
     if (tracing) tracer.record(trace_subject(name_, key), "connector.get");
     if (!data) return std::nullopt;
@@ -201,9 +208,11 @@ class Store : public std::enable_shared_from_this<Store> {
   ps::core::Future<std::optional<T>> get_async(const Key& key) {
     check_open();
     ++metrics_gets_;
+    count_event("store.gets");
     const std::string cache_key = key.canonical();
     if (auto cached = cache_.get<T>(cache_key)) {
       ++metrics_cache_hits_;
+      count_event("store.cache.hits");
       return make_ready_future(std::optional<T>(*cached));
     }
     const InFlightKey in_flight_key{cache_key, std::type_index(typeid(T))};
@@ -212,6 +221,7 @@ class Store : public std::enable_shared_from_this<Store> {
       std::lock_guard lock(inflight_mu_);
       const auto it = inflight_.find(in_flight_key);
       if (it != inflight_.end()) {
+      count_event("store.cache.misses");
         return std::any_cast<ps::core::Future<std::optional<T>>>(it->second);
       }
       // A fetch may have finished between the unlocked cache probe above and
@@ -220,8 +230,10 @@ class Store : public std::enable_shared_from_this<Store> {
       // the exactly-one-deserialization-per-key guarantee airtight.
       if (auto cached = cache_.get<T>(cache_key)) {
         ++metrics_cache_hits_;
+        count_event("store.cache.hits");
         return make_ready_future(std::optional<T>(*cached));
       }
+      count_event("store.cache.misses");
       inflight_.emplace(in_flight_key, std::any(promise.future()));
     }
     ps::core::Future<std::optional<Bytes>> raw = connector_->get_async(key);
@@ -271,14 +283,17 @@ class Store : public std::enable_shared_from_this<Store> {
     std::unordered_map<std::string, std::size_t> first_miss;
     for (std::size_t i = 0; i < keys.size(); ++i) {
       ++metrics_gets_;
+      count_event("store.gets");
       const std::string cache_key = keys[i].canonical();
       if (auto cached = cache_.get<T>(cache_key)) {
         ++metrics_cache_hits_;
+        count_event("store.cache.hits");
         out[i] = *cached;
         continue;
       }
       if (const auto dup = first_miss.find(cache_key);
           dup != first_miss.end()) {
+          count_event("store.cache.misses");
         aliases.emplace_back(i, dup->second);
         continue;
       }
@@ -286,6 +301,7 @@ class Store : public std::enable_shared_from_this<Store> {
       std::lock_guard lock(inflight_mu_);
       if (const auto it = inflight_.find(in_flight_key);
           it != inflight_.end()) {
+          count_event("store.cache.misses");
         joined.emplace_back(
             i, std::any_cast<ps::core::Future<std::optional<T>>>(it->second));
         continue;
@@ -293,9 +309,11 @@ class Store : public std::enable_shared_from_this<Store> {
       // Same completed-between-probe-and-lock re-check as get_async.
       if (auto cached = cache_.get<T>(cache_key)) {
         ++metrics_cache_hits_;
+        count_event("store.cache.hits");
         out[i] = *cached;
         continue;
       }
+      count_event("store.cache.misses");
       Miss miss{i, keys[i], cache_key, {}};
       inflight_.emplace(in_flight_key, std::any(miss.promise.future()));
       first_miss.emplace(cache_key, misses.size());
@@ -414,7 +432,7 @@ class Store : public std::enable_shared_from_this<Store> {
   template <typename T>
   Proxy<T> proxy_from_key(const Key& key, bool evict = false) {
     check_open();
-    obs::MetricsRegistry::global().counter("store.proxies").inc();
+    obs::MetricsRegistry::ambient().counter("store.proxies").inc();
     obs::SpanScope span("store.proxy", trace_subject(name_, key));
     obs::TraceRecorder& tracer = obs::TraceRecorder::global();
     if (tracer.enabled()) {
@@ -460,6 +478,7 @@ class Store : public std::enable_shared_from_this<Store> {
     const Bytes data = serialize_value(value);
     metrics_bytes_put_ += data.size();
     ++metrics_puts_;
+    count_event("store.puts");
     if (!connector_->put_at(key, data)) {
       throw ConnectorError("Store '" + name_ +
                            "': connector does not support addressed writes");
@@ -548,22 +567,28 @@ class Store : public std::enable_shared_from_this<Store> {
     inflight_.erase(key);
   }
 
-  /// Process-wide op histograms (shared across stores), resolved once.
+  /// Op histograms shared across stores, resolved in the ambient registry
+  /// per call so per-process metrics scoping attributes them to the
+  /// simulated site doing the work (the global registry when scoping is
+  /// off — the historical behavior).
   struct OpHistograms {
     obs::Histogram& vtime;
     obs::Histogram& wall;
   };
-  static OpHistograms& put_metrics() {
-    static OpHistograms h{
-        obs::MetricsRegistry::global().histogram("store.put.vtime"),
-        obs::MetricsRegistry::global().histogram("store.put.wall")};
-    return h;
+  static OpHistograms put_metrics() {
+    obs::MetricsRegistry& ambient = obs::MetricsRegistry::ambient();
+    return OpHistograms{ambient.histogram("store.put.vtime"),
+                        ambient.histogram("store.put.wall")};
   }
-  static OpHistograms& get_metrics() {
-    static OpHistograms h{
-        obs::MetricsRegistry::global().histogram("store.get.vtime"),
-        obs::MetricsRegistry::global().histogram("store.get.wall")};
-    return h;
+  static OpHistograms get_metrics() {
+    obs::MetricsRegistry& ambient = obs::MetricsRegistry::ambient();
+    return OpHistograms{ambient.histogram("store.get.vtime"),
+                        ambient.histogram("store.get.wall")};
+  }
+  /// Ambient-registry event counter: the telemetry plane's view of store
+  /// activity (the per-store atomics below feed Store::metrics()).
+  static void count_event(const char* name) {
+    obs::MetricsRegistry::ambient().counter(name).inc();
   }
 
   std::string name_;

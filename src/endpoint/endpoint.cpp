@@ -24,15 +24,16 @@ struct EndpointMetrics {
   obs::Histogram& handle_wall;
   obs::Histogram& forward_vtime;
 
-  static EndpointMetrics& get() {
-    auto& r = obs::MetricsRegistry::global();
-    static EndpointMetrics m{r.counter("endpoint.requests"),
-                             r.counter("endpoint.forwards"),
-                             r.counter("endpoint.handshakes"),
-                             r.histogram("endpoint.handle.vtime"),
-                             r.histogram("endpoint.handle.wall"),
-                             r.histogram("endpoint.forward.vtime")};
-    return m;
+  /// Resolved in the ambient registry per call so the endpoint's metrics
+  /// land in the site handling the request under per-process scoping.
+  static EndpointMetrics get() {
+    auto& r = obs::MetricsRegistry::ambient();
+    return EndpointMetrics{r.counter("endpoint.requests"),
+                           r.counter("endpoint.forwards"),
+                           r.counter("endpoint.handshakes"),
+                           r.histogram("endpoint.handle.vtime"),
+                           r.histogram("endpoint.handle.wall"),
+                           r.histogram("endpoint.forward.vtime")};
   }
 };
 
@@ -183,7 +184,7 @@ EndpointResponse Endpoint::handle(const EndpointRequest& request) {
   obs::SpanScope span(local ? "endpoint.handle" : "endpoint.forward",
                       request.op, "wire-transfer");
   span.set_locality(span_locality());
-  EndpointMetrics& metrics = EndpointMetrics::get();
+  EndpointMetrics metrics = EndpointMetrics::get();
   if (obs::enabled()) metrics.requests.inc();
   obs::Timer timer(&metrics.handle_vtime, &metrics.handle_wall);
   if (local) {

@@ -63,10 +63,10 @@ double CloudService::ingest(double arrival, std::size_t bytes) {
 
 Uuid CloudService::submit(const Uuid& endpoint, const std::string& function,
                           Bytes payload) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Histogram& submit_vtime = registry.histogram("faas.submit.vtime");
-  static obs::Histogram& submit_wall = registry.histogram("faas.submit.wall");
-  static obs::Counter& rejections = registry.counter("faas.payload_rejections");
+  auto& registry = obs::MetricsRegistry::ambient();
+  obs::Histogram& submit_vtime = registry.histogram("faas.submit.vtime");
+  obs::Histogram& submit_wall = registry.histogram("faas.submit.wall");
+  obs::Counter& rejections = registry.counter("faas.payload_rejections");
   obs::Timer timer(&submit_vtime, &submit_wall);
   if (payload.size() > options_.max_payload_bytes) {
     if (obs::enabled()) rejections.inc();
@@ -193,12 +193,11 @@ void ComputeEndpoint::worker_loop() {
                                                 process_.host(),
                                                 task->payload.size());
     sim::vset(std::max(arrival, last_done));
-    auto& registry = obs::MetricsRegistry::global();
-    static obs::Histogram& exec_vtime =
-        registry.histogram("faas.task.exec.vtime");
-    static obs::Histogram& exec_wall = registry.histogram("faas.task.exec.wall");
-    static obs::Counter& executed = registry.counter("faas.tasks.executed");
-    static obs::Counter& errored = registry.counter("faas.tasks.errored");
+    auto& registry = obs::MetricsRegistry::ambient();
+    obs::Histogram& exec_vtime = registry.histogram("faas.task.exec.vtime");
+    obs::Histogram& exec_wall = registry.histogram("faas.task.exec.wall");
+    obs::Counter& executed = registry.counter("faas.tasks.executed");
+    obs::Counter& errored = registry.counter("faas.tasks.errored");
     Bytes output;
     std::string error;
     {

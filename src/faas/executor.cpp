@@ -2,24 +2,20 @@
 
 namespace ps::faas::detail {
 
-// Resolved once; the registry owns the metrics for the process lifetime.
+// Resolved in the ambient registry per call: under per-process metrics
+// scoping the submitting site owns these series; without scoping ambient()
+// is the global registry and behavior is unchanged.
 
 obs::Counter& submits_counter() {
-  static obs::Counter& counter =
-      obs::MetricsRegistry::global().counter("faas.submits");
-  return counter;
+  return obs::MetricsRegistry::ambient().counter("faas.submits");
 }
 
 obs::Counter& failures_counter() {
-  static obs::Counter& counter =
-      obs::MetricsRegistry::global().counter("faas.task_failures");
-  return counter;
+  return obs::MetricsRegistry::ambient().counter("faas.task_failures");
 }
 
 obs::Histogram& rtt_vtime_histogram() {
-  static obs::Histogram& histogram =
-      obs::MetricsRegistry::global().histogram("faas.rtt.vtime");
-  return histogram;
+  return obs::MetricsRegistry::ambient().histogram("faas.rtt.vtime");
 }
 
 }  // namespace ps::faas::detail

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "proc/process.hpp"
 #include "sim/vtime.hpp"
 
@@ -25,8 +26,17 @@ double KvClient::round_trip(std::size_t request_bytes,
   // ...queues behind other requests on the single-threaded server...
   const double payload = static_cast<double>(
       std::max(request_bytes, response_bytes));
-  const double done = server_->queue().schedule(
-      arrival, server_->service_time(static_cast<std::size_t>(payload)));
+  const double service = server_->service_time(
+      static_cast<std::size_t>(payload));
+  const double done = server_->queue().schedule(arrival, service);
+  // Time spent behind other requests — the client-observed server backlog.
+  // Gauge (not histogram): psctl top reads it as a point-in-time depth
+  // signal; kMax makes the cross-site aggregate the worst backlog.
+  if (obs::enabled()) {
+    obs::MetricsRegistry::ambient()
+        .gauge("kv.client.queue_wait_s", obs::GaugeAgg::kMax)
+        .set(std::max(0.0, done - arrival - service));
+  }
   // ...and the response travels back.
   sim::vset(done + world.fabric().transfer_time(server_host, client_host,
                                                 response_bytes));

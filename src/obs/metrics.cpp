@@ -79,6 +79,28 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
+std::string to_string(GaugeAgg agg) {
+  switch (agg) {
+    case GaugeAgg::kLast:
+      return "last";
+    case GaugeAgg::kSum:
+      return "sum";
+    case GaugeAgg::kMax:
+      return "max";
+  }
+  return "last";
+}
+
+namespace {
+thread_local MetricsRegistry* t_ambient_registry = nullptr;
+}  // namespace
+
+MetricsRegistry* set_ambient_registry(MetricsRegistry* registry) {
+  MetricsRegistry* previous = t_ambient_registry;
+  t_ambient_registry = registry;
+  return previous;
+}
+
 // ------------------------------------------------------------ histogram ----
 
 const std::array<double, Histogram::kBuckets>& Histogram::bounds() {
@@ -190,6 +212,28 @@ std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets()
   return out;
 }
 
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::reservoir_values() const {
+  // Exact when the registry is quiescent (the deterministic benches). A
+  // scrape racing a writer may see a claimed-but-unwritten slot as 0.0 —
+  // never a torn value, and the windowing layer clamps rather than trusts
+  // cross-snapshot invariants, so racing scrapes degrade gracefully.
+  const std::uint64_t n = std::min<std::uint64_t>(count(), kReservoir);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(reservoir_[i].load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
 std::vector<std::pair<double, Exemplar>> Histogram::exemplars() const {
   std::vector<std::pair<double, Exemplar>> out;
   std::lock_guard lock(exemplar_mu_);
@@ -232,6 +276,11 @@ MetricsRegistry& MetricsRegistry::global() {
   return *registry;
 }
 
+MetricsRegistry& MetricsRegistry::ambient() {
+  MetricsRegistry* scoped = t_ambient_registry;
+  return scoped != nullptr ? *scoped : global();
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard lock(mu_);
   auto& slot = counters_[name];
@@ -244,6 +293,12 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, GaugeAgg agg) {
+  Gauge& g = gauge(name);
+  g.set_agg(agg);
+  return g;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
@@ -264,6 +319,16 @@ std::map<std::string, double> MetricsRegistry::gauges() const {
   std::lock_guard lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, std::pair<double, GaugeAgg>>
+MetricsRegistry::gauges_with_agg() const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::pair<double, GaugeAgg>> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = {gauge->value(), gauge->agg()};
+  }
   return out;
 }
 

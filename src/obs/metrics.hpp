@@ -23,6 +23,8 @@
 
 namespace ps::obs {
 
+struct RegistrySnapshot;  // obs/telemetry.hpp
+
 /// Global instrumentation switch. Hot-path helpers (InstrumentedConnector,
 /// Timer) check this once per operation; disabling reduces instrumentation to
 /// a single relaxed load.
@@ -44,6 +46,20 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// How a point-in-time gauge combines across processes/sites when the
+/// telemetry plane federates registries (obs/telemetry.hpp). Counters always
+/// sum and histograms always merge, but a queue depth summed across windows
+/// or a utilization summed across sites is a lie — so every gauge carries an
+/// aggregation hint that the merger and the Prometheus export honor.
+enum class GaugeAgg : std::uint8_t {
+  kLast = 0,  ///< most recent writer wins (default; e.g. phase markers)
+  kSum = 1,   ///< additive across processes (e.g. queued work per executor)
+  kMax = 2,   ///< worst-case wins (e.g. peak backlog, high-water marks)
+};
+
+/// "last" | "sum" | "max".
+std::string to_string(GaugeAgg agg);
+
 /// Last-writer-wins instantaneous value (queue depths, bytes held).
 class Gauge {
  public:
@@ -57,8 +73,16 @@ class Gauge {
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
+  GaugeAgg agg() const {
+    return static_cast<GaugeAgg>(agg_.load(std::memory_order_relaxed));
+  }
+  void set_agg(GaugeAgg agg) {
+    agg_.store(static_cast<std::uint8_t>(agg), std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<std::uint8_t> agg_{0};
 };
 
 /// One tail witness: the largest value observed in a bucket, linked to the
@@ -133,6 +157,27 @@ class Histogram {
   /// (upper_bound, count) for buckets with at least one sample.
   std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
 
+  /// All kBuckets per-bucket counts (including zeros), index-aligned with
+  /// bounds() — the raw material HistogramSnapshot captures.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// The retained raw-sample prefix: min(count(), kReservoir) values in
+  /// observation order. Exact while the series fits the reservoir.
+  std::vector<double> reservoir_values() const;
+
+  /// Raw sum in nanoseconds (the unit the atomics accumulate in). Snapshot
+  /// deltas subtract in this integer domain so windows recompose the
+  /// whole-run sum without floating-point drift.
+  std::uint64_t sum_ns() const {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min_ns() const {
+    return min_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+
   /// (bucket upper bound, exemplar) for buckets holding a valid exemplar.
   std::vector<std::pair<double, Exemplar>> exemplars() const;
   /// The largest-valued exemplar across all buckets (invalid when none —
@@ -164,13 +209,25 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& global();
 
+  /// The registry the calling thread should record into. Defaults to
+  /// global(); proc::ProcessScope installs a process-owned registry here
+  /// when its world has per-process metrics scoping enabled, so substrate
+  /// instrumentation (connectors, stores, stream, faas) lands in the
+  /// simulated site doing the work instead of one process-wide blob.
+  static MetricsRegistry& ambient();
+
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  /// Registers (or looks up) a gauge and pins its aggregation hint — how
+  /// the telemetry merger combines it across processes/sites.
+  Gauge& gauge(const std::string& name, GaugeAgg agg);
   Histogram& histogram(const std::string& name);
 
   /// Snapshots for export and tests.
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, double> gauges() const;
+  /// Gauge values together with their aggregation hints.
+  std::map<std::string, std::pair<double, GaugeAgg>> gauges_with_agg() const;
   std::vector<std::string> histogram_names() const;
   const Histogram* find_histogram(const std::string& name) const;
 
@@ -188,11 +245,22 @@ class MetricsRegistry {
   /// Zeroes every registered metric (names and references survive).
   void reset();
 
+  /// Deep value copy of every metric at one instant, stamped with the
+  /// scraper's virtual time. Defined in obs/telemetry.cpp (which owns the
+  /// snapshot data model).
+  RegistrySnapshot take_snapshot(double vtime_s) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Installs `registry` as the calling thread's ambient registry (nullptr
+/// restores the global default) and returns the previous override — the
+/// save/restore pair proc::ProcessScope uses. Plain thread_local swap;
+/// callers own the registry's lifetime.
+MetricsRegistry* set_ambient_registry(MetricsRegistry* registry);
 
 }  // namespace ps::obs

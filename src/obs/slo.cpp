@@ -6,6 +6,7 @@
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ps::obs {
 
@@ -263,6 +264,51 @@ SloReport SloRegistry::evaluate(const MetricsRegistry& registry) const {
 
 SloReport SloRegistry::evaluate() const {
   return evaluate(MetricsRegistry::global());
+}
+
+SloReport SloRegistry::evaluate_burn(const TelemetryWindows& windows) const {
+  SloReport report;
+  for (const SloObjective& objective : objectives()) {
+    if (objective.burn_fast_window_s <= 0.0 ||
+        objective.burn_slow_window_s <= 0.0) {
+      continue;  // whole-run objective; evaluate() owns it
+    }
+    const RegistrySnapshot fast =
+        windows.merged_last(objective.burn_fast_window_s);
+    const RegistrySnapshot slow =
+        windows.merged_last(objective.burn_slow_window_s);
+    SloVerdict verdict;
+    verdict.objective = objective;
+    std::uint64_t slow_samples = 0;
+    if (const auto it = fast.histograms.find(objective.metric);
+        it != fast.histograms.end()) {
+      verdict.samples = it->second.count;
+      verdict.observed_s =
+          it->second.percentile(percentile_rank(objective.percentile));
+    }
+    if (const auto it = slow.histograms.find(objective.metric);
+        it != slow.histograms.end()) {
+      slow_samples = it->second.count;
+      verdict.slow_observed_s =
+          it->second.percentile(percentile_rank(objective.percentile));
+    }
+    if (verdict.samples < objective.min_samples ||
+        slow_samples < objective.min_samples) {
+      verdict.status = SloStatus::kInsufficientData;
+    } else if (verdict.observed_s > objective.threshold_s &&
+               verdict.slow_observed_s > objective.threshold_s) {
+      verdict.status = SloStatus::kBreach;
+    } else {
+      verdict.status = SloStatus::kPass;
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  for (const SloVerdict& v : report.verdicts) {
+    if (v.status != SloStatus::kBreach) continue;
+    FlightRecorder::global().snapshot("slo-burn-breach: " + v.objective.name);
+    break;
+  }
+  return report;
 }
 
 }  // namespace ps::obs

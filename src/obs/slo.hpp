@@ -28,6 +28,7 @@
 namespace ps::obs {
 
 class MetricsRegistry;
+class TelemetryWindows;
 
 /// The quantiles an objective may bound. percentile_value() maps them onto
 /// Histogram::quantile().
@@ -47,6 +48,16 @@ struct SloObjective {
   /// Verdicts are "insufficient_data" until the histogram holds at least
   /// this many samples; a tail bound over three observations is noise.
   std::uint64_t min_samples = 1;
+  /// Multi-window burn-rate evaluation (evaluate_burn): the objective is in
+  /// breach only when the observed quantile exceeds threshold_s over BOTH
+  /// the trailing fast window and the trailing slow window — the classic
+  /// fast-window/slow-window pairing that makes alerts fire quickly on a
+  /// real regression while a single noisy window cannot page. Both zero
+  /// (the default) means the objective is whole-run only; evaluate_burn
+  /// skips it. Appended last so positional aggregate initialization of the
+  /// original five fields stays valid.
+  double burn_fast_window_s = 0.0;
+  double burn_slow_window_s = 0.0;
 };
 
 enum class SloStatus { kPass, kBreach, kInsufficientData };
@@ -57,10 +68,14 @@ std::string to_string(SloStatus status);
 struct SloVerdict {
   SloObjective objective;
   SloStatus status = SloStatus::kInsufficientData;
-  /// The quantile actually observed (0 when the metric is absent).
+  /// The quantile actually observed (0 when the metric is absent). For
+  /// burn-rate verdicts this is the fast-window quantile.
   double observed_s = 0.0;
-  /// Samples in the histogram at evaluation time.
+  /// Samples in the histogram at evaluation time (fast window for
+  /// burn-rate verdicts).
   std::uint64_t samples = 0;
+  /// The slow-window quantile (burn-rate verdicts only; 0 otherwise).
+  double slow_observed_s = 0.0;
 };
 
 struct SloReport {
@@ -110,6 +125,19 @@ class SloRegistry {
   /// objective, in declaration order.
   SloReport evaluate(const MetricsRegistry& registry) const;
   SloReport evaluate() const;
+
+  /// Multi-window burn-rate evaluation over windowed telemetry. For every
+  /// objective with burn windows configured, reads the merged trailing
+  /// fast and slow windows out of `windows` and reports:
+  ///
+  ///   breach             BOTH window quantiles exceed threshold_s
+  ///   insufficient_data  either window holds fewer than min_samples
+  ///   pass               otherwise
+  ///
+  /// Objectives without burn windows are skipped (they remain whole-run
+  /// objectives for evaluate()). A breach freezes the flight recorder,
+  /// same as evaluate().
+  SloReport evaluate_burn(const TelemetryWindows& windows) const;
 
  private:
   mutable std::mutex mu_;

@@ -2,6 +2,7 @@
 
 #include "net/fabric.hpp"
 #include "obs/context.hpp"
+#include "obs/metrics.hpp"
 #include "proc/world.hpp"
 
 namespace ps::proc {
@@ -30,6 +31,19 @@ thread_local Process* t_current = nullptr;
 Process::Process(std::string name, std::string host, World* world)
     : name_(std::move(name)), host_(std::move(host)), world_(world) {}
 
+Process::~Process() = default;
+
+obs::MetricsRegistry& Process::metrics() {
+  std::lock_guard lock(mu_);
+  if (!metrics_) metrics_ = std::make_unique<obs::MetricsRegistry>();
+  return *metrics_;
+}
+
+obs::MetricsRegistry* Process::try_metrics() const {
+  std::lock_guard lock(mu_);
+  return metrics_.get();
+}
+
 Process& current_process() {
   if (t_current == nullptr) {
     t_current = &World::default_world().process("main");
@@ -37,10 +51,16 @@ Process& current_process() {
   return *t_current;
 }
 
-ProcessScope::ProcessScope(Process& process) : previous_(t_current) {
+ProcessScope::ProcessScope(Process& process)
+    : previous_(t_current),
+      previous_ambient_(obs::set_ambient_registry(
+          process.world().metrics_scoping() ? &process.metrics() : nullptr)) {
   t_current = &process;
 }
 
-ProcessScope::~ProcessScope() { t_current = previous_; }
+ProcessScope::~ProcessScope() {
+  obs::set_ambient_registry(previous_ambient_);
+  t_current = previous_;
+}
 
 }  // namespace ps::proc

@@ -15,6 +15,10 @@
 #include <typeindex>
 #include <unordered_map>
 
+namespace ps::obs {
+class MetricsRegistry;
+}  // namespace ps::obs
+
 namespace ps::proc {
 
 class World;
@@ -22,6 +26,7 @@ class World;
 class Process {
  public:
   Process(std::string name, std::string host, World* world);
+  ~Process();
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -30,6 +35,15 @@ class Process {
   /// Fabric host this process runs on.
   const std::string& host() const { return host_; }
   World& world() const { return *world_; }
+
+  /// The process-owned metrics registry, created on first use. ProcessScope
+  /// installs it as the thread's ambient registry when the world has
+  /// per-process metrics scoping enabled, so substrate instrumentation lands
+  /// here instead of the process-global registry.
+  obs::MetricsRegistry& metrics();
+  /// The registry if it was ever created, else nullptr (telemetry agents use
+  /// this to skip processes that never recorded anything).
+  obs::MetricsRegistry* try_metrics() const;
 
   /// Returns the process-local singleton of type T, default-constructing it
   /// on first use. T must be default-constructible. This is how per-process
@@ -49,15 +63,20 @@ class Process {
   std::string name_;
   std::string host_;
   World* world_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<std::type_index, std::shared_ptr<void>> slots_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
 };
 
 /// The process the calling thread is currently executing in. Never null:
 /// threads outside any scope run in the default world's "main" process.
 Process& current_process();
 
-/// RAII guard entering `process` on the calling thread. Nests.
+/// RAII guard entering `process` on the calling thread. Nests. When the
+/// process's world has metrics scoping enabled, also installs the process's
+/// own MetricsRegistry as the thread's ambient registry for the duration
+/// (restored on exit), so metrics recorded inside the scope land in the
+/// simulated site doing the work.
 class ProcessScope {
  public:
   explicit ProcessScope(Process& process);
@@ -68,6 +87,7 @@ class ProcessScope {
 
  private:
   Process* previous_;
+  obs::MetricsRegistry* previous_ambient_;
 };
 
 }  // namespace ps::proc

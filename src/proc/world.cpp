@@ -28,6 +28,14 @@ Process& World::spawn(const std::string& name, const std::string& host) {
   return *processes_.back();
 }
 
+std::vector<Process*> World::processes() const {
+  std::lock_guard lock(mu_);
+  std::vector<Process*> out;
+  out.reserve(processes_.size());
+  for (const auto& p : processes_) out.push_back(p.get());
+  return out;
+}
+
 Process& World::process(const std::string& name) {
   std::lock_guard lock(mu_);
   for (const auto& p : processes_) {

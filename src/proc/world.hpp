@@ -7,6 +7,7 @@
 // explicit scope.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +42,23 @@ class World {
   /// Looks up a previously spawned process by name.
   Process& process(const std::string& name);
 
+  /// Snapshot of every spawned process (pointers stay valid for the world's
+  /// lifetime — processes are never destroyed before the world).
+  std::vector<Process*> processes() const;
+
+  /// Per-process metrics scoping (off by default). When on, ProcessScope
+  /// routes obs::MetricsRegistry::ambient() to the entered process's own
+  /// registry, so the telemetry plane can attribute metrics to the simulated
+  /// site that produced them. Off, every process records into the global
+  /// registry — the historical behavior every existing bench baseline
+  /// assumes.
+  void set_metrics_scoping(bool on) {
+    metrics_scoping_.store(on, std::memory_order_relaxed);
+  }
+  bool metrics_scoping() const {
+    return metrics_scoping_.load(std::memory_order_relaxed);
+  }
+
   /// The default world used by threads that never entered a scope.
   static World& default_world();
 
@@ -48,8 +66,9 @@ class World {
   net::Fabric fabric_;
   ServiceDirectory services_;
   sim::Scheduler scheduler_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::atomic<bool> metrics_scoping_{false};
 };
 
 }  // namespace ps::proc

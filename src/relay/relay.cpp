@@ -56,9 +56,7 @@ void RelayServer::forward(RelayMessage message) {
     ++forwarded_;
   }
   if (obs::enabled()) {
-    static obs::Counter& forwarded =
-        obs::MetricsRegistry::global().counter("relay.forwarded");
-    forwarded.inc();
+    obs::MetricsRegistry::ambient().counter("relay.forwarded").inc();
   }
   // The relay is its own actor: record the forward under the relay host's
   // locality, not the calling endpoint's process.

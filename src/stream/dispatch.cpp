@@ -20,7 +20,7 @@ void StreamDispatcher::submit(Bytes event_wire) {
   const Event event = serde::from_bytes<Event>(event_wire);
   obs::ContextScope adopt(event.trace);
   obs::SpanScope span("stream.dispatch", topic_, "dispatch");
-  obs::MetricsRegistry::global().counter("stream.dispatch." + topic_).inc();
+  obs::MetricsRegistry::ambient().counter("stream.dispatch." + topic_).inc();
   futures_.push_back(executor_.submit(function_, std::move(event_wire)));
   ++dispatched_;
 }

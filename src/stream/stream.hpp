@@ -60,15 +60,7 @@ class StreamProducer {
       : store_(std::move(store)),
         broker_(std::move(broker)),
         topic_(std::move(topic)),
-        options_(options),
-        publish_counter_(obs::MetricsRegistry::global().counter(
-            "stream.publish." + topic_)),
-        delivered_counter_(obs::MetricsRegistry::global().counter(
-            "stream.delivered." + topic_)),
-        batch_items_(obs::MetricsRegistry::global().histogram(
-            "stream.batch.items")),
-        batch_bytes_(obs::MetricsRegistry::global().histogram(
-            "stream.batch.bytes")) {}
+        options_(options) {}
 
   ~StreamProducer() {
     try {
@@ -101,11 +93,15 @@ class StreamProducer {
   std::size_t flush() {
     if (pending_.empty()) return 0;
     obs::SpanScope flush_span("stream.flush", topic_);
-    obs::Timer timer(
-        &obs::MetricsRegistry::global().histogram("stream.flush.vtime"),
-        &obs::MetricsRegistry::global().histogram("stream.flush.wall"));
-    batch_items_.observe(static_cast<double>(pending_.size()));
-    batch_bytes_.observe(static_cast<double>(pending_bytes_));
+    // Resolved in the ambient registry per flush so per-process metrics
+    // scoping attributes the batch to the producing site.
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::ambient();
+    obs::Timer timer(&metrics.histogram("stream.flush.vtime"),
+                     &metrics.histogram("stream.flush.wall"));
+    metrics.histogram("stream.batch.items")
+        .observe(static_cast<double>(pending_.size()));
+    metrics.histogram("stream.batch.bytes")
+        .observe(static_cast<double>(pending_bytes_));
 
     std::vector<Bytes> blobs;
     std::vector<std::uint64_t> sizes;
@@ -144,8 +140,8 @@ class StreamProducer {
       event.attrs = std::move(pending_[i].attrs);
       event.trace = span.context();
       wire_events.push_back(serde::to_bytes(event));
-      publish_counter_.inc();
-      delivered_counter_.inc(subs);
+      metrics.counter("stream.publish." + topic_).inc();
+      metrics.counter("stream.delivered." + topic_).inc(subs);
     }
     // One pipelined broker append for the whole batch (KvBroker: three kv
     // round trips for N events instead of 3N).
@@ -186,10 +182,6 @@ class StreamProducer {
   std::shared_ptr<PubSub> broker_;
   std::string topic_;
   StreamProducerOptions options_;
-  obs::Counter& publish_counter_;
-  obs::Counter& delivered_counter_;
-  obs::Histogram& batch_items_;
-  obs::Histogram& batch_bytes_;
   std::vector<Pending> pending_;
   std::size_t pending_bytes_ = 0;
   std::uint64_t next_sequence_ = 0;
@@ -219,9 +211,7 @@ class StreamConsumer {
       : broker_(std::move(broker)),
         topic_(std::move(topic)),
         options_(options),
-        subscription_(broker_->subscribe(topic_)),
-        consume_counter_(obs::MetricsRegistry::global().counter(
-            "stream.consume." + topic_)) {}
+        subscription_(broker_->subscribe(topic_)) {}
 
   /// Blocks for the next event; nullopt at end-of-stream. The returned
   /// proxy is unresolved — the payload transfers on first access (or in
@@ -239,7 +229,7 @@ class StreamConsumer {
     // Stitch into the producer's publish span across the broker hop.
     obs::ContextScope adopt(event.trace);
     obs::SpanScope span("stream.consume", topic_);
-    consume_counter_.inc();
+    obs::MetricsRegistry::ambient().counter("stream.consume." + topic_).inc();
     ++consumed_;
     core::Proxy<T> proxy = payload_proxy<T>(event);
     if (options_.prefetch_payloads) proxy.resolve_async();
@@ -261,7 +251,6 @@ class StreamConsumer {
   std::string topic_;
   StreamConsumerOptions options_;
   std::shared_ptr<Subscription> subscription_;
-  obs::Counter& consume_counter_;
   std::uint64_t consumed_ = 0;
 };
 

@@ -1,0 +1,70 @@
+#include "telemetry/agent.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "kv/client.hpp"
+#include "net/fabric.hpp"
+#include "serde/serde.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::telemetry {
+
+std::string telemetry_kv_key(const std::string& site) {
+  return "ps.telemetry/" + site;
+}
+
+TelemetryAgent::TelemetryAgent(proc::World& world, std::string host,
+                               std::string site)
+    : world_(&world), host_(std::move(host)), site_(std::move(site)) {}
+
+std::shared_ptr<TelemetryAgent> TelemetryAgent::start(
+    proc::World& world, const std::string& host,
+    rpc::TransportProfile transport) {
+  const std::string site = world.fabric().host(host).site;
+  auto agent = std::shared_ptr<TelemetryAgent>(
+      new TelemetryAgent(world, host, site));
+  agent->server_ = rpc::RpcServer::start(world, host, "telemetry", transport);
+  agent->address_ = rpc::rpc_address(transport.name, host, "telemetry");
+  // The service directory keeps the RpcServer (and its handlers) alive past
+  // the agent — capture weakly so a late scrape of a dead agent returns an
+  // empty payload instead of dangling.
+  agent->server_->register_handler(
+      kScrapeOp, [weak = std::weak_ptr<TelemetryAgent>(agent)](BytesView) {
+        auto self = weak.lock();
+        if (!self) return Bytes{};
+        return serde::to_bytes(self->snapshot());
+      });
+  return agent;
+}
+
+obs::SiteSnapshot TelemetryAgent::snapshot() const {
+  obs::SiteSnapshot snap;
+  snap.site = site_;
+  snap.host = host_;
+  const double now = sim::vnow();
+  std::vector<obs::RegistrySnapshot> registries;
+  for (proc::Process* process : world_->processes()) {
+    std::string site;
+    try {
+      site = world_->fabric().host(process->host()).site;
+    } catch (...) {
+      continue;
+    }
+    if (site != site_) continue;
+    obs::MetricsRegistry* metrics = process->try_metrics();
+    if (metrics == nullptr) continue;  // never recorded anything
+    registries.push_back(metrics->take_snapshot(now));
+    ++snap.processes;
+  }
+  snap.registry = obs::merge_registry_snapshots(registries);
+  snap.registry.vtime_s = now;  // stamp even when the site is idle
+  return snap;
+}
+
+void TelemetryAgent::push_to(kv::KvClient& client) const {
+  const Bytes payload = serde::to_bytes(snapshot());
+  client.set(telemetry_kv_key(site_), payload);
+}
+
+}  // namespace ps::telemetry

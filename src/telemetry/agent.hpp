@@ -1,0 +1,69 @@
+// Per-site telemetry agent: the scraped side of the federation plane.
+//
+// One TelemetryAgent runs per simulated site. It binds an RpcServer on a
+// host of that site and serves the "telemetry.scrape" op: on each request
+// it walks the world's processes, keeps those pinned to hosts of its own
+// site, merges their per-process MetricsRegistry snapshots (counters sum,
+// histograms merge, gauges per their GaugeAgg hint), and returns one
+// serialized obs::SiteSnapshot. The agent is stateless between scrapes —
+// snapshots are cumulative, and windowing belongs to the consumer
+// (obs::TelemetryWindows), exactly like a Prometheus exporter.
+//
+// Agents can also *push*: push_to() writes the same SiteSnapshot under
+// "ps.telemetry/<site>" through a KV client, so a fleet without an
+// aggregator in the loop still leaves its latest per-site state readable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "proc/world.hpp"
+#include "rpc/rpc.hpp"
+#include "rpc/transport.hpp"
+
+namespace ps::kv {
+class KvClient;
+}  // namespace ps::kv
+
+namespace ps::telemetry {
+
+/// The rpc op agents serve and aggregators call.
+inline constexpr const char* kScrapeOp = "telemetry.scrape";
+
+/// KV key prefix for pushed snapshots ("ps.telemetry/<site>").
+std::string telemetry_kv_key(const std::string& site);
+
+class TelemetryAgent {
+ public:
+  /// Starts an agent for the site that `host` belongs to, bound at
+  /// rpc://<transport>/<host>/telemetry.
+  static std::shared_ptr<TelemetryAgent> start(
+      proc::World& world, const std::string& host,
+      rpc::TransportProfile transport = rpc::margo_transport());
+
+  const std::string& site() const { return site_; }
+  const std::string& host() const { return host_; }
+  /// The rpc address aggregators dial.
+  const std::string& address() const { return address_; }
+
+  /// Builds the site snapshot directly (no wire) — the scrape handler's
+  /// body, also used by in-process consumers and tests. Merges the
+  /// per-process registries of every process of this site; processes that
+  /// never created one contribute nothing. Stamped with sim::vnow().
+  obs::SiteSnapshot snapshot() const;
+
+  /// Serializes snapshot() under telemetry_kv_key(site()) via `client`.
+  void push_to(kv::KvClient& client) const;
+
+ private:
+  TelemetryAgent(proc::World& world, std::string host, std::string site);
+
+  proc::World* world_;
+  std::string host_;
+  std::string site_;
+  std::string address_;
+  std::shared_ptr<rpc::RpcServer> server_;
+};
+
+}  // namespace ps::telemetry

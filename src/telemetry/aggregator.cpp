@@ -1,0 +1,66 @@
+#include "telemetry/aggregator.hpp"
+
+#include "rpc/rpc.hpp"
+#include "serde/serde.hpp"
+#include "telemetry/agent.hpp"
+
+namespace ps::telemetry {
+
+TelemetryAggregator::TelemetryAggregator(std::size_t window_capacity)
+    : window_capacity_(window_capacity) {}
+
+void TelemetryAggregator::add_agent(const std::string& address) {
+  for (const std::string& existing : addresses_) {
+    if (existing == address) return;
+  }
+  addresses_.push_back(address);
+}
+
+std::map<std::string, obs::SiteSnapshot> TelemetryAggregator::scrape_all() {
+  std::map<std::string, obs::SiteSnapshot> round;
+  for (const std::string& address : addresses_) {
+    rpc::RpcClient client(address);
+    const Bytes payload = client.call(kScrapeOp, BytesView{});
+    if (payload.empty()) continue;  // agent gone
+    obs::SiteSnapshot snap = serde::from_bytes<obs::SiteSnapshot>(payload);
+    round[snap.site] = snap;
+    ingest(snap);
+  }
+  return round;
+}
+
+void TelemetryAggregator::ingest(const obs::SiteSnapshot& snapshot) {
+  latest_[snapshot.site] = snapshot;
+  auto& ring = windows_[snapshot.site];
+  if (!ring) ring = std::make_unique<obs::TelemetryWindows>(window_capacity_);
+  ring->feed(snapshot.registry);
+}
+
+std::map<std::string, obs::RegistrySnapshot>
+TelemetryAggregator::registries_by_site() const {
+  std::map<std::string, obs::RegistrySnapshot> out;
+  for (const auto& [site, snap] : latest_) out[site] = snap.registry;
+  return out;
+}
+
+obs::RegistrySnapshot TelemetryAggregator::aggregate() const {
+  std::vector<obs::RegistrySnapshot> all;
+  all.reserve(latest_.size());
+  for (const auto& [site, snap] : latest_) all.push_back(snap.registry);
+  return obs::merge_registry_snapshots(all);
+}
+
+const obs::TelemetryWindows* TelemetryAggregator::windows(
+    const std::string& site) const {
+  const auto it = windows_.find(site);
+  return it == windows_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TelemetryAggregator::sites() const {
+  std::vector<std::string> out;
+  out.reserve(latest_.size());
+  for (const auto& [site, snap] : latest_) out.push_back(site);
+  return out;
+}
+
+}  // namespace ps::telemetry

@@ -1,0 +1,69 @@
+// Federation aggregator: the scraping side of the telemetry plane.
+//
+// A TelemetryAggregator dials N per-site TelemetryAgents over the rpc
+// fabric (so scrapes cost virtual time like any other cross-site call),
+// collects one obs::SiteSnapshot per site, and keeps one
+// obs::TelemetryWindows ring per site fed with the cumulative snapshots —
+// the state behind `psctl top` (per-site trailing rates/percentiles) and
+// SloRegistry::evaluate_burn (fast/slow burn-rate windows).
+//
+// Snapshots are cached by site: latest() and the federated exports read the
+// most recent scrape of every site even if a given round only reached some
+// of them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace ps::telemetry {
+
+class TelemetryAggregator {
+ public:
+  /// Ring capacity per site (windows retained for trailing-window math).
+  explicit TelemetryAggregator(std::size_t window_capacity = 64);
+
+  /// Registers an agent endpoint to scrape (rpc address from
+  /// TelemetryAgent::address()).
+  void add_agent(const std::string& address);
+  std::size_t agents() const { return addresses_.size(); }
+
+  /// Scrapes every registered agent once, updating the per-site cache and
+  /// feeding each site's window ring. Returns the snapshots gathered this
+  /// round, keyed by site. Scrapes charge the calling process's virtual
+  /// time (they ride the same rpc fabric as the workload).
+  std::map<std::string, obs::SiteSnapshot> scrape_all();
+
+  /// Feeds one snapshot obtained out-of-band (in-process agent, KV pull,
+  /// tests) into the cache and the site's window ring.
+  void ingest(const obs::SiteSnapshot& snapshot);
+
+  /// Latest snapshot per site (cumulative).
+  const std::map<std::string, obs::SiteSnapshot>& latest() const {
+    return latest_;
+  }
+
+  /// Latest cumulative registry per site — the shape the federated
+  /// exporters (obs::federated_metrics_json / federated_prometheus_text)
+  /// consume.
+  std::map<std::string, obs::RegistrySnapshot> registries_by_site() const;
+
+  /// Cross-site merge of the latest snapshots (counters sum, histograms
+  /// merge, gauges per their GaugeAgg hint).
+  obs::RegistrySnapshot aggregate() const;
+
+  /// Per-site window ring; nullptr until that site has been scraped.
+  const obs::TelemetryWindows* windows(const std::string& site) const;
+  std::vector<std::string> sites() const;
+
+ private:
+  std::size_t window_capacity_;
+  std::vector<std::string> addresses_;
+  std::map<std::string, obs::SiteSnapshot> latest_;
+  std::map<std::string, std::unique_ptr<obs::TelemetryWindows>> windows_;
+};
+
+}  // namespace ps::telemetry

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "proc/process.hpp"
 #include "proc/services.hpp"
 #include "proc/world.hpp"
@@ -151,6 +152,40 @@ TEST(Process, WorldAccessors) {
   Process& p = world->spawn("p", "localhost");
   EXPECT_NO_THROW(p.world().fabric().host("localhost"));
   EXPECT_NO_THROW(p.world().services());
+}
+
+TEST(Process, ScopeInstallsScopedRegistryWhenWorldOptsIn) {
+  auto world = World::make_local();
+  Process& a = world->spawn("scoped-a", "localhost");
+  Process& b = world->spawn("scoped-b", "localhost");
+
+  // Default: scoping off — entering a scope leaves the ambient registry
+  // global (zero-cost ambient fast path everywhere).
+  {
+    ProcessScope scope(a);
+    EXPECT_EQ(&obs::MetricsRegistry::ambient(), &obs::MetricsRegistry::global());
+  }
+
+  world->set_metrics_scoping(true);
+  {
+    ProcessScope outer(a);
+    EXPECT_EQ(&obs::MetricsRegistry::ambient(), &a.metrics());
+    obs::MetricsRegistry::ambient().counter("scoped.ops").inc();
+    {
+      // Nested scopes stack: inner process's registry while inside, outer's
+      // again on exit.
+      ProcessScope inner(b);
+      EXPECT_EQ(&obs::MetricsRegistry::ambient(), &b.metrics());
+    }
+    EXPECT_EQ(&obs::MetricsRegistry::ambient(), &a.metrics());
+  }
+  // Outside any scope the ambient registry is global again, and the scoped
+  // record landed in the process's registry, not the global one.
+  EXPECT_EQ(&obs::MetricsRegistry::ambient(), &obs::MetricsRegistry::global());
+  EXPECT_EQ(a.metrics().counter("scoped.ops").value(), 1u);
+  ASSERT_NE(a.try_metrics(), nullptr);
+  EXPECT_EQ(b.try_metrics()->counter("scoped.ops").value(), 0u);
+  world->set_metrics_scoping(false);
 }
 
 }  // namespace

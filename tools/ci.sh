@@ -23,7 +23,15 @@
 #      negative test proving an injected latency regression flips the SLO
 #      gate to a nonzero exit, dumps a Perfetto-loadable flight recording,
 #      and embeds a critical-path attribution referencing a trace present
-#      in that dump.
+#      in that dump;
+#   7. telemetry-smoke: the federated per-site telemetry plane — the
+#      load harness must report exact per-site/global op conservation and
+#      a per-site burn-rate verdict for every site, `psctl metrics --sites`
+#      must list every site with non-zero ops in JSON and emit
+#      OpenMetrics-terminated Prometheus text with well-formed site labels,
+#      `psctl top --once` must render a per-site rolling table, and a
+#      single-site injected latency spike must flip exactly that site's
+#      burn-rate verdict to breach while the other sites stay green.
 #
 # Usage: tools/ci.sh [--skip-tsan]
 set -euo pipefail
@@ -173,5 +181,61 @@ ATTR_TRACE="$(grep -o '"attribution":{"trace_id":"[0-9a-f]\{32\}"' \
   grep -o '[0-9a-f]\{32\}')"
 test -n "${ATTR_TRACE}"
 grep -q "${ATTR_TRACE}" "${INJECT_FLIGHT}"
+
+echo "==> telemetry-smoke: federated per-site scrape + burn-rate gates"
+# The load harness runs with metrics scoping on and a telemetry agent per
+# site (5 sites in the default testbed). Its stdout must prove the per-site
+# op counts sum exactly to the global series, and every site must get a
+# passing multi-window burn-rate verdict on a clean run.
+LOAD_OUT="$(./build/bench/load_mixed --clients 256 \
+  --json "${BENCH_DIR}/BENCH_load_mixed_telemetry.json")"
+grep -q 'telemetry: per-site hotkey ops .* (exact)$' <<<"${LOAD_OUT}"
+for site in theta polaris perlmutter chameleon uchicago; do
+  grep -q "^burn-rate \[site=${site}\] load.hotkey.p99.burn pass " \
+    <<<"${LOAD_OUT}"
+done
+# The federated scrape must list every site with non-zero ops in the JSON
+# form (psctl itself exits nonzero if the per-site sum drifts from the
+# global series).
+SITES_JSON="$(./build/tools/psctl metrics --sites --json)"
+for site in theta polaris perlmutter chameleon uchicago; do
+  grep -q "\"${site}\":{\"vtime_s\"" <<<"${SITES_JSON}"
+done
+if grep -q '"psctl.op":{"count":0,' <<<"${SITES_JSON}"; then
+  echo "telemetry-smoke: a site reported zero ops in --sites --json" >&2
+  exit 1
+fi
+grep -q '"aggregate":{' <<<"${SITES_JSON}"
+# The Prometheus form must carry a well-formed site label on every sample
+# line and terminate with the OpenMetrics EOF marker.
+SITES_PROM="$(./build/tools/psctl metrics --sites --prom)"
+[[ "${SITES_PROM}" == *'# EOF' ]]
+grep -q '^ps_psctl_op_seconds_count{site="theta"} [1-9]' <<<"${SITES_PROM}"
+if grep -Ev '^#|site="[^"]+"' <<<"${SITES_PROM}" | grep -q .; then
+  echo "telemetry-smoke: unlabeled sample line in --sites --prom" >&2
+  exit 1
+fi
+# The plain prometheus snapshot must now also be OpenMetrics-terminated.
+[[ "$(./build/tools/psctl metrics --prom)" == *'# EOF' ]]
+# The live per-site view must render a row per site from windowed deltas.
+TOP_OUT="$(./build/tools/psctl top --once)"
+grep -q 'trailing .* virtual s per site' <<<"${TOP_OUT}"
+for site in theta polaris perlmutter chameleon uchicago; do
+  grep -q "^${site} " <<<"${TOP_OUT}"
+done
+# Negative test: a latency spike injected into ONE site must flip exactly
+# that site's burn-rate verdict to breach while the others stay green —
+# proves the per-site windows isolate regressions instead of averaging
+# them away.
+INJECT_OUT="$(PS_LOAD_INJECT_LATENCY_MS=80 PS_LOAD_INJECT_SITE=chameleon \
+  ./build/bench/load_mixed --clients 256 \
+  --json "${BENCH_DIR}/BENCH_load_mixed_site_inject.json")"
+grep -q '^burn-rate \[site=chameleon\] load.hotkey.p99.burn breach ' \
+  <<<"${INJECT_OUT}"
+for site in theta polaris perlmutter uchicago; do
+  grep -q "^burn-rate \[site=${site}\] load.hotkey.p99.burn pass " \
+    <<<"${INJECT_OUT}"
+done
+grep -q 'telemetry: per-site hotkey ops .* (exact)$' <<<"${INJECT_OUT}"
 
 echo "==> CI pass complete"

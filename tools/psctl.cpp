@@ -13,7 +13,24 @@
 //   psctl metrics [--json|--prom] run an instrumented demo workload and dump
 //                                 the metrics registry (table + one proxy
 //                                 lifecycle timeline; JSON with --json;
-//                                 Prometheus text format with --prom)
+//                                 Prometheus text format with --prom,
+//                                 OpenMetrics-terminated with `# EOF`)
+//   psctl metrics --sites [--json|--prom]
+//                                 run a WAN mini-fleet with per-process
+//                                 metrics scoping on, federate one
+//                                 telemetry agent per site over the rpc
+//                                 fabric, and print the per-site view
+//                                 (--prom emits ps_* samples with a `site`
+//                                 label). Self-checks that the per-site op
+//                                 counts sum to the global series exactly;
+//                                 exits 1 when attribution lost samples
+//   psctl top [--interval N] [--once]
+//                                 live per-site rolling table from the same
+//                                 federated fleet: ops/s, trailing p99,
+//                                 queue-wait gauge, and cache hit rate per
+//                                 site, one table per scrape interval
+//                                 (N virtual seconds, default 0.5; --once
+//                                 prints a single slice)
 //   psctl trace export <file>     run a fig5-style cross-site FaaS round trip
 //                                 with distributed tracing on and write the
 //                                 stitched trace as Chrome trace-event JSON
@@ -75,6 +92,7 @@
 #include "connectors/endpoint.hpp"
 #include "connectors/file.hpp"
 #include "connectors/local.hpp"
+#include "connectors/redis.hpp"
 #include "core/connector.hpp"
 #include "core/instrumented.hpp"
 #include "core/proxy.hpp"
@@ -91,13 +109,18 @@
 #include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "kv/server.hpp"
+#include "load_util.hpp"
 #include "relay/relay.hpp"
 #include "serde/serde.hpp"
 #include "sim/vtime.hpp"
 #include "stream/kv_broker.hpp"
 #include "stream/queue_broker.hpp"
 #include "stream/stream.hpp"
+#include "telemetry/agent.hpp"
+#include "telemetry/aggregator.hpp"
 #include "testbed/testbed.hpp"
 
 using namespace ps;
@@ -107,8 +130,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics|trace|profile|flight|bench|slo|stream> [args...]\n"
-               "       psctl metrics [--json|--prom]\n"
+               "metrics|top|trace|profile|flight|bench|slo|stream> "
+               "[args...]\n"
+               "       psctl metrics [--sites] [--json|--prom]\n"
+               "       psctl top [--interval <virtual-s>] [--once]\n"
                "       psctl trace export <file>\n"
                "       psctl trace critical [--top <n>] [--json]\n"
                "       psctl flight dump <file>\n"
@@ -533,6 +558,220 @@ int run_instrumented_demo(testbed::Testbed& tb, std::string* subject_out) {
   return 0;
 }
 
+// ---- federated telemetry commands (metrics --sites, top) -----------------
+//
+// Shared WAN mini-fleet: a hot-key kv workload over five client sites with
+// per-process metrics scoping on, one TelemetryAgent per site, and a
+// monitor process scraping every agent over the rpc fabric once per virtual
+// slice. Deterministic (fixed seed, virtual clocks), so the conservation
+// self-check can demand exact equality.
+struct FederatedRun {
+  telemetry::TelemetryAggregator aggregator;
+  std::vector<std::shared_ptr<telemetry::TelemetryAgent>> agents;
+  std::uint64_t global_ops = 0;  // whole-run count of the driving series
+};
+
+void run_federated_fleet(testbed::Testbed& tb, int slices, double slice_s,
+                         FederatedRun& run,
+                         const std::function<void(int)>& after_slice) {
+  obs::set_enabled(true);
+  proc::World& world = *tb.world;
+  world.set_metrics_scoping(true);
+
+  const std::vector<std::string> hosts = {
+      tb.theta_compute0, tb.polaris_compute0, tb.perlmutter_compute,
+      tb.chameleon0, tb.midway_login};
+  kv::KvServer::start(world, tb.theta_login, "psctl-top");
+  proc::Process& admin = world.spawn("psctl-top-admin", tb.theta_login);
+  std::shared_ptr<core::Store> store;
+  std::vector<core::Key> keys;
+  {
+    proc::ProcessScope scope(admin);
+    // A small object cache (smaller than the key set) keeps both cache
+    // hits and connector fetches in play, so the hit-rate column moves.
+    store = std::make_shared<core::Store>(
+        "psctl-top",
+        std::make_shared<connectors::RedisConnector>(
+            kv::kv_address(tb.theta_login, "psctl-top")),
+        core::Store::Options{.cache_size = 16});
+    core::register_store(store, /*overwrite=*/true);
+    std::vector<Bytes> values;
+    for (int k = 0; k < 32; ++k) {
+      values.push_back(pattern_bytes(2048, 1000 + k));
+    }
+    keys = store->put_batch(values);
+  }
+
+  std::map<std::string, std::string> site_hosts;
+  for (const std::string& host : hosts) {
+    site_hosts.emplace(world.fabric().host(host).site, host);
+  }
+  for (const auto& [site, host] : site_hosts) {
+    run.agents.push_back(telemetry::TelemetryAgent::start(world, host));
+    run.aggregator.add_agent(run.agents.back()->address());
+  }
+  proc::Process& monitor = world.spawn("psctl-monitor", tb.theta_login);
+
+  bench::ClientFleet fleet(world, "psctl-top", hosts, /*count=*/64,
+                           /*seed=*/42);
+  fleet.stagger(0.002);
+  fleet.set_site_series("psctl.op");
+  obs::Histogram& lat = obs::MetricsRegistry::global().histogram("psctl.op");
+  bench::Zipf zipf(keys.size(), 1.0);
+  const bench::ClientFleet::Op op = [&](std::size_t, Rng& rng) {
+    const std::size_t k = zipf.sample(rng);
+    if (rng.bernoulli(0.10)) {
+      keys[k] = store->put(pattern_bytes(2048, rng.next_u64()));
+    } else if (!store->get<Bytes>(keys[k])) {
+      throw Error("psctl: federated demo key vanished");
+    }
+  };
+  const auto scrape = [&] {
+      // Scrape from the monitor at the slice boundary without perturbing
+      // the workload: the guard restores the driver clock afterwards.
+      sim::VtimeGuard freeze;
+      proc::ProcessScope scope(monitor);
+      sim::vset(fleet.max_vnow());
+      run.aggregator.scrape_all();
+  };
+  // Baseline scrape: seeds every site's window ring, so the first slice
+  // already yields a delta window.
+  scrape();
+  for (int slice = 0; slice < slices; ++slice) {
+    fleet.run_closed_loop_for(slice_s, /*think_s=*/0.020, lat, op,
+                              /*think_jitter_s=*/0.010);
+    scrape();
+    if (after_slice) after_slice(slice);
+  }
+  run.global_ops = lat.count();
+}
+
+std::uint64_t counter_or_zero(const obs::RegistrySnapshot& registry,
+                              const char* name) {
+  const auto it = registry.counters.find(name);
+  return it == registry.counters.end() ? 0 : it->second;
+}
+
+// `psctl metrics --sites`: the federated per-site registry view, plus the
+// conservation self-check (scoping and federation must not lose samples).
+int cmd_metrics_sites(testbed::Testbed& tb, bool json, bool prom) {
+  FederatedRun run;
+  run_federated_fleet(tb, /*slices=*/4, /*slice_s=*/0.5, run, nullptr);
+
+  const std::map<std::string, obs::RegistrySnapshot> by_site =
+      run.aggregator.registries_by_site();
+  std::uint64_t site_ops = 0;
+  for (const auto& [site, registry] : by_site) {
+    const auto it = registry.histograms.find("psctl.op");
+    if (it != registry.histograms.end()) site_ops += it->second.count;
+  }
+  if (site_ops != run.global_ops) {
+    std::fprintf(stderr,
+                 "psctl: per-site op counts sum to %llu but the global "
+                 "series holds %llu — site attribution lost samples\n",
+                 static_cast<unsigned long long>(site_ops),
+                 static_cast<unsigned long long>(run.global_ops));
+    return 1;
+  }
+
+  if (json) {
+    std::printf("%s\n", obs::federated_metrics_json(by_site).c_str());
+    return 0;
+  }
+  if (prom) {
+    std::printf("%s", obs::federated_prometheus_text(by_site).c_str());
+    return 0;
+  }
+
+  std::printf("federated metrics: %zu sites, %llu ops "
+              "(per-site sum matches the global series exactly)\n\n",
+              by_site.size(),
+              static_cast<unsigned long long>(run.global_ops));
+  std::printf("%-14s %8s %12s %12s %8s %8s %8s\n", "site", "ops", "p50",
+              "p99", "gets", "puts", "cache%");
+  for (const auto& [site, registry] : by_site) {
+    std::uint64_t ops = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    const auto it = registry.histograms.find("psctl.op");
+    if (it != registry.histograms.end()) {
+      ops = it->second.count;
+      p50 = it->second.p50();
+      p99 = it->second.p99();
+    }
+    const std::uint64_t hits = counter_or_zero(registry, "store.cache.hits");
+    const std::uint64_t misses =
+        counter_or_zero(registry, "store.cache.misses");
+    const double hit_pct =
+        hits + misses == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses);
+    std::printf("%-14s %8llu %9.3f ms %9.3f ms %8llu %8llu %7.1f%%\n",
+                site.c_str(), static_cast<unsigned long long>(ops),
+                p50 * 1e3, p99 * 1e3,
+                static_cast<unsigned long long>(
+                    counter_or_zero(registry, "store.gets")),
+                static_cast<unsigned long long>(
+                    counter_or_zero(registry, "store.puts")),
+                hit_pct);
+  }
+  const obs::RegistrySnapshot aggregate = run.aggregator.aggregate();
+  const auto agg_it = aggregate.histograms.find("psctl.op");
+  if (agg_it != aggregate.histograms.end()) {
+    std::printf("%-14s %8llu %9.3f ms %9.3f ms %8llu %8llu\n", "aggregate",
+                static_cast<unsigned long long>(agg_it->second.count),
+                agg_it->second.p50() * 1e3, agg_it->second.p99() * 1e3,
+                static_cast<unsigned long long>(
+                    counter_or_zero(aggregate, "store.gets")),
+                static_cast<unsigned long long>(
+                    counter_or_zero(aggregate, "store.puts")));
+  }
+  std::printf("\nrun `psctl metrics --sites --prom` for ps_*{site=\"...\"} "
+              "samples\n");
+  return 0;
+}
+
+// `psctl top`: per-site rolling table out of the windowed telemetry — the
+// trailing-interval view, not the whole run.
+int cmd_top(testbed::Testbed& tb, double interval_s, bool once) {
+  const int slices = once ? 1 : 4;
+  FederatedRun run;
+  run_federated_fleet(tb, slices, interval_s, run, [&](int slice) {
+    std::printf("top — slice %d/%d, trailing %.2f virtual s per site:\n",
+                slice + 1, slices, interval_s);
+    std::printf("%-14s %10s %12s %12s %8s\n", "site", "ops/s", "p99",
+                "queue_s", "cache%");
+    for (const std::string& site : run.aggregator.sites()) {
+      const obs::TelemetryWindows* windows = run.aggregator.windows(site);
+      if (windows == nullptr) continue;
+      const obs::RegistrySnapshot window = windows->merged_last(interval_s);
+      std::uint64_t ops = 0;
+      double p99 = 0.0;
+      const auto it = window.histograms.find("psctl.op");
+      if (it != window.histograms.end()) {
+        ops = it->second.count;
+        p99 = it->second.p99();
+      }
+      const auto queue = window.gauges.find("kv.client.queue_wait_s");
+      const std::uint64_t hits = counter_or_zero(window, "store.cache.hits");
+      const std::uint64_t misses =
+          counter_or_zero(window, "store.cache.misses");
+      const double hit_pct =
+          hits + misses == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses);
+      std::printf("%-14s %10.1f %9.3f ms %12.6f %7.1f%%\n", site.c_str(),
+                  static_cast<double>(ops) / interval_s, p99 * 1e3,
+                  queue == window.gauges.end() ? 0.0 : queue->second.value,
+                  hit_pct);
+    }
+    std::printf("\n");
+  });
+  return 0;
+}
+
 int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
   std::string subject;
   if (const int rc = run_instrumented_demo(tb, &subject); rc != 0) return rc;
@@ -544,6 +783,7 @@ int cmd_metrics(testbed::Testbed& tb, bool json, bool prom) {
   if (prom) {
     std::printf("%s",
                 obs::prometheus_text(obs::MetricsRegistry::global()).c_str());
+    std::printf("# EOF\n");
     return 0;
   }
 
@@ -592,6 +832,7 @@ int cmd_slo(testbed::Testbed& tb, bool json, bool prom) {
   const obs::SloReport report = slos.evaluate();
   if (prom) {
     std::printf("%s", obs::slo_prometheus_text(report).c_str());
+    std::printf("# EOF\n");
   } else if (json) {
     std::printf("%s", obs::slo_report_json(report).c_str());
   } else {
@@ -761,8 +1002,40 @@ int main(int argc, char** argv) {
       return cmd_handshake(tb, argv[2], argv[3]);
     }
     if (command == "metrics") {
-      const std::string flag = argc >= 3 ? argv[2] : "";
-      return cmd_metrics(tb, flag == "--json", flag == "--prom");
+      bool sites = false;
+      bool json = false;
+      bool prom = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--sites") {
+          sites = true;
+        } else if (flag == "--json") {
+          json = true;
+        } else if (flag == "--prom") {
+          prom = true;
+        } else {
+          return usage();
+        }
+      }
+      if (json && prom) return usage();
+      return sites ? cmd_metrics_sites(tb, json, prom)
+                   : cmd_metrics(tb, json, prom);
+    }
+    if (command == "top") {
+      double interval_s = 0.5;
+      bool once = false;
+      for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--interval" && i + 1 < argc) {
+          interval_s = std::atof(argv[++i]);
+          if (!(interval_s > 0.0)) return usage();
+        } else if (flag == "--once") {
+          once = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_top(tb, interval_s, once);
     }
     if (command == "trace" && argc == 4 &&
         std::string(argv[2]) == "export") {

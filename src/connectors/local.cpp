@@ -83,6 +83,17 @@ bool LocalConnector::exists(const core::Key& key) {
   return table_->objects.contains(key.object_id);
 }
 
+std::vector<bool> LocalConnector::exists_batch(
+    const std::vector<core::Key>& keys) {
+  std::vector<bool> out;
+  out.reserve(keys.size());
+  std::lock_guard lock(table_->mu);
+  for (const core::Key& key : keys) {
+    out.push_back(table_->objects.contains(key.object_id));
+  }
+  return out;
+}
+
 void LocalConnector::evict(const core::Key& key) {
   std::lock_guard lock(table_->mu);
   table_->objects.erase(key.object_id);

@@ -32,6 +32,8 @@ class LocalConnector : public core::Connector {
   std::vector<std::optional<Bytes>> get_batch(
       const std::vector<core::Key>& keys) override;
   bool exists(const core::Key& key) override;
+  std::vector<bool> exists_batch(
+      const std::vector<core::Key>& keys) override;
   void evict(const core::Key& key) override;
   bool put_at(const core::Key& key, BytesView data) override;
   core::Key reserve_key() override;

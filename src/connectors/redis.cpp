@@ -64,6 +64,14 @@ bool RedisConnector::exists(const core::Key& key) {
   return client_.exists(key.object_id);
 }
 
+std::vector<bool> RedisConnector::exists_batch(
+    const std::vector<core::Key>& keys) {
+  std::vector<std::string> names;
+  names.reserve(keys.size());
+  for (const core::Key& key : keys) names.push_back(key.object_id);
+  return client_.exists_many(names);
+}
+
 void RedisConnector::evict(const core::Key& key) {
   client_.del(key.object_id);
 }

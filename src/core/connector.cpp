@@ -34,6 +34,13 @@ std::vector<std::optional<Bytes>> Connector::get_batch(
   return out;
 }
 
+std::vector<bool> Connector::exists_batch(const std::vector<Key>& keys) {
+  std::vector<bool> out;
+  out.reserve(keys.size());
+  for (const Key& key : keys) out.push_back(exists(key));
+  return out;
+}
+
 // Sync→async adapters: run the blocking op on the shared bounded pool. The
 // job is charged at the submitter's virtual time; waiting the future merges
 // the op's completion time (overlap realized at the merge point).

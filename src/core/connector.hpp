@@ -117,6 +117,12 @@ class Connector {
 
   virtual bool exists(const Key& key) = 0;
 
+  /// Presence check for many keys, position-for-position. The default loops
+  /// over exists; connectors with a pipelined wire protocol (kv) override
+  /// this so a whole probe batch costs one round trip — swarm chunk
+  /// discovery issues one of these per backend.
+  virtual std::vector<bool> exists_batch(const std::vector<Key>& keys);
+
   /// Removes the object. Eviction of a missing key is a no-op.
   virtual void evict(const Key& key) = 0;
 

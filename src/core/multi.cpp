@@ -180,6 +180,33 @@ bool MultiConnector::exists(const Key& key) {
   return child_for(key).connector->exists(key);
 }
 
+std::vector<bool> MultiConnector::exists_batch(const std::vector<Key>& keys) {
+  // Same per-child grouping as get_batch, on the presence-probe side.
+  std::vector<bool> out(keys.size());
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return &child_for(keys[a]) < &child_for(keys[b]);
+                   });
+  std::size_t start = 0;
+  while (start < order.size()) {
+    const Entry& entry = child_for(keys[order[start]]);
+    std::size_t end = start;
+    std::vector<Key> group;
+    while (end < order.size() && &child_for(keys[order[end]]) == &entry) {
+      group.push_back(keys[order[end]]);
+      ++end;
+    }
+    const std::vector<bool> group_out = entry.connector->exists_batch(group);
+    for (std::size_t j = 0; j < group_out.size(); ++j) {
+      out[order[start + j]] = group_out[j];
+    }
+    start = end;
+  }
+  return out;
+}
+
 void MultiConnector::evict(const Key& key) {
   child_for(key).connector->evict(key);
 }

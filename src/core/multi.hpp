@@ -67,6 +67,9 @@ class MultiConnector : public Connector {
   std::vector<std::optional<Bytes>> get_batch(
       const std::vector<Key>& keys) override;
   bool exists(const Key& key) override;
+  /// Routes each key to its owning child and forwards per-child groups as
+  /// exists_batch calls, so pipelined children keep one-round-trip probes.
+  std::vector<bool> exists_batch(const std::vector<Key>& keys) override;
   void evict(const Key& key) override;
   void close() override;
 

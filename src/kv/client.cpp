@@ -97,6 +97,19 @@ bool KvClient::exists(const std::string& key) {
   return server_->exists(key, arrival);
 }
 
+std::vector<bool> KvClient::exists_many(const std::vector<std::string>& keys) {
+  std::size_t request_bytes = 0;
+  for (const std::string& key : keys) request_bytes += key.size();
+  const double arrival = round_trip(
+      request_bytes, 8 * std::max<std::size_t>(keys.size(), 1));
+  std::vector<bool> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    out.push_back(server_->exists(key, arrival));
+  }
+  return out;
+}
+
 bool KvClient::del(const std::string& key) {
   round_trip(key.size(), 8);
   return server_->del(key);

@@ -40,6 +40,11 @@ class KvClient {
       const std::vector<std::string>& keys);
 
   bool exists(const std::string& key);
+
+  /// Pipelined EXISTS: all keys probed in one request/response round trip
+  /// (the presence-check dual of get_many). Position-for-position results.
+  std::vector<bool> exists_many(const std::vector<std::string>& keys);
+
   bool del(const std::string& key);
 
   const std::string& address() const { return address_; }

@@ -59,6 +59,9 @@ std::string segment_kind(const SpanRecord& span) {
       n.find("serialize") != std::string::npos) {
     return "serde";
   }
+  if (n == "swarm.get") return "wire-transfer";
+  if (starts_with(n, "swarm.repair")) return "swarm-repair";
+  if (starts_with(n, "swarm.")) return "swarm-fetch";
   if (starts_with(n, "store.cache")) return "cache-probe";
   if (n == "stream.poll") return "broker-poll";
   if (n == "async.executor.queue") return "executor-queue";

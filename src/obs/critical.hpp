@@ -17,6 +17,8 @@
 //   executor-queue  time queued behind the AsyncExecutor / open-loop sched
 //   wire-transfer   connector ops, endpoint/relay/rpc forwarding
 //   serde           value (de)serialization in the store
+//   swarm-fetch     swarm chunk discovery + first-attempt chunk waves
+//   swarm-repair    swarm re-requests after corrupt/missing/slow replicas
 //   broker-poll     stream subscription polling
 //   cache-probe     store cache lookups
 //   dispatch        faas/stream dispatch fan-out

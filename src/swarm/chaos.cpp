@@ -1,0 +1,73 @@
+#include "swarm/chaos.hpp"
+
+#include "sim/vtime.hpp"
+
+namespace ps::swarm {
+
+FaultInjectedConnector::FaultInjectedConnector(
+    std::shared_ptr<core::Connector> inner)
+    : inner_(std::move(inner)) {}
+
+void FaultInjectedConnector::set_get_delay(double seconds) {
+  std::lock_guard lock(mu_);
+  get_delay_s_ = seconds;
+}
+
+void FaultInjectedConnector::corrupt(const std::string& object_id) {
+  std::lock_guard lock(mu_);
+  corrupted_.insert(object_id);
+}
+
+void FaultInjectedConnector::drop(const std::string& object_id) {
+  std::lock_guard lock(mu_);
+  dropped_.insert(object_id);
+}
+
+void FaultInjectedConnector::clear_faults() {
+  std::lock_guard lock(mu_);
+  get_delay_s_ = 0.0;
+  corrupted_.clear();
+  dropped_.clear();
+}
+
+void FaultInjectedConnector::apply_delay() {
+  double delay = 0.0;
+  {
+    std::lock_guard lock(mu_);
+    delay = get_delay_s_;
+  }
+  if (delay > 0.0) sim::vadvance(delay);
+}
+
+std::optional<Bytes> FaultInjectedConnector::mutate(
+    const core::Key& key, std::optional<Bytes> value) {
+  std::lock_guard lock(mu_);
+  if (dropped_.contains(key.object_id)) return std::nullopt;
+  if (value && corrupted_.contains(key.object_id)) {
+    if (value->empty()) {
+      value->push_back('\1');
+    } else {
+      (*value)[0] = static_cast<char>((*value)[0] ^ 0x01);
+    }
+  }
+  return value;
+}
+
+std::optional<Bytes> FaultInjectedConnector::get(const core::Key& key) {
+  apply_delay();
+  return mutate(key, inner_->get(key));
+}
+
+std::vector<std::optional<Bytes>> FaultInjectedConnector::get_batch(
+    const std::vector<core::Key>& keys) {
+  // One injected delay per call: the model is a degraded link, and a batch
+  // is one pipelined round trip on it.
+  apply_delay();
+  std::vector<std::optional<Bytes>> values = inner_->get_batch(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    values[i] = mutate(keys[i], std::move(values[i]));
+  }
+  return values;
+}
+
+}  // namespace ps::swarm

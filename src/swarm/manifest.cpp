@@ -1,0 +1,51 @@
+#include "swarm/manifest.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "sim/vtime.hpp"
+
+namespace ps::swarm {
+
+core::Key chunk_key(const std::string& hash) {
+  return core::Key{.object_id = kChunkPrefix + hash, .meta = {}};
+}
+
+Manifest build_manifest(BytesView data, std::uint64_t chunk_size,
+                        std::uint32_t backend_count, std::uint32_t replication,
+                        double hash_Bps) {
+  if (chunk_size == 0) throw Error("swarm: chunk_size must be positive");
+  if (backend_count == 0) throw Error("swarm: no backends to place onto");
+  replication = std::min(replication, backend_count);
+  replication = std::max<std::uint32_t>(replication, 1);
+
+  Manifest manifest;
+  manifest.total_size = data.size();
+  manifest.chunk_size = chunk_size;
+  manifest.chunks.reserve((data.size() + chunk_size - 1) / chunk_size);
+  for (std::uint64_t offset = 0; offset < data.size(); offset += chunk_size) {
+    const std::uint64_t size = std::min<std::uint64_t>(
+        chunk_size, data.size() - offset);
+    const BytesView piece = data.substr(offset, size);
+    if (hash_Bps > 0) {
+      sim::vadvance(static_cast<double>(size) / hash_Bps);
+    }
+    ChunkRef chunk{.hash = Sha256::hex_digest(piece),
+                   .size = size,
+                   .offset = offset,
+                   .holders = {}};
+    // Rendezvous placement: consecutive backends starting at a hash-derived
+    // index. Deterministic per chunk, balanced across the key space.
+    const std::uint64_t base = fnv1a64(chunk.hash);
+    chunk.holders.reserve(replication);
+    for (std::uint32_t r = 0; r < replication; ++r) {
+      chunk.holders.push_back(
+          static_cast<std::uint32_t>((base + r) % backend_count));
+    }
+    manifest.chunks.push_back(std::move(chunk));
+  }
+  return manifest;
+}
+
+}  // namespace ps::swarm

@@ -17,6 +17,7 @@
 #include "connectors/local.hpp"
 #include "connectors/redis.hpp"
 #include "core/connector.hpp"
+#include "core/multi.hpp"
 #include "core/store.hpp"
 #include "endpoint/endpoint.hpp"
 #include "globus/transfer.hpp"
@@ -361,6 +362,87 @@ TEST(RedisConnector, MissingServerThrowsAtConstruction) {
   ConnectorEnv env;
   proc::ProcessScope scope(*env.process);
   EXPECT_THROW(RedisConnector("redis://host/none"), NotRegisteredError);
+}
+
+// ---------------------------------------------------------------------------
+// exists_batch: bulk presence probes (the swarm discovery primitive).
+// ---------------------------------------------------------------------------
+
+TEST(LocalConnector, ExistsBatchMatchesPerKeyExists) {
+  ConnectorEnv env;
+  proc::ProcessScope scope(*env.process);
+  LocalConnector c;
+  const core::Key a = c.put("alpha");
+  const core::Key b = c.put("beta");
+  core::Key gone = c.put("gone");
+  c.evict(gone);
+  const std::vector<core::Key> keys{a, gone, b, a};
+  const std::vector<bool> present = c.exists_batch(keys);
+  ASSERT_EQ(present.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(present[i], c.exists(keys[i])) << "key " << i;
+  }
+  EXPECT_TRUE(c.exists_batch({}).empty());
+}
+
+TEST(RedisConnector, ExistsBatchIsOnePipelinedRoundTrip) {
+  ConnectorEnv env;
+  kv::KvServer::start(*env.world, "host", "probe");
+  proc::ProcessScope scope(*env.process);
+  RedisConnector c(kv::kv_address("host", "probe"));
+  std::vector<core::Key> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back(c.put(pattern_bytes(100, static_cast<std::uint64_t>(i))));
+  }
+  core::Key missing = keys.back();
+  c.evict(missing);
+
+  // Pipelined batch probe vs. eight sequential exists() calls: the batch
+  // pays one KV round trip, so it must be strictly cheaper in virtual time.
+  sim::VtimeGuard guard;
+  std::vector<bool> batch;
+  double batch_s = 0.0;
+  {
+    sim::VtimeScope elapsed;
+    batch = c.exists_batch(keys);
+    batch_s = elapsed.elapsed();
+  }
+  double loop_s = 0.0;
+  std::vector<bool> loop;
+  {
+    sim::VtimeScope elapsed;
+    for (const core::Key& key : keys) loop.push_back(c.exists(key));
+    loop_s = elapsed.elapsed();
+  }
+  EXPECT_EQ(batch, loop);
+  EXPECT_FALSE(batch[keys.size() - 1]);  // evicted key reads absent
+  EXPECT_TRUE(batch[0]);
+  EXPECT_LT(batch_s, loop_s);
+}
+
+TEST(MultiConnector, ExistsBatchRoutesPerChildAndPreservesOrder) {
+  ConnectorEnv env;
+  proc::ProcessScope scope(*env.process);
+  auto small = std::make_shared<LocalConnector>();
+  auto large = std::make_shared<LocalConnector>();
+  core::Policy small_policy;
+  small_policy.max_size = 1000;
+  core::Policy large_policy;
+  large_policy.min_size = 1001;
+  core::MultiConnector multi({{"small", small, small_policy},
+                              {"large", large, large_policy}});
+  // Interleave children so the scatter back to request order is exercised.
+  std::vector<core::Key> keys;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back(multi.put(pattern_bytes(i % 2 == 0 ? 100 : 5000,
+                                           static_cast<std::uint64_t>(i))));
+  }
+  multi.evict(keys[1]);
+  multi.evict(keys[4]);
+  const std::vector<bool> present = multi.exists_batch(keys);
+  ASSERT_EQ(present.size(), keys.size());
+  const std::vector<bool> expected{true, false, true, true, false, true};
+  EXPECT_EQ(present, expected);
 }
 
 TEST(RedisConnector, Traits) {

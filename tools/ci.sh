@@ -24,7 +24,16 @@
 #      gate to a nonzero exit, dumps a Perfetto-loadable flight recording,
 #      and embeds a critical-path attribution referencing a trace present
 #      in that dump;
-#   7. telemetry-smoke: the federated per-site telemetry plane — the
+#   7. swarm-smoke: the multi-source swarm transfer subsystem — fig_swarm
+#      rerun against its blessed baseline (the bench hard-asserts that
+#      bulk resolve time falls monotonically from 1 to 4 replica sites and
+#      that the full swarm beats the best single source), `psctl swarm
+#      stats` must render per-source rows and repair counters in both
+#      table and JSON form, and a negative test proves the scheduler
+#      routes around an injected slow replica: with the Theta source
+#      delayed 15s the swarm resolve SLO still passes while the
+#      single-source Theta SLO breaches in the same artifact;
+#   8. telemetry-smoke: the federated per-site telemetry plane — the
 #      load harness must report exact per-site/global op conservation and
 #      a per-site burn-rate verdict for every site, `psctl metrics --sites`
 #      must list every site with non-zero ops in JSON and emit
@@ -181,6 +190,36 @@ ATTR_TRACE="$(grep -o '"attribution":{"trace_id":"[0-9a-f]\{32\}"' \
   grep -o '[0-9a-f]\{32\}')"
 test -n "${ATTR_TRACE}"
 grep -q "${ATTR_TRACE}" "${INJECT_FLIGHT}"
+
+echo "==> swarm-smoke: multi-source transfer + slow-replica reroute gate"
+# The swarm bench itself hard-asserts monotone 1->4 replica scaling and
+# swarm-beats-best-single at the largest size; run_bench adds the schema
+# check and the exact-match diff against the blessed baseline.
+run_bench fig_swarm
+# The operator view must render per-source accounting (the demo injects a
+# corrupt chunk and a delayed source, so repairs and timeouts are nonzero).
+SWARM_STATS="$(./build/tools/psctl swarm stats)"
+grep -q '^replica-0 ' <<<"${SWARM_STATS}"
+grep -q '^replica-3 ' <<<"${SWARM_STATS}"
+grep -q '^swarm.repairs ' <<<"${SWARM_STATS}"
+grep -qE '^swarm.source.timeouts +[1-9]' <<<"${SWARM_STATS}"
+grep -qE '^swarm.chunks.corrupt +[1-9]' <<<"${SWARM_STATS}"
+SWARM_JSON="$(./build/tools/psctl swarm stats --json)"
+grep -q '"replica-0":{"chunks":' <<<"${SWARM_JSON}"
+grep -q '"swarm.chunks.verified":' <<<"${SWARM_JSON}"
+# Negative test: with the Theta replica delayed 15s, the chunk scheduler
+# must time it out against the healthy replicas' observed service rate and
+# re-request elsewhere — the swarm resolve SLO stays green while the
+# single-source Theta resolve of the same payload breaches. The injected
+# artifact is asserted on its SLO verdicts, never diffed against the
+# baseline (its series are intentionally degraded).
+PS_SWARM_INJECT_SLOW_MS=15000 ./build/bench/fig_swarm \
+  --json "${BENCH_DIR}/BENCH_fig_swarm_inject.json" >/dev/null
+./build/tools/psctl bench check "${BENCH_DIR}/BENCH_fig_swarm_inject.json"
+grep -q '"name":"swarm.resolve.p99"[^}]*"status":"pass"' \
+  "${BENCH_DIR}/BENCH_fig_swarm_inject.json"
+grep -q '"name":"swarm.single.theta.p99"[^}]*"status":"breach"' \
+  "${BENCH_DIR}/BENCH_fig_swarm_inject.json"
 
 echo "==> telemetry-smoke: federated per-site scrape + burn-rate gates"
 # The load harness runs with metrics scoping on and a telemetry agent per

@@ -79,6 +79,13 @@
 //                                 deliver/consume counts and consumer lag
 //                                 from the metrics registry (machine-
 //                                 readable JSON with --json)
+//   psctl swarm stats [--json]    resolve a chunked payload through a
+//                                 four-replica SwarmConnector demo with one
+//                                 corrupted chunk and one delayed source,
+//                                 then print per-source chunks/bytes/
+//                                 timeouts plus the repair and verification
+//                                 summary counters (JSON with --json)
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -119,6 +126,9 @@
 #include "stream/kv_broker.hpp"
 #include "stream/queue_broker.hpp"
 #include "stream/stream.hpp"
+#include "swarm/chaos.hpp"
+#include "swarm/manifest.hpp"
+#include "swarm/swarm.hpp"
 #include "telemetry/agent.hpp"
 #include "telemetry/aggregator.hpp"
 #include "testbed/testbed.hpp"
@@ -130,7 +140,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: psctl <connectors|hosts|route|transfer|handshake|"
-               "metrics|top|trace|profile|flight|bench|slo|stream> "
+               "metrics|top|trace|profile|flight|bench|slo|stream|swarm> "
                "[args...]\n"
                "       psctl metrics [--sites] [--json|--prom]\n"
                "       psctl top [--interval <virtual-s>] [--once]\n"
@@ -142,7 +152,8 @@ int usage() {
                "[--wall-tol <rel>]\n"
                "       psctl bench check <file>...\n"
                "       psctl slo [--json|--prom]\n"
-               "       psctl stream stats [--json]\n");
+               "       psctl stream stats [--json]\n"
+               "       psctl swarm stats [--json]\n");
   return 2;
 }
 
@@ -967,6 +978,117 @@ int cmd_stream_stats(testbed::Testbed& tb, bool json) {
   return 0;
 }
 
+int cmd_swarm_stats(testbed::Testbed& tb, bool json) {
+  obs::set_enabled(true);
+
+  proc::Process& client = tb.world->spawn("psctl-swarm", tb.cloud);
+  proc::ProcessScope scope(client);
+
+  // Four local replicas behind fault injectors: one serves a corrupted
+  // first chunk (guaranteed re-request — chunk 0 is the first assigned, so
+  // with all pipeline frontiers equal it lands on its lowest-index holder)
+  // and one answers every read late enough to be timed out and routed
+  // around. The resolve therefore exercises fetch, verify, repair and
+  // slow-source reroute in one pass, and the counters below show all of it.
+  std::vector<std::shared_ptr<swarm::FaultInjectedConnector>> faults;
+  std::vector<swarm::Backend> backends;
+  for (int b = 0; b < 4; ++b) {
+    faults.push_back(std::make_shared<swarm::FaultInjectedConnector>(
+        std::make_shared<connectors::LocalConnector>()));
+    backends.push_back(
+        swarm::Backend{"replica-" + std::to_string(b), faults.back()});
+  }
+  swarm::SwarmOptions options;
+  options.chunk_size = 256 * 1024;
+  options.chunk_threshold = 512 * 1024;
+  options.replication = 2;
+  swarm::SwarmConnector connector(backends, options);
+
+  const Bytes payload = pattern_bytes(4'000'000, 23);
+  const core::Key key = connector.put(payload);
+  const auto manifest = connector.manifest(key);
+  if (!manifest || manifest->chunks.empty()) {
+    std::fprintf(stderr, "psctl: swarm demo produced no manifest\n");
+    return 1;
+  }
+  const swarm::ChunkRef& first = manifest->chunks.front();
+  const std::uint32_t pick =
+      *std::min_element(first.holders.begin(), first.holders.end());
+  faults[pick]->corrupt(swarm::chunk_key(first.hash).object_id);
+  faults[(pick + 1) % faults.size()]->set_get_delay(0.05);
+
+  const auto value = connector.get(key);
+  if (!value || *value != payload) {
+    std::fprintf(stderr, "psctl: swarm demo resolve failed\n");
+    return 1;
+  }
+
+  // Per-source rows plus the repair/verification summary, assembled from
+  // the same registry counters the Prometheus/JSON exports see.
+  struct SourceStats {
+    std::uint64_t chunks = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t timeouts = 0;
+  };
+  std::map<std::string, SourceStats> per_source;
+  std::map<std::string, std::uint64_t> summary;
+  for (const auto& [name, value_] :
+       obs::MetricsRegistry::ambient().counters()) {
+    const std::string prefix = "swarm.source.";
+    if (name.rfind(prefix, 0) == 0) {
+      const std::string rest = name.substr(prefix.size());
+      const std::size_t dot = rest.rfind('.');
+      if (dot != std::string::npos) {
+        const std::string source = rest.substr(0, dot);
+        const std::string field = rest.substr(dot + 1);
+        if (field == "chunks") per_source[source].chunks = value_;
+        if (field == "bytes") per_source[source].bytes = value_;
+        if (field == "timeouts") per_source[source].timeouts = value_;
+        continue;
+      }
+    }
+    if (name.rfind("swarm.", 0) == 0) summary[name] = value_;
+  }
+
+  if (json) {
+    std::string out = "{\"schema_version\":1,\"sources\":{";
+    bool sfirst = true;
+    for (const auto& [source, stats] : per_source) {
+      if (!sfirst) out += ",";
+      sfirst = false;
+      out += "\n \"" + source + "\":{\"chunks\":" +
+             std::to_string(stats.chunks) +
+             ",\"bytes\":" + std::to_string(stats.bytes) +
+             ",\"timeouts\":" + std::to_string(stats.timeouts) + "}";
+    }
+    out += "\n},\"summary\":{";
+    bool cfirst = true;
+    for (const auto& [name, value_] : summary) {
+      if (!cfirst) out += ",";
+      cfirst = false;
+      out += "\n \"" + name + "\":" + std::to_string(value_);
+    }
+    out += "\n}}\n";
+    std::printf("%s", out.c_str());
+    return 0;
+  }
+
+  std::printf("%-12s %8s %12s %9s\n", "source", "chunks", "bytes",
+              "timeouts");
+  for (const auto& [source, stats] : per_source) {
+    std::printf("%-12s %8llu %12llu %9llu\n", source.c_str(),
+                static_cast<unsigned long long>(stats.chunks),
+                static_cast<unsigned long long>(stats.bytes),
+                static_cast<unsigned long long>(stats.timeouts));
+  }
+  std::printf("\n");
+  for (const auto& [name, value_] : summary) {
+    std::printf("%-28s %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(value_));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1067,6 +1189,12 @@ int main(int argc, char** argv) {
       const std::string flag = argc == 4 ? argv[3] : "";
       if (argc == 4 && flag != "--json") return usage();
       return cmd_stream_stats(tb, flag == "--json");
+    }
+    if (command == "swarm" && (argc == 3 || argc == 4) &&
+        std::string(argv[2]) == "stats") {
+      const std::string flag = argc == 4 ? argv[3] : "";
+      if (argc == 4 && flag != "--json") return usage();
+      return cmd_swarm_stats(tb, flag == "--json");
     }
     if (command == "slo") {
       const std::string flag = argc >= 3 ? argv[2] : "";

@@ -76,6 +76,43 @@ void RedisConnector::evict(const core::Key& key) {
   client_.del(key.object_id);
 }
 
+void RedisConnector::evict_batch(const std::vector<core::Key>& keys) {
+  std::vector<std::string> names;
+  names.reserve(keys.size());
+  for (const core::Key& key : keys) names.push_back(key.object_id);
+  client_.del_many(names);
+}
+
+core::Future<std::optional<Bytes>> RedisConnector::get_async(
+    const core::Key& key) {
+  return client_.get_async(key.object_id);
+}
+
+core::Future<core::Key> RedisConnector::put_async(BytesView data) {
+  core::Key key = reserve_key();
+  // The continuation runs at the request's completion vtime, so the minted
+  // key arrives stamped with the wire cost.
+  return client_.set_async(key.object_id, data)
+      .then([key](const core::Unit&) { return key; });
+}
+
+core::Future<bool> RedisConnector::exists_async(const core::Key& key) {
+  return client_.exists_async(key.object_id);
+}
+
+core::Future<core::Unit> RedisConnector::evict_async(const core::Key& key) {
+  return client_.del_async(key.object_id)
+      .then([](const bool&) { return core::Unit{}; });
+}
+
+core::Future<std::vector<std::optional<Bytes>>> RedisConnector::get_batch_async(
+    const std::vector<core::Key>& keys) {
+  std::vector<std::string> names;
+  names.reserve(keys.size());
+  for (const core::Key& key : keys) names.push_back(key.object_id);
+  return client_.get_many_async(names);
+}
+
 namespace {
 const core::ConnectorRegistration kRegister(
     "redis", [](const core::ConnectorConfig& cfg) {

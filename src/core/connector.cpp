@@ -41,6 +41,10 @@ std::vector<bool> Connector::exists_batch(const std::vector<Key>& keys) {
   return out;
 }
 
+void Connector::evict_batch(const std::vector<Key>& keys) {
+  for (const Key& key : keys) evict(key);
+}
+
 // Sync→async adapters: run the blocking op on the shared bounded pool. The
 // job is charged at the submitter's virtual time; waiting the future merges
 // the op's completion time (overlap realized at the merge point).
@@ -65,6 +69,12 @@ Future<Unit> Connector::evict_async(const Key& key) {
     evict(key);
     return Unit{};
   });
+}
+
+Future<std::vector<std::optional<Bytes>>> Connector::get_batch_async(
+    const std::vector<Key>& keys) {
+  return AsyncExecutor::shared().run<std::vector<std::optional<Bytes>>>(
+      [this, keys] { return get_batch(keys); });
 }
 
 ConnectorRegistry& ConnectorRegistry::instance() {

@@ -126,6 +126,12 @@ class Connector {
   /// Removes the object. Eviction of a missing key is a no-op.
   virtual void evict(const Key& key) = 0;
 
+  /// Removes many objects. The default loops over evict; connectors with a
+  /// pipelined wire protocol (kv) override this so a whole eviction batch
+  /// costs one round trip (the cleanup dual of exists_batch) — stream
+  /// payload eviction and swarm manifest cleanup issue one per backend.
+  virtual void evict_batch(const std::vector<Key>& keys);
+
   // -- asynchronous protocol ------------------------------------------------
   //
   // Every sync operation has a futures-based twin. The defaults adapt the
@@ -146,6 +152,13 @@ class Connector {
   virtual Future<bool> exists_async(const Key& key);
 
   virtual Future<Unit> evict_async(const Key& key);
+
+  /// Begins retrieving many objects; the future completes with the batch,
+  /// position-for-position. The default adapts get_batch through the
+  /// executor; completion-driven connectors (kv, endpoint) override it to
+  /// issue the batch onto the wire with no worker held.
+  virtual Future<std::vector<std::optional<Bytes>>> get_batch_async(
+      const std::vector<Key>& keys);
 
   /// Releases resources. Further operations may throw ConnectorError.
   virtual void close() {}

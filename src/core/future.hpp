@@ -212,4 +212,18 @@ Future<T> make_ready_future(T value) {
   return promise.future();
 }
 
+/// Completes `promise` as if the completing thread's clock read `done`:
+/// temporarily sets the caller's virtual time to `done`, publishes the value
+/// (stamping done_vtime = `done` and running continuations at that time),
+/// then restores the caller's clock. This is how completion-driven wire
+/// paths (net::PipelinedChannel) stamp each in-flight request's own
+/// completion vtime without advancing the issuing thread.
+template <typename T>
+void complete_at(const Promise<T>& promise, T value, sim::SimTime done) {
+  const sim::SimTime saved = sim::vnow();
+  sim::vset(done);
+  promise.set_value(std::move(value));
+  sim::vset(saved);
+}
+
 }  // namespace ps::core

@@ -60,10 +60,14 @@ InstrumentedConnector::InstrumentedConnector(std::shared_ptr<Connector> inner)
       put_async_(make_op(inner_->type(), "put_async")),
       exists_async_(make_op(inner_->type(), "exists_async")),
       evict_async_(make_op(inner_->type(), "evict_async")),
+      evict_batch_(make_op(inner_->type(), "evict_batch")),
+      get_batch_async_(make_op(inner_->type(), "get_batch_async")),
       put_batch_items_(obs::MetricsRegistry::global().histogram(
           "connector." + inner_->type() + ".put_batch.items")),
       get_batch_items_(obs::MetricsRegistry::global().histogram(
-          "connector." + inner_->type() + ".get_batch.items")) {}
+          "connector." + inner_->type() + ".get_batch.items")),
+      evict_batch_items_(obs::MetricsRegistry::global().histogram(
+          "connector." + inner_->type() + ".evict_batch.items")) {}
 
 std::shared_ptr<Connector> InstrumentedConnector::wrap(
     std::shared_ptr<Connector> inner) {
@@ -193,6 +197,23 @@ void InstrumentedConnector::evict(const Key& key) {
   h.count->inc();
   obs::Timer timer(h.vtime, h.wall);
   inner_->evict(key);
+}
+
+void InstrumentedConnector::evict_batch(const std::vector<Key>& keys) {
+  obs::SpanScope span(evict_batch_.span_name, {}, "wire-transfer");
+  if (!obs::enabled()) return inner_->evict_batch(keys);
+  const Handles h = resolve(evict_batch_.count, evict_batch_.vtime,
+                            evict_batch_.wall, evict_batch_.span_name);
+  h.count->inc();
+  resolve_histogram(evict_batch_items_, evict_batch_.span_name + ".items")
+      .observe(static_cast<double>(keys.size()));
+  obs::Timer timer(h.vtime, h.wall);
+  inner_->evict_batch(keys);
+}
+
+Future<std::vector<std::optional<Bytes>>>
+InstrumentedConnector::get_batch_async(const std::vector<Key>& keys) {
+  return record_async(get_batch_async_, inner_->get_batch_async(keys));
 }
 
 void InstrumentedConnector::close() { inner_->close(); }

@@ -42,6 +42,7 @@ class InstrumentedConnector : public Connector {
       const std::vector<Key>& keys) override;
   bool exists(const Key& key) override;
   void evict(const Key& key) override;
+  void evict_batch(const std::vector<Key>& keys) override;
   void close() override;
 
   // Async ops forward to the inner connector's async path and record
@@ -53,6 +54,8 @@ class InstrumentedConnector : public Connector {
   Future<Key> put_async(BytesView data) override;
   Future<bool> exists_async(const Key& key) override;
   Future<Unit> evict_async(const Key& key) override;
+  Future<std::vector<std::optional<Bytes>>> get_batch_async(
+      const std::vector<Key>& keys) override;
 
   Connector& inner() { return *inner_; }
   const Connector& inner() const { return *inner_; }
@@ -84,12 +87,16 @@ class InstrumentedConnector : public Connector {
   Op put_async_;
   Op exists_async_;
   Op evict_async_;
+  Op evict_batch_;
+  Op get_batch_async_;
   /// Items per put_batch call ("connector.<type>.put_batch.items") — makes
   /// batching visible: many small batches vs few large ones read directly
   /// off count/mean.
   obs::Histogram& put_batch_items_;
   /// Items per get_batch call ("connector.<type>.get_batch.items").
   obs::Histogram& get_batch_items_;
+  /// Items per evict_batch call ("connector.<type>.evict_batch.items").
+  obs::Histogram& evict_batch_items_;
 };
 
 }  // namespace ps::core

@@ -211,6 +211,44 @@ void MultiConnector::evict(const Key& key) {
   child_for(key).connector->evict(key);
 }
 
+void MultiConnector::evict_batch(const std::vector<Key>& keys) {
+  // Same per-child grouping as get_batch, on the cleanup side.
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return &child_for(keys[a]) < &child_for(keys[b]);
+                   });
+  std::size_t start = 0;
+  while (start < order.size()) {
+    const Entry& entry = child_for(keys[order[start]]);
+    std::size_t end = start;
+    std::vector<Key> group;
+    while (end < order.size() && &child_for(keys[order[end]]) == &entry) {
+      group.push_back(keys[order[end]]);
+      ++end;
+    }
+    entry.connector->evict_batch(group);
+    start = end;
+  }
+}
+
+Future<std::vector<std::optional<Bytes>>> MultiConnector::get_batch_async(
+    const std::vector<Key>& keys) {
+  if (!keys.empty()) {
+    const Entry& first = child_for(keys.front());
+    bool single_child = true;
+    for (const Key& key : keys) {
+      if (&child_for(key) != &first) {
+        single_child = false;
+        break;
+      }
+    }
+    if (single_child) return first.connector->get_batch_async(keys);
+  }
+  return Connector::get_batch_async(keys);
+}
+
 void MultiConnector::close() {
   for (const Entry& entry : entries_) entry.connector->close();
 }

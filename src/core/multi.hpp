@@ -71,6 +71,9 @@ class MultiConnector : public Connector {
   /// exists_batch calls, so pipelined children keep one-round-trip probes.
   std::vector<bool> exists_batch(const std::vector<Key>& keys) override;
   void evict(const Key& key) override;
+  /// Routes each key to its owning child and forwards per-child groups as
+  /// evict_batch calls, so pipelined children keep one-round-trip cleanup.
+  void evict_batch(const std::vector<Key>& keys) override;
   void close() override;
 
   // Async ops route to the owning child's native implementation (an
@@ -78,6 +81,11 @@ class MultiConnector : public Connector {
   Future<std::optional<Bytes>> get_async(const Key& key) override;
   Future<bool> exists_async(const Key& key) override;
   Future<Unit> evict_async(const Key& key) override;
+  /// Single-child batches forward to the child's native get_batch_async;
+  /// cross-child batches fall back to the sync grouped get_batch through
+  /// the executor adapter.
+  Future<std::vector<std::optional<Bytes>>> get_batch_async(
+      const std::vector<Key>& keys) override;
 
   /// The child connector a put of `size` bytes with `hints` would route to.
   /// Throws NoPolicyMatchError when nothing matches.

@@ -237,7 +237,7 @@ class Store : public std::enable_shared_from_this<Store> {
       inflight_.emplace(in_flight_key, std::any(promise.future()));
     }
     ps::core::Future<std::optional<Bytes>> raw = connector_->get_async(key);
-    raw.on_ready([this, cache_key, in_flight_key, promise, raw] {
+    const auto complete = [this, cache_key, in_flight_key, promise, raw] {
       try {
         const std::optional<Bytes>& data = raw.wait();  // ready: no blocking
         if (!data) {
@@ -258,7 +258,19 @@ class Store : public std::enable_shared_from_this<Store> {
         inflight_erase(in_flight_key);
         promise.set_error(std::current_exception());
       }
-    });
+    };
+    if (raw.ready()) {
+      // Completion-driven connectors (kv, endpoint) return an already-ready
+      // future stamped at the request's pipelined completion vtime. Run the
+      // continuation at that time — not the issuing clock — so the fetch's
+      // cost lands in the derived future and the caller keeps overlapping.
+      const sim::SimTime resume = sim::vnow();
+      sim::vset(raw.done_vtime());
+      complete();
+      sim::vset(resume);
+    } else {
+      raw.on_ready(complete);
+    }
     return promise.future();
   }
 
@@ -396,6 +408,19 @@ class Store : public std::enable_shared_from_this<Store> {
     ++metrics_evicts_;
     cache_.erase(key.canonical());
     connector_->evict(key);
+  }
+
+  /// Removes many objects in one pipelined connector round trip
+  /// (Connector::evict_batch) — the cleanup dual of resolve_batch. Stream
+  /// payload eviction and swarm manifest cleanup use this so a whole batch
+  /// costs one wire exchange on kv-backed channels.
+  void evict_batch(const std::vector<Key>& keys) {
+    check_open();
+    for (const Key& key : keys) {
+      ++metrics_evicts_;
+      cache_.erase(key.canonical());
+    }
+    connector_->evict_batch(keys);
   }
 
   // -- proxies ------------------------------------------------------------

@@ -13,34 +13,48 @@ KvClient::KvClient(const std::string& address)
       server_(proc::current_process().world().services().resolve<KvServer>(
           address)) {}
 
-double KvClient::round_trip(std::size_t request_bytes,
-                            std::size_t response_bytes) {
+net::PipelinedChannel& KvClient::channel() const {
+  return proc::current_process()
+      .local<net::ChannelRegistry>()
+      .channel_for(server_);
+}
+
+net::WireSample KvClient::wire(std::size_t request_bytes,
+                               std::size_t response_bytes) {
   proc::World& world = proc::current_process().world();
   const std::string& client_host = proc::current_process().host();
   const std::string& server_host = server_->host();
 
-  // Request travels to the server...
-  const double arrival =
-      sim::vnow() +
+  // Request travels to the server on the channel's request lane...
+  const double request_cost =
       world.fabric().transfer_time(client_host, server_host, request_bytes);
-  // ...queues behind other requests on the single-threaded server...
-  const double payload = static_cast<double>(
-      std::max(request_bytes, response_bytes));
-  const double service = server_->service_time(
-      static_cast<std::size_t>(payload));
-  const double done = server_->queue().schedule(arrival, service);
-  // Time spent behind other requests — the client-observed server backlog.
-  // Gauge (not histogram): psctl top reads it as a point-in-time depth
-  // signal; kMax makes the cross-site aggregate the worst backlog.
-  if (obs::enabled()) {
-    obs::MetricsRegistry::ambient()
-        .gauge("kv.client.queue_wait_s", obs::GaugeAgg::kMax)
-        .set(std::max(0.0, done - arrival - service));
-  }
-  // ...and the response travels back.
-  sim::vset(done + world.fabric().transfer_time(server_host, client_host,
-                                                response_bytes));
-  return arrival;
+  return channel().transact(sim::vnow(), request_cost, [&](double arrival) {
+    // ...queues behind other requests on the single-threaded server...
+    const double payload =
+        static_cast<double>(std::max(request_bytes, response_bytes));
+    const double service =
+        server_->service_time(static_cast<std::size_t>(payload));
+    const double done = server_->queue().schedule(arrival, service);
+    // Time spent behind other requests — the client-observed server backlog.
+    // Gauge (not histogram): psctl top reads it as a point-in-time depth
+    // signal; kMax makes the cross-site aggregate the worst backlog.
+    if (obs::enabled()) {
+      obs::MetricsRegistry::ambient()
+          .gauge("kv.client.queue_wait_s", obs::GaugeAgg::kMax)
+          .set(std::max(0.0, done - arrival - service));
+    }
+    // ...and the response travels back on the response lane.
+    const double response_cost = world.fabric().transfer_time(
+        server_host, client_host, response_bytes);
+    return std::pair<double, double>{done, response_cost};
+  });
+}
+
+double KvClient::round_trip(std::size_t request_bytes,
+                            std::size_t response_bytes) {
+  const net::WireSample sample = wire(request_bytes, response_bytes);
+  sim::vset(sample.completion);
+  return sample.arrival;
 }
 
 void KvClient::set(const std::string& key, BytesView value,
@@ -113,6 +127,93 @@ std::vector<bool> KvClient::exists_many(const std::vector<std::string>& keys) {
 bool KvClient::del(const std::string& key) {
   round_trip(key.size(), 8);
   return server_->del(key);
+}
+
+std::vector<bool> KvClient::del_many(const std::vector<std::string>& keys) {
+  std::size_t request_bytes = 0;
+  for (const std::string& key : keys) request_bytes += key.size();
+  wire(request_bytes, 8 * std::max<std::size_t>(keys.size(), 1));
+  std::vector<bool> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    out.push_back(server_->del(key));
+  }
+  return out;
+}
+
+core::Future<core::Unit> KvClient::set_async(
+    const std::string& key, BytesView value,
+    std::optional<std::chrono::milliseconds> ttl) {
+  const net::WireSample sample = wire(value.size() + key.size(), 8);
+  server_->set(key, value, ttl, sample.arrival);
+  core::Promise<core::Unit> promise;
+  core::complete_at(promise, core::Unit{}, sample.completion);
+  return promise.future();
+}
+
+core::Future<std::optional<Bytes>> KvClient::get_async(
+    const std::string& key) {
+  const double probe_now = sim::vnow();
+  const std::optional<Bytes> peek = server_->get(key, probe_now);
+  const std::size_t response_bytes = peek ? peek->size() : 8;
+  const net::WireSample sample = wire(key.size(), response_bytes);
+  // Re-read at the arrival time so TTL expiry is judged server-side.
+  std::optional<Bytes> value = server_->get(key, sample.arrival);
+  core::Promise<std::optional<Bytes>> promise;
+  core::complete_at(promise, std::move(value), sample.completion);
+  return promise.future();
+}
+
+core::Future<bool> KvClient::exists_async(const std::string& key) {
+  const net::WireSample sample = wire(key.size(), 8);
+  const bool present = server_->exists(key, sample.arrival);
+  core::Promise<bool> promise;
+  core::complete_at(promise, present, sample.completion);
+  return promise.future();
+}
+
+core::Future<bool> KvClient::del_async(const std::string& key) {
+  const net::WireSample sample = wire(key.size(), 8);
+  const bool removed = server_->del(key);
+  core::Promise<bool> promise;
+  core::complete_at(promise, removed, sample.completion);
+  return promise.future();
+}
+
+core::Future<std::vector<std::optional<Bytes>>> KvClient::get_many_async(
+    const std::vector<std::string>& keys) {
+  const double probe_now = sim::vnow();
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+  for (const std::string& key : keys) {
+    request_bytes += key.size();
+    const std::optional<Bytes> value = server_->get(key, probe_now);
+    response_bytes += value ? value->size() : 8;
+  }
+  const net::WireSample sample =
+      wire(request_bytes, std::max<std::size_t>(response_bytes, 8));
+  std::vector<std::optional<Bytes>> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    out.push_back(server_->get(key, sample.arrival));
+  }
+  core::Promise<std::vector<std::optional<Bytes>>> promise;
+  core::complete_at(promise, std::move(out), sample.completion);
+  return promise.future();
+}
+
+core::Future<core::Unit> KvClient::set_many_async(
+    const std::vector<std::pair<std::string, Bytes>>& pairs) {
+  std::size_t total = 0;
+  for (const auto& [key, value] : pairs) total += key.size() + value.size();
+  const net::WireSample sample =
+      wire(total, 8 * std::max<std::size_t>(pairs.size(), 1));
+  for (const auto& [key, value] : pairs) {
+    server_->set(key, value, std::nullopt, sample.arrival);
+  }
+  core::Promise<core::Unit> promise;
+  core::complete_at(promise, core::Unit{}, sample.completion);
+  return promise.future();
 }
 
 }  // namespace ps::kv

@@ -1,0 +1,120 @@
+// Completion-driven wire channel with per-request pipelining.
+//
+// A PipelinedChannel models one connection between a client actor and a
+// server: a request lane, the server's service, and a response lane. Each
+// lane is a frontier (the virtual time at which the lane is next free), so N
+// outstanding requests overlap — the ladder costs ~max-of-pipeline, not
+// sum-of-round-trips. This is the wire model behind RpcClient::call_async
+// and the KvClient async ops: the caller's clock never advances at issue,
+// and each request's completion virtual time is computed inline and stamped
+// into its Future individually.
+//
+// One transact() == one request/response exchange:
+//
+//   send_start  = max(issue, request-lane frontier)
+//   arrival     = send_start + request_cost          (request fully received)
+//   served      = serve(arrival).first               (server FIFO completion)
+//   completion  = max(served, response-lane frontier) + response_cost
+//
+// The whole exchange happens under one channel mutex, so concurrent
+// submitters see FIFO lane order and strictly increasing completion times.
+// Handlers run inside transact(); a handler must never re-enter the channel
+// it is being served on (client->server->same-client recursion would
+// self-deadlock).
+//
+// Channels are scoped per (actor thread, process, peer) — see
+// ChannelRegistry. The simulator gives every thread its own virtual clock,
+// and two unsynchronized actors must not couple through a shared frontier
+// (an actor in the virtual past would queue behind requests its peer issued
+// from the future — cross-site contention is already modeled by the
+// server's sim::Resource). Two consequences keep every pre-pipelining
+// baseline bit-exact:
+//
+//   * A sequential caller (issue >= previous completion) collapses both
+//     maxes: the exchange degenerates to exactly the synchronous round
+//     trip of the pre-pipelining wire, bit for bit.
+//   * A caller whose clock moved backward (a bench rep isolated by
+//     sim::VtimeGuard, an executor worker reseeded for a new job) starts a
+//     new virtual era: the channel resets to idle, because everything
+//     previously issued on it has already completed in real time. The
+//     outcome of a transact therefore never depends on which pool thread
+//     ran the previous job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <map>
+#include <utility>
+
+namespace ps::net {
+
+/// Per-request wire timings produced by PipelinedChannel::transact.
+struct WireSample {
+  double issue = 0.0;       ///< caller's virtual time at issue
+  double send_start = 0.0;  ///< request lane acquired
+  double arrival = 0.0;     ///< request fully received by the server
+  double served = 0.0;      ///< server service (FIFO queue) completion
+  double completion = 0.0;  ///< response fully received by the caller
+  std::size_t depth = 0;    ///< in-flight requests on the channel, incl. this
+};
+
+class PipelinedChannel {
+ public:
+  /// Runs the server side of one exchange: given the request's arrival time,
+  /// returns {service completion time, response transfer cost}.
+  using Serve = std::function<std::pair<double, double>(double arrival)>;
+
+  /// One request/response exchange. `issue` is the caller's virtual time,
+  /// `request_cost` the request transfer time on this channel's link.
+  /// Serializes against concurrent exchanges on the same channel; records
+  /// the in-flight depth into the `rpc.inflight` / `rpc.pipeline.depth`
+  /// metric family on the ambient registry.
+  WireSample transact(double issue, double request_cost, const Serve& serve);
+
+  /// Completion time of the most recent exchange (0 before any).
+  double last_completion() const;
+
+  /// Total exchanges carried by this channel.
+  std::uint64_t requests() const;
+
+ private:
+  mutable std::mutex mu_;
+  double last_issue_ = 0.0;     // era detection: clock regression resets
+  double req_frontier_ = 0.0;   // request lane next free
+  double resp_frontier_ = 0.0;  // response lane next free
+  double last_completion_ = 0.0;
+  std::uint64_t requests_ = 0;
+  // Completion vtimes of requests still in flight relative to the latest
+  // issue; pruned at issue time (entries <= issue have completed).
+  std::deque<double> inflight_;
+};
+
+/// Unique, never-reused id for the calling thread (the simulator's actor).
+/// Thread ids recycle; these do not, so channel state can never leak from a
+/// dead actor to a new one that happens to reuse its thread.
+std::uint64_t current_actor();
+
+/// One channel per (actor, peer) for a single process. Stored
+/// process-locally (proc::Process::local<ChannelRegistry>()) and keyed by
+/// the calling actor, so unsynchronized virtual clocks never couple through
+/// a shared frontier. The registry holds a strong reference to the peer so
+/// a recycled allocation can never alias two peers onto one channel.
+class ChannelRegistry {
+ public:
+  /// The calling actor's channel to `peer`, created on first use.
+  PipelinedChannel& channel_for(const std::shared_ptr<void>& peer);
+
+ private:
+  struct Entry {
+    std::shared_ptr<void> peer;  // pins the address
+    std::unique_ptr<PipelinedChannel> channel;
+  };
+  std::mutex mu_;
+  std::map<std::pair<std::uint64_t, const void*>, Entry> entries_;
+};
+
+}  // namespace ps::net

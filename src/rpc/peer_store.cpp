@@ -106,6 +106,21 @@ std::shared_ptr<PeerStoreServer> PeerStoreClient::remote_server(
   return server;
 }
 
+RpcClient& PeerStoreClient::remote_client(const std::string& owner_host) {
+  remote_server(owner_host);  // fail fast with a specific error if absent
+  std::lock_guard lock(clients_mu_);
+  auto it = clients_.find(owner_host);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(owner_host,
+                      std::make_unique<RpcClient>(rpc_address(
+                          transport_.name, owner_host,
+                          "peerstore-" + store_id_)))
+             .first;
+  }
+  return *it->second;
+}
+
 std::string PeerStoreClient::put(const std::string& id, BytesView data) {
   // Local in-memory store: pay a memory copy plus transport registration.
   sim::vadvance(transport_.sw_overhead_s +
@@ -124,20 +139,16 @@ std::optional<Bytes> PeerStoreClient::get(const std::string& owner_host,
     }
     return value;
   }
-  remote_server(owner_host);  // fail fast with a specific error if absent
-  RpcClient client(rpc_address(transport_.name, owner_host,
-                               "peerstore-" + store_id_));
-  const Bytes response = client.call("get", serde::to_bytes(id));
+  const Bytes response =
+      remote_client(owner_host).call("get", serde::to_bytes(id));
   return serde::from_bytes<std::optional<Bytes>>(response);
 }
 
 bool PeerStoreClient::exists(const std::string& owner_host,
                              const std::string& id) {
   if (owner_host == local_->host()) return local_->exists_local(id);
-  remote_server(owner_host);  // fail fast with a specific error if absent
-  RpcClient client(rpc_address(transport_.name, owner_host,
-                               "peerstore-" + store_id_));
-  return serde::from_bytes<bool>(client.call("exists", serde::to_bytes(id)));
+  return serde::from_bytes<bool>(
+      remote_client(owner_host).call("exists", serde::to_bytes(id)));
 }
 
 void PeerStoreClient::evict(const std::string& owner_host,
@@ -146,10 +157,48 @@ void PeerStoreClient::evict(const std::string& owner_host,
     local_->evict_local(id);
     return;
   }
-  remote_server(owner_host);  // fail fast with a specific error if absent
-  RpcClient client(rpc_address(transport_.name, owner_host,
-                               "peerstore-" + store_id_));
-  client.call("evict", serde::to_bytes(id));
+  remote_client(owner_host).call("evict", serde::to_bytes(id));
+}
+
+core::Future<std::optional<Bytes>> PeerStoreClient::get_async(
+    const std::string& owner_host, const std::string& id) {
+  if (owner_host == local_->host()) {
+    // Same cost as the sync local fast path, completed inline.
+    sim::vadvance(transport_.sw_overhead_s);
+    std::optional<Bytes> value = local_->get_local(id);
+    if (value) {
+      sim::vadvance(static_cast<double>(value->size()) / 10e9);
+    }
+    return core::make_ready_future(std::move(value));
+  }
+  return remote_client(owner_host)
+      .call_async("get", serde::to_bytes(id))
+      .then([](const Bytes& response) {
+        return serde::from_bytes<std::optional<Bytes>>(response);
+      });
+}
+
+core::Future<bool> PeerStoreClient::exists_async(const std::string& owner_host,
+                                                 const std::string& id) {
+  if (owner_host == local_->host()) {
+    return core::make_ready_future(local_->exists_local(id));
+  }
+  return remote_client(owner_host)
+      .call_async("exists", serde::to_bytes(id))
+      .then([](const Bytes& response) {
+        return serde::from_bytes<bool>(response);
+      });
+}
+
+core::Future<core::Unit> PeerStoreClient::evict_async(
+    const std::string& owner_host, const std::string& id) {
+  if (owner_host == local_->host()) {
+    local_->evict_local(id);
+    return core::make_ready_future(core::Unit{});
+  }
+  return remote_client(owner_host)
+      .call_async("evict", serde::to_bytes(id))
+      .then([](const Bytes&) { return core::Unit{}; });
 }
 
 }  // namespace ps::rpc

@@ -73,6 +73,17 @@ class PeerStoreClient {
   bool exists(const std::string& owner_host, const std::string& id);
   void evict(const std::string& owner_host, const std::string& id);
 
+  // Completion-driven twins: remote fetches ride RpcClient::call_async on
+  // the owning node's channel, so N outstanding peer ops pipeline and no
+  // thread is held while a request is in flight. Local fast paths complete
+  // inline at the same cost as the sync ops.
+  core::Future<std::optional<Bytes>> get_async(const std::string& owner_host,
+                                               const std::string& id);
+  core::Future<bool> exists_async(const std::string& owner_host,
+                                  const std::string& id);
+  core::Future<core::Unit> evict_async(const std::string& owner_host,
+                                       const std::string& id);
+
   const std::string& store_id() const { return store_id_; }
   const TransportProfile& transport() const { return transport_; }
 
@@ -80,9 +91,16 @@ class PeerStoreClient {
   std::shared_ptr<PeerStoreServer> remote_server(
       const std::string& owner_host) const;
 
+  /// The cached RPC client for `owner_host`'s server, connecting on first
+  /// use. One service-directory resolve per (host, server) for the client's
+  /// lifetime instead of one per call.
+  RpcClient& remote_client(const std::string& owner_host);
+
   std::string store_id_;
   TransportProfile transport_;
   std::shared_ptr<PeerStoreServer> local_;
+  std::mutex clients_mu_;
+  std::unordered_map<std::string, std::unique_ptr<RpcClient>> clients_;
 };
 
 }  // namespace ps::rpc

@@ -58,21 +58,50 @@ RpcClient::RpcClient(const std::string& address)
     : server_(proc::current_process().world().services().resolve<RpcServer>(
           address)) {}
 
-Bytes RpcClient::call(const std::string& op, BytesView request) {
+net::PipelinedChannel& RpcClient::channel() const {
+  return proc::current_process()
+      .local<net::ChannelRegistry>()
+      .channel_for(server_);
+}
+
+Bytes RpcClient::transact(const std::string& op, BytesView request,
+                          net::WireSample& sample) {
   proc::World& world = proc::current_process().world();
   const std::string& here = proc::current_process().host();
   const std::string& there = server_->host();
   const TransportProfile& transport = server_->transport();
+  const obs::TraceContext ctx = obs::current_context();
 
-  obs::SpanScope span("rpc.call", op, "wire-transfer");
-  const double arrival =
-      sim::vnow() +
+  Bytes response;
+  const double request_cost =
       transport.transfer_time(world.fabric(), here, there, request.size());
-  auto [response, done] =
-      server_->handle(op, request, arrival, obs::current_context());
-  sim::vset(done + transport.transfer_time(world.fabric(), there, here,
-                                           response.size()));
-  return std::move(response);
+  sample = channel().transact(
+      sim::vnow(), request_cost, [&](double arrival) {
+        auto [resp, done] = server_->handle(op, request, arrival, ctx);
+        const double response_cost = transport.transfer_time(
+            world.fabric(), there, here, resp.size());
+        response = std::move(resp);
+        return std::pair<double, double>{done, response_cost};
+      });
+  return response;
+}
+
+Bytes RpcClient::call(const std::string& op, BytesView request) {
+  obs::SpanScope span("rpc.call", op, "wire-transfer");
+  net::WireSample sample;
+  Bytes response = transact(op, request, sample);
+  sim::vset(sample.completion);
+  return response;
+}
+
+core::Future<Bytes> RpcClient::call_async(const std::string& op,
+                                          BytesView request) {
+  obs::SpanScope span("rpc.call_async", op, "wire-transfer");
+  net::WireSample sample;
+  Bytes response = transact(op, request, sample);
+  core::Promise<Bytes> promise;
+  core::complete_at(promise, std::move(response), sample.completion);
+  return promise.future();
 }
 
 }  // namespace ps::rpc

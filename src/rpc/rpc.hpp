@@ -4,6 +4,14 @@
 // charges the caller's virtual time with request transfer, FIFO service
 // queueing on the server, and response transfer — the client-observed RPC
 // round trip, parameterized by the transport (Margo / UCX / ZMQ).
+//
+// The wire is completion-driven (net::PipelinedChannel): call() blocks the
+// caller's clock for the round trip, while call_async() issues the request
+// onto the channel and returns a Future<Bytes> stamped at that request's own
+// pipelined completion vtime — N outstanding calls on one channel overlap
+// transfer and FIFO service, so the ladder costs ~max-of-pipeline rather
+// than sum-of-round-trips, and no thread or executor worker is held while a
+// request is in flight.
 #pragma once
 
 #include <functional>
@@ -13,6 +21,8 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "core/future.hpp"
+#include "net/channel.hpp"
 #include "obs/context.hpp"
 #include "proc/world.hpp"
 #include "rpc/transport.hpp"
@@ -67,9 +77,26 @@ class RpcClient {
   /// Calls `op`, charging virtual time for the full round trip.
   Bytes call(const std::string& op, BytesView request);
 
+  /// Issues `op` onto the calling process's channel to this server and
+  /// returns immediately: the caller's clock does not advance, no thread or
+  /// executor worker is parked, and the returned future is already ready —
+  /// stamped at this request's pipelined completion vtime, which waiters
+  /// merge (`Future::wait`). Issue N calls back-to-back and they share the
+  /// wire: total vtime is ~max-of-pipeline, not sum-of-round-trips.
+  core::Future<Bytes> call_async(const std::string& op, BytesView request);
+
   RpcServer& server() { return *server_; }
 
+  /// The calling process's pipelined channel to this server.
+  net::PipelinedChannel& channel() const;
+
  private:
+  /// One wire exchange on the current process's channel; fills `sample`
+  /// with the request's lane timings and returns the response. Does not
+  /// touch the caller's clock.
+  Bytes transact(const std::string& op, BytesView request,
+                 net::WireSample& sample);
+
   std::shared_ptr<RpcServer> server_;
 };
 

@@ -39,10 +39,7 @@ class KvSubscription : public Subscription {
       if (auto event = take_available()) return event;
       // Nothing new: end-of-stream only once closed AND the head has not
       // moved past the cursor (events published before close still drain).
-      if (client_.exists(topic_key(topic_, "closed")) &&
-          read_counter(client_, topic_key(topic_, "head")) <= cursor_) {
-        return std::nullopt;
-      }
+      if (at_end()) return std::nullopt;
       sim::vadvance(options_.poll_interval_s);
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
@@ -53,6 +50,23 @@ class KvSubscription : public Subscription {
   std::optional<Bytes> try_next() override { return take_available(); }
 
  private:
+  bool at_end() {
+    if (options_.pipelined_poll) {
+      // Both probes in flight on the kv channel at once: the pair costs
+      // ~max-of-pipeline instead of two sequential round trips. get() on
+      // each merges that request's own completion vtime.
+      auto closed = client_.exists_async(topic_key(topic_, "closed"));
+      auto head = client_.get_async(topic_key(topic_, "head"));
+      const bool is_closed = closed.get();
+      const std::optional<Bytes> head_value = head.get();
+      const std::uint64_t head_seq =
+          head_value ? std::stoull(*head_value) : 0;
+      return is_closed && head_seq <= cursor_;
+    }
+    return client_.exists(topic_key(topic_, "closed")) &&
+           read_counter(client_, topic_key(topic_, "head")) <= cursor_;
+  }
+
   std::optional<Bytes> take_available() {
     const std::uint64_t head =
         read_counter(client_, topic_key(topic_, "head"));

@@ -31,6 +31,12 @@ struct KvBrokerOptions {
   double poll_interval_s = 0.005;
   /// Probe budget before next() fails (stuck-producer guard).
   std::uint32_t max_polls = 1000;
+  /// Issue an idle subscriber's end-of-stream probes (closed marker + head
+  /// counter) as two pipelined in-flight requests on the kv channel instead
+  /// of two sequential round trips — the probe pair costs ~max, not sum.
+  /// Off by default: the sequential probe costs are part of the blessed
+  /// stream baselines.
+  bool pipelined_poll = false;
 };
 
 class KvBroker : public PubSub {

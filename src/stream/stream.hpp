@@ -149,8 +149,9 @@ class StreamProducer {
 
     if (options_.ref_counted_eviction && subs == 0) {
       // Nobody can ever reach these payloads (subscribers join at the
-      // tail): reclaim the channel immediately instead of leaking.
-      for (const core::Key& key : keys) store_->evict(key);
+      // tail): reclaim the channel immediately instead of leaking — one
+      // pipelined evict_batch round trip for the whole flush.
+      store_->evict_batch(keys);
     }
     const std::size_t published = pending_.size();
     pending_.clear();

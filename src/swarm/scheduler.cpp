@@ -225,7 +225,12 @@ void ChunkScheduler::run_wave(
         }
         std::vector<std::optional<Bytes>> values;
         try {
-          values = backends_[b].connector->get_batch(keys);
+          // Completion-driven fetch: kv backends issue the batch onto their
+          // pipelined channel and the wave merges that request's own
+          // completion vtime (get() == wait + copy). Connectors without a
+          // native override fall back to the executor adapter — either way
+          // the wave's clock lands on the batch's wire completion.
+          values = backends_[b].connector->get_batch_async(keys).get();
         } catch (...) {
           slot.failed = true;
         }

@@ -284,11 +284,19 @@ void SwarmConnector::evict(const core::Key& key) {
     const std::optional<Manifest> decoded_opt = manifest(key);
     const core::Key bare{.object_id = key.object_id, .meta = {}};
     if (decoded_opt) {
+      // Manifest cleanup: group every chunk replica by holding backend and
+      // issue one pipelined evict_batch per backend instead of one round
+      // trip per (chunk, holder).
       const Manifest& decoded = *decoded_opt;
+      std::vector<std::vector<core::Key>> per_backend(backends_.size());
       for (const ChunkRef& ref : decoded.chunks) {
         for (const std::uint32_t b : ref.holders) {
-          backends_[b].connector->evict(chunk_key(ref.hash));
+          per_backend[b].push_back(chunk_key(ref.hash));
         }
+      }
+      for (std::size_t b = 0; b < per_backend.size(); ++b) {
+        if (per_backend[b].empty()) continue;
+        backends_[b].connector->evict_batch(per_backend[b]);
       }
     }
     for (const Backend& backend : backends_) backend.connector->evict(bare);

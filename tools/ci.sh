@@ -125,6 +125,32 @@ grep -q '^ps_async_executor_' <<<"${PROM_SNAPSHOT}"
 # The committed baselines themselves must stay schema-valid.
 ./build/tools/psctl bench check results/baselines/BENCH_*.json
 
+echo "==> rpc-smoke: pipelined wire protocol gates"
+# The micro_rpc harness hard-asserts the tentpole claims itself (a deep
+# call_async ladder costs ~max-of-pipeline, native async ops hold zero
+# executor workers); run_bench adds schema check + baseline diff on top.
+run_bench micro_rpc
+# Determinism: a second identical run must reproduce the artifact exactly.
+./build/bench/micro_rpc \
+  --json "${BENCH_DIR}/BENCH_micro_rpc_rerun.json" >/dev/null
+./build/tools/psctl bench diff \
+  "${BENCH_DIR}/BENCH_micro_rpc.json" \
+  "${BENCH_DIR}/BENCH_micro_rpc_rerun.json"
+# The wire metrics must surface in the Prometheus exposition with real
+# in-flight depth from the demo's pipelined ladder (nonzero gauge).
+PROM_SNAPSHOT="$(./build/tools/psctl metrics --prom)"
+grep -qE '^ps_rpc_inflight [1-9]' <<<"${PROM_SNAPSHOT}"
+grep -q '^ps_rpc_requests_total' <<<"${PROM_SNAPSHOT}"
+# Negative gate: forcing the sync->async executor adapters back in must
+# trip the zero-occupancy assert and fail the bench — proves the assert
+# has teeth (a silent fallback to thread-parking would pass benchmarks
+# while abandoning the completion-driven protocol).
+if ./build/bench/micro_rpc --force-adapter \
+    --json "${BENCH_DIR}/BENCH_micro_rpc_adapter.json" >/dev/null 2>&1; then
+  echo "rpc-smoke: --force-adapter run must fail the zero-occupancy assert"
+  exit 1
+fi
+
 echo "==> forensics-smoke: critical-path attribution + exemplars + flight"
 # A traced fig6 rerun (the CI-fast flags) must still produce a
 # schema-valid artifact with the forensics machinery active (bench check

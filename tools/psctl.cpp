@@ -118,6 +118,7 @@
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "kv/client.hpp"
 #include "kv/server.hpp"
 #include "load_util.hpp"
 #include "relay/relay.hpp"
@@ -546,6 +547,22 @@ int run_instrumented_demo(testbed::Testbed& tb, std::string* subject_out) {
           local->proxy(std::string("async-demo"));
       warm.resolve_async();
       warm.resolve();
+    }
+
+    // Wire pipelining: a ladder of overlapping kv requests on one channel,
+    // so the rpc.inflight / rpc.pipeline.depth wire metrics report real
+    // in-flight depth (sync round trips alone never exceed depth 1).
+    {
+      kv::KvServer::start(*tb.world, tb.theta_compute0, "psctl-rpc-demo");
+      kv::KvClient rpc_demo(
+          kv::kv_address(tb.theta_compute0, "psctl-rpc-demo"));
+      rpc_demo.set("warm", std::string(256, 'r'));
+      std::vector<core::Future<std::optional<Bytes>>> ladder;
+      ladder.reserve(8);
+      for (int i = 0; i < 8; ++i) {
+        ladder.push_back(rpc_demo.get_async("warm"));
+      }
+      for (auto& pending : ladder) pending.wait();
     }
 
     // One proxy resolved in a different simulated process: the full
